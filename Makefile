@@ -1,0 +1,32 @@
+# Convenience targets for the Req-block reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full examples figures clean
+
+install:
+	pip install -e .[dev]
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Full paper-scale regeneration (hours of compute).
+bench-full:
+	REPRO_BENCH_SCALE=1.0 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
+
+figures:
+	for fig in table1 table2 fig2 fig3 fig7 fig8 fig9 fig10 fig11 fig12 fig13; do \
+		$(PYTHON) -m repro.cli experiment $$fig; done
+
+clean:
+	rm -rf build dist *.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,59 @@
+"""Shared infrastructure for the figure/table benchmarks.
+
+Each benchmark regenerates one paper table or figure via its experiment
+module and records the printed rows under ``benchmarks/results/`` so the
+artefacts survive the run.  Scale is controlled with the
+``REPRO_BENCH_SCALE`` environment variable (default 1/32; use 1.0 for a
+full paper-scale regeneration — hours of compute).
+
+Sweeps run with multiple worker processes by default; set
+``REPRO_SWEEP_PROCESSES=1`` to serialise.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable, List
+
+import pytest
+
+from repro.experiments.common import ExperimentSettings
+from repro.traces.workloads import WORKLOAD_ORDER
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", 1 / 32))
+
+
+@pytest.fixture
+def bench_settings() -> ExperimentSettings:
+    """Experiment settings used by every figure benchmark."""
+    lines: List[str] = []
+    settings = ExperimentSettings(
+        scale=BENCH_SCALE,
+        workloads=list(WORKLOAD_ORDER),
+        processes=None,  # auto (env-overridable)
+        out=lines.append,
+    )
+    settings.captured = lines  # type: ignore[attr-defined]
+    return settings
+
+
+@pytest.fixture
+def save_result(bench_settings) -> Callable[[str], None]:
+    """Persist the captured experiment output to results/<name>.txt."""
+
+    def _save(name: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = "\n".join(bench_settings.captured)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        # Also echo to the terminal (visible with pytest -s / -rA).
+        print(f"\n{text}\n[saved to benchmarks/results/{name}.txt]")
+
+    return _save
+
+
+def once(benchmark, fn):
+    """Run an expensive experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,19 @@
+"""Benchmark: device-substrate ablations (beyond the paper)."""
+
+from __future__ import annotations
+
+from repro.experiments import ablation_device
+
+from conftest import once
+
+
+def test_ablation_device(benchmark, bench_settings, save_result):
+    # Restrict to three traces: the full-device replays are the slowest
+    # runs in the suite.
+    bench_settings.workloads = ["hm_1", "src1_2", "proj_0"]
+    results = once(benchmark, lambda: ablation_device.run(bench_settings))
+    save_result("ablation_device")
+    for w in bench_settings.workloads:
+        resident = results[(w, "paper (resident, greedy)")]
+        starved = results[(w, "dftl-5pct")]
+        assert starved.mean_response_ms > resident.mean_response_ms

@@ -1,0 +1,23 @@
+"""Benchmark: beyond-paper ablations (Req-block mechanisms, all policies)."""
+
+from __future__ import annotations
+
+from repro.experiments import ablation_lists, ablation_policies
+
+from conftest import once
+
+
+def test_ablation_lists(benchmark, bench_settings, save_result):
+    results = once(benchmark, lambda: ablation_lists.run(bench_settings))
+    save_result("ablation_lists")
+    # The full scheme should win (or tie) against each single-mechanism
+    # removal on the flagship mixed trace.
+    full = results[("src1_2", "full")].hit_ratio
+    for label in ("no-split", "no-refresh", "delta=1"):
+        assert full >= results[("src1_2", label)].hit_ratio * 0.98, label
+
+
+def test_ablation_policies(benchmark, bench_settings, save_result):
+    grid = once(benchmark, lambda: ablation_policies.run(bench_settings))
+    save_result("ablation_policies")
+    assert grid

@@ -1,0 +1,28 @@
+"""Benchmark: cache-size scaling curves + Mattson cross-validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import cache_scaling
+
+from conftest import BENCH_SCALE, once
+
+
+def test_cache_scaling(benchmark, bench_settings, save_result):
+    bench_settings.workloads = ["hm_1", "src1_2", "ts_0"]
+    curves = once(benchmark, lambda: cache_scaling.run(bench_settings))
+    save_result("cache_scaling")
+    # Req-block dominates LRU through the pressured half of the ladder.
+    for w in bench_settings.workloads:
+        lru = curves[(w, "lru")]
+        rb = curves[(w, "reqblock")]
+        assert all(r >= l for r, l in zip(rb[:4], lru[:4])), w
+    # The Mattson bound check must be exact.
+    from repro.traces.workloads import scaled_cache_bytes
+
+    pages = scaled_cache_bytes(16, BENCH_SCALE) // 4096
+    replayed, analytic = cache_scaling.lru_curve_matches_mattson(
+        "ts_0", BENCH_SCALE, pages
+    )
+    assert replayed == pytest.approx(analytic, abs=1e-12)

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 10 (pages per eviction)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig10_eviction_batch
+
+from conftest import once
+
+
+def test_fig10(benchmark, bench_settings, save_result):
+    grid = once(benchmark, lambda: fig10_eviction_batch.run(bench_settings))
+    save_result("fig10_eviction_batch")
+    # Paper ordering on every trace: VBBMS <= Req-block <= BPLRU.
+    for w in bench_settings.workloads:
+        vb = grid[(w, 16, "vbbms")].mean_eviction_pages
+        rb = grid[(w, 16, "reqblock")].mean_eviction_pages
+        bp = grid[(w, 16, "bplru")].mean_eviction_pages
+        assert vb <= rb <= bp, (w, vb, rb, bp)

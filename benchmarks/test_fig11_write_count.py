@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 11 (flash write counts)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig11_write_count
+
+from conftest import once
+
+
+def test_fig11(benchmark, bench_settings, save_result):
+    grid = once(benchmark, lambda: fig11_write_count.run(bench_settings))
+    save_result("fig11_write_count")
+    # Headline: Req-block cuts flash writes on average vs every baseline
+    # (paper: -8.6% LRU, -4.3% BPLRU, -1.1% VBBMS).
+    for base in ("lru", "bplru"):
+        assert fig11_write_count.average_write_reduction_vs(grid, base) > 0.0
+    # VBBMS is within noise of Req-block (paper: only -1.1%).
+    assert fig11_write_count.average_write_reduction_vs(grid, "vbbms") > -0.05

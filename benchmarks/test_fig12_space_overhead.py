@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 12 (metadata space overhead)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig12_space_overhead
+
+from conftest import once
+
+
+def test_fig12(benchmark, bench_settings, save_result):
+    grid = once(benchmark, lambda: fig12_space_overhead.run(bench_settings))
+    save_result("fig12_space_overhead")
+    # Paper: all policies' metadata is a fraction of a percent of the
+    # cache; Req-block ~0.41%, comparable to the others.
+    for p in ("lru", "bplru", "vbbms", "reqblock"):
+        frac = fig12_space_overhead.mean_overhead_fraction(grid, p)
+        assert 0.0 < frac < 0.02, (p, frac)

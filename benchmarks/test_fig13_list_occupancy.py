@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 13 (IRL/SRL/DRL page counts)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig13_list_occupancy
+
+from conftest import once
+
+
+def test_fig13(benchmark, bench_settings, save_result):
+    summaries = once(benchmark, lambda: fig13_list_occupancy.run(bench_settings))
+    save_result("fig13_list_occupancy")
+    # §4.3: DRL holds a small share everywhere; SRL dominates in most
+    # cases.
+    n_srl_dominant = sum(
+        1 for s in summaries.values() if s.dominant_list == "SRL"
+    )
+    assert n_srl_dominant >= len(summaries) // 2
+    for name, s in summaries.items():
+        assert s.share["DRL"] < 0.35, (name, s.share)

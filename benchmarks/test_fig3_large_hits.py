@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 3 (large-request re-hit fraction)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig3_large_hits
+
+from conftest import once
+
+
+def test_fig3(benchmark, bench_settings, save_result):
+    results = once(benchmark, lambda: fig3_large_hits.run(bench_settings))
+    save_result("fig3_large_hits")
+    # Observation 2: only a minority of large-request pages re-accessed
+    # (paper range 22.0%-37.2% at 16 MB full scale).
+    for name, stats in results.items():
+        assert stats.large_hit_fraction < 0.5, name

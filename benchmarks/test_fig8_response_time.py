@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 8 (I/O response time vs LRU)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig8_response_time
+
+from conftest import once
+
+
+def test_fig8(benchmark, bench_settings, save_result):
+    grid = once(benchmark, lambda: fig8_response_time.run(bench_settings))
+    save_result("fig8_response_time")
+    assert len(grid) == 6 * 3 * 4
+    # Headline: Req-block reduces mean response time vs every baseline
+    # (paper: -23.8% LRU, -11.3% BPLRU, -7.7% VBBMS).
+    for base in ("lru", "bplru", "vbbms"):
+        assert fig8_response_time.average_reduction_vs(grid, base) > 0.0, base

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 9 (hit ratio vs Req-block)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig9_hit_ratio
+
+from conftest import once
+
+
+def test_fig9(benchmark, bench_settings, save_result):
+    grid = once(benchmark, lambda: fig9_hit_ratio.run(bench_settings))
+    save_result("fig9_hit_ratio")
+    assert len(grid) == 6 * 3 * 4
+    # Headline: Req-block improves hits on average vs every baseline
+    # (paper: +42.9% LRU, +23.6% BPLRU, +4.1% VBBMS).
+    for base in ("lru", "bplru", "vbbms"):
+        assert fig9_hit_ratio.average_improvement_vs(grid, base) > 0.0, base

@@ -1,0 +1,23 @@
+"""Benchmark: MDTS (host request splitting) sensitivity study."""
+
+from __future__ import annotations
+
+from repro.experiments import mdts_sensitivity
+
+from conftest import once
+
+
+def test_mdts_sensitivity(benchmark, bench_settings, save_result):
+    bench_settings.workloads = ["src1_2", "proj_0", "usr_0"]
+    results = once(benchmark, lambda: mdts_sensitivity.run(bench_settings))
+    save_result("mdts_sensitivity")
+    # Req-block's advantage survives aggressive splitting: at mdts=8
+    # pages it keeps a positive gain on these traces.
+    for w in bench_settings.workloads:
+        full = results[(w, None)]
+        split = results[(w, 8)]
+        assert split["reqblock"] > split["lru"], w
+        # And the erosion is bounded (mechanism is robust).
+        full_gain = full["reqblock"] / full["lru"]
+        split_gain = split["reqblock"] / split["lru"]
+        assert split_gain > full_gain * 0.7, (w, full_gain, split_gain)

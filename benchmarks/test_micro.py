@@ -1,0 +1,112 @@
+"""Microbenchmarks: core data-structure and simulator throughput.
+
+These are real pytest-benchmark measurements (many rounds), unlike the
+figure benchmarks which time a single experiment run.  They track the
+per-operation costs that dominate replay time: policy access, FTL
+writes, trace generation and the intrusive list.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.registry import available_policies, create_policy
+from repro.sim.replay import ReplayConfig, replay_cache_only
+from repro.ssd.config import SSDConfig
+from repro.ssd.controller import SSDController
+from repro.traces.model import IORequest, OpType
+from repro.traces.synthetic import SyntheticConfig, generate_trace
+from repro.utils.dll import DLLNode, DoublyLinkedList
+
+
+def _mini_trace(n=2000, seed=5):
+    cfg = SyntheticConfig(
+        name="bench",
+        n_requests=n,
+        seed=seed,
+        write_ratio=0.7,
+        small_write_fraction=0.6,
+        small_size_mean=2.0,
+        small_size_max=4,
+        large_size_mean=10.0,
+        large_size_max=48,
+        n_hot_slots=64,
+        zipf_theta=1.1,
+        large_span_pages=8000,
+    )
+    return generate_trace(cfg)
+
+
+class _Node(DLLNode):
+    __slots__ = ()
+
+
+class TestDLL:
+    def test_push_move_pop(self, benchmark):
+        nodes = [_Node() for _ in range(256)]
+
+        def run():
+            dll: DoublyLinkedList[_Node] = DoublyLinkedList()
+            for n in nodes:
+                dll.push_head(n)
+            for n in nodes[::4]:
+                dll.move_to_head(n)
+            while dll:
+                dll.pop_tail()
+
+        benchmark(run)
+
+
+@pytest.mark.parametrize("policy", available_policies())
+class TestPolicyThroughput:
+    def test_access_throughput(self, benchmark, policy):
+        trace = _mini_trace()
+        requests = list(trace)
+
+        def run():
+            cache = create_policy(policy, 256)
+            for req in requests:
+                cache.access(req)
+
+        benchmark(run)
+
+
+class TestSSDThroughput:
+    def test_ftl_write_path(self, benchmark):
+        cfg = SSDConfig(blocks_per_plane=64, pages_per_block=32)
+
+        def run():
+            controller = SSDController(cfg, create_policy("lru", 64))
+            for i in range(1500):
+                controller.submit(
+                    IORequest(float(i), OpType.WRITE, (i * 7) % 4096, 2)
+                )
+
+        benchmark(run)
+
+    def test_read_path(self, benchmark):
+        cfg = SSDConfig(blocks_per_plane=64, pages_per_block=32)
+        controller = SSDController(cfg, create_policy("lru", 64))
+        for i in range(512):
+            controller.submit(IORequest(float(i), OpType.WRITE, i * 2, 2))
+        counter = [512.0]
+
+        def run():
+            t = counter[0]
+            for i in range(500):
+                controller.submit(IORequest(t + i, OpType.READ, (i * 3) % 1024, 1))
+            counter[0] = t + 500.0
+
+        benchmark(run)
+
+
+class TestTraceGeneration:
+    def test_generate_10k(self, benchmark):
+        benchmark(lambda: _mini_trace(n=10_000, seed=11))
+
+
+class TestReplayThroughput:
+    def test_cache_only_replay(self, benchmark):
+        trace = _mini_trace(n=5000)
+        cfg = ReplayConfig(policy="reqblock", cache_bytes=256 * 4096)
+        benchmark(lambda: replay_cache_only(trace, cfg))

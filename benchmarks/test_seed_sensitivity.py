@@ -1,0 +1,24 @@
+"""Benchmark: seed-sensitivity study (beyond the paper)."""
+
+from __future__ import annotations
+
+from repro.experiments import seed_sensitivity
+
+from conftest import once
+
+
+def test_seed_sensitivity(benchmark, bench_settings, save_result):
+    # 3 seeds x 4 policies x 6 traces is already substantial at bench
+    # scale; the experiment CLI supports more.
+    results = once(
+        benchmark, lambda: seed_sensitivity.run(bench_settings, n_seeds=3)
+    )
+    save_result("seed_sensitivity")
+    # Req-block's gain over LRU must be positive in the mean for most
+    # traces (robustness of the headline claim).
+    positive = sum(
+        1
+        for (w, b), ci in results.items()
+        if b == "lru" and ci.estimate > 0
+    )
+    assert positive >= 4

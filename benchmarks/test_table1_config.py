@@ -1,0 +1,13 @@
+"""Benchmark: print Table 1 (device configuration)."""
+
+from __future__ import annotations
+
+from repro.experiments import table1_config
+
+from conftest import once
+
+
+def test_table1(benchmark, bench_settings, save_result):
+    result = once(benchmark, lambda: table1_config.run(bench_settings))
+    save_result("table1_config")
+    assert result["mismatches"] == []

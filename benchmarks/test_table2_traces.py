@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 2 (trace specifications)."""
+
+from __future__ import annotations
+
+from repro.experiments import table2_traces
+
+from conftest import once
+
+
+def test_table2(benchmark, bench_settings, save_result):
+    specs = once(benchmark, lambda: table2_traces.run(bench_settings))
+    save_result("table2_traces")
+    assert len(specs) == 6
+    # Write-ratio calibration holds at bench scale.
+    from repro.experiments.paper_reference import TABLE2
+
+    for name, spec in specs.items():
+        assert abs(spec.write_ratio - TABLE2[name][1]) < 0.05

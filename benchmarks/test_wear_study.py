@@ -1,0 +1,19 @@
+"""Benchmark: wear/endurance study (beyond the paper)."""
+
+from __future__ import annotations
+
+from repro.experiments import wear_study
+
+from conftest import once
+
+
+def test_wear_study(benchmark, bench_settings, save_result):
+    bench_settings.workloads = ["src1_2", "ts_0", "proj_0"]
+    results = once(benchmark, lambda: wear_study.run(bench_settings))
+    save_result("wear_study")
+    # Fig. 11's fewer flash writes must surface as fewer (or equal)
+    # erases, i.e. projected lifetime at least LRU's.
+    for w in bench_settings.workloads:
+        lru = results[(w, "lru")].total_erases
+        rb = results[(w, "reqblock")].total_erases
+        assert rb <= lru * 1.02, (w, lru, rb)

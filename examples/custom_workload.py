@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Build a custom synthetic workload and watch Req-block's lists work.
+
+Shows the two extension points a downstream user touches first:
+
+1. ``SyntheticConfig`` — define your own workload instead of the six
+   paper traces (here: a database-like mix of hot 8 KB index updates
+   against cold 256 KB table scans' writeback);
+2. driving a policy object directly — we replay against a raw
+   ``ReqBlockCache`` and sample its IRL/SRL/DRL occupancy as it runs,
+   the machinery behind the paper's Figure 13.
+
+Run:  python examples/custom_workload.py
+"""
+
+from __future__ import annotations
+
+from repro import ReqBlockCache, SyntheticConfig, generate_trace
+from repro.sim.report import format_table
+
+# A write-heavy OLTP-ish mix: 70% of writes are 1-2 page index updates
+# hammering 96 hot slots; the rest are ~32-page sequential writebacks.
+CONFIG = SyntheticConfig(
+    name="oltp_mix",
+    n_requests=40_000,
+    seed=2024,
+    write_ratio=0.8,
+    small_write_fraction=0.7,
+    small_size_mean=1.7,
+    small_size_max=2,
+    large_size_mean=32.0,
+    large_size_max=96,
+    n_hot_slots=96,
+    zipf_theta=1.05,
+    large_span_pages=60_000,
+    large_rewrite_prob=0.10,
+    read_recent_prob=0.65,
+)
+
+
+def main() -> None:
+    trace = generate_trace(CONFIG)
+    print(
+        f"{trace.name}: {len(trace)} requests, "
+        f"{trace.footprint_pages()} distinct pages\n"
+    )
+
+    cache = ReqBlockCache(capacity_pages=512, delta=5)
+    hits = total = 0
+    samples = []
+    for i, request in enumerate(trace):
+        outcome = cache.access(request)
+        hits += outcome.page_hits
+        total += outcome.total_pages
+        if i % 5000 == 0 and i > 0:
+            counts = cache.list_page_counts()
+            samples.append(
+                (i, counts["IRL"], counts["SRL"], counts["DRL"], f"{hits / total:.3f}")
+            )
+
+    print(format_table(("Request#", "IRL", "SRL", "DRL", "HitSoFar"), samples))
+    counts = cache.list_page_counts()
+    print(
+        f"\nFinal: {cache.occupancy()} cached pages in "
+        f"{cache.metadata_nodes()} request blocks "
+        f"({cache.metadata_bytes()} B metadata). "
+        f"SRL holds {counts['SRL'] / max(1, cache.occupancy()):.0%} of pages — "
+        "the hot index updates Req-block is designed to pin."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Tune Req-block's δ for a workload (the paper's Fig. 7 study).
+
+δ is the SRL size limit: request blocks of at most δ pages are treated
+as "small" and promoted whole on a hit.  The paper sweeps δ ∈ [1, 7]
+with a 32 MB cache and settles on δ = 5.  This example runs the same
+sweep on a chosen workload, prints hit ratio and response time
+normalised to δ = 1, and reports the recommended setting.
+
+Run:  python examples/delta_tuning.py [--workload src1_2]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.tuning import recommend_delta, sweep_delta
+from repro.sim.report import format_table
+from repro.traces.workloads import WORKLOAD_ORDER, scaled_cache_bytes
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="src1_2", choices=WORKLOAD_ORDER)
+    parser.add_argument("--scale", type=float, default=1 / 64)
+    parser.add_argument("--cache-mb", type=int, default=32)
+    args = parser.parse_args()
+
+    cache_bytes = scaled_cache_bytes(args.cache_mb, args.scale)
+    points = sweep_delta(
+        args.workload,
+        cache_bytes,
+        deltas=range(1, 8),
+        scale=args.scale,
+        processes=1,
+    )
+
+    base_hit = points[0].hit_ratio or 1.0
+    base_rt = points[0].mean_response_ms or 1.0
+    rows = [
+        (
+            p.delta,
+            f"{p.hit_ratio:.4f}",
+            f"{p.hit_ratio / base_hit:.3f}",
+            f"{p.mean_response_ms:.3f}",
+            f"{p.mean_response_ms / base_rt:.3f}",
+        )
+        for p in points
+    ]
+    print(
+        f"delta sweep on {args.workload} "
+        f"({args.cache_mb}MB-equivalent cache, scale={args.scale:g}):\n"
+    )
+    print(
+        format_table(
+            ("delta", "HitRatio", "vs d=1", "Resp(ms)", "vs d=1"), rows
+        )
+    )
+    print(
+        f"\nRecommended delta: {recommend_delta(points)} "
+        f"(paper's choice: 5)"
+    )
+
+
+if __name__ == "__main__":
+    main()

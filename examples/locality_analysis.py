@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Why does Req-block win?  Reuse-distance evidence.
+
+For each paper workload this example computes Mattson stack distances
+and prints:
+
+* the LRU miss-ratio curve (MRC) across cache sizes — how much any
+  recency-based policy can possibly get from more DRAM;
+* the reuse profiles of pages written by small vs large requests — the
+  paper's core premise, measured directly: small-write pages re-use
+  heavily at short distances, large-write pages barely re-use at all.
+
+A policy that preferentially retains small-request data (Req-block)
+harvests the short-distance mass with a fraction of the capacity.
+
+Run:  python examples/locality_analysis.py [--scale 0.015625]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.reuse import reuse_profile, split_reuse_by_size
+from repro.sim.report import format_table, sparkline
+from repro.traces.stats import mean_request_pages
+from repro.traces.workloads import WORKLOAD_ORDER, get_workload, scaled_cache_bytes
+
+CACHE_SIZES_MB = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1 / 64)
+    parser.add_argument(
+        "--workloads", nargs="+", default=["hm_1", "src1_2", "proj_0"],
+        choices=WORKLOAD_ORDER,
+    )
+    args = parser.parse_args()
+
+    for name in args.workloads:
+        trace = get_workload(name, args.scale)
+        profile = reuse_profile(trace)
+        sizes_pages = [
+            scaled_cache_bytes(mb, args.scale) // 4096 for mb in CACHE_SIZES_MB
+        ]
+        mrc = profile.miss_ratio_curve(sizes_pages)
+        print(f"\n=== {name} (scale={args.scale:g}) ===")
+        print(
+            format_table(
+                ("CacheMB(paper)", "Pages", "LRU miss ratio"),
+                [
+                    (mb, c, f"{miss:.3f}")
+                    for mb, (c, miss) in zip(CACHE_SIZES_MB, mrc)
+                ],
+            )
+        )
+        print("MRC shape: " + sparkline([m for _c, m in mrc], width=len(mrc)))
+
+        boundary = mean_request_pages(trace)
+        small, large = split_reuse_by_size(trace, boundary)
+        rows = []
+        for label, p in (("small-write pages", small), ("large-write pages", large)):
+            reuse_frac = (
+                p.finite_accesses / p.total_accesses if p.total_accesses else 0.0
+            )
+            rows.append(
+                (
+                    label,
+                    p.total_accesses,
+                    f"{reuse_frac:.1%}",
+                    p.median_distance() if p.median_distance() is not None else "-",
+                )
+            )
+        print()
+        print(
+            format_table(
+                ("Page class", "Accesses", "TouchedAgain", "MedianDist"), rows
+            )
+        )
+        print(
+            "(Large-write pages are 'touched again' mostly by stream "
+            "wrap-around overwrites at very long distances — uncacheable; "
+            "small-write pages re-use at short distances, which is the "
+            "mass Req-block retains.)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper in one run.
+
+Runs all thirteen experiments (Tables 1-2, Figures 2-3 and 7-13, plus
+the beyond-paper ablations and seed study), printing each one's rows and
+writing the combined output to ``--out`` (default:
+``reproduction_report.txt``).  At the default 1/32 scale this takes
+roughly 15-30 minutes on one core; pass ``--scale`` to trade fidelity
+for time.
+
+Run:  python examples/reproduce_paper.py --scale 0.015625
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import time
+from pathlib import Path
+
+from repro.experiments.common import ExperimentSettings
+from repro.traces.workloads import WORKLOAD_ORDER
+
+EXPERIMENTS = [
+    ("Table 1", "repro.experiments.table1_config"),
+    ("Table 2", "repro.experiments.table2_traces"),
+    ("Figure 2", "repro.experiments.fig2_cdf"),
+    ("Figure 3", "repro.experiments.fig3_large_hits"),
+    ("Figure 7", "repro.experiments.fig7_delta"),
+    ("Figure 8", "repro.experiments.fig8_response_time"),
+    ("Figure 9", "repro.experiments.fig9_hit_ratio"),
+    ("Figure 10", "repro.experiments.fig10_eviction_batch"),
+    ("Figure 11", "repro.experiments.fig11_write_count"),
+    ("Figure 12", "repro.experiments.fig12_space_overhead"),
+    ("Figure 13", "repro.experiments.fig13_list_occupancy"),
+    ("Ablation (mechanisms)", "repro.experiments.ablation_lists"),
+    ("Ablation (policies)", "repro.experiments.ablation_policies"),
+    ("Ablation (device)", "repro.experiments.ablation_device"),
+    ("Wear study", "repro.experiments.wear_study"),
+    ("Cache scaling", "repro.experiments.cache_scaling"),
+    ("MDTS sensitivity", "repro.experiments.mdts_sensitivity"),
+]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1 / 32)
+    parser.add_argument("--out", default="reproduction_report.txt")
+    parser.add_argument(
+        "--workloads", nargs="+", default=list(WORKLOAD_ORDER),
+        choices=WORKLOAD_ORDER,
+    )
+    parser.add_argument("--skip", nargs="*", default=[],
+                        help="experiment names to skip (e.g. 'Figure 8')")
+    args = parser.parse_args()
+
+    lines: list[str] = []
+
+    def emit(text: str) -> None:
+        print(text)
+        lines.append(text)
+
+    settings = ExperimentSettings(
+        scale=args.scale, workloads=list(args.workloads), out=emit
+    )
+    t_start = time.time()
+    for label, module_name in EXPERIMENTS:
+        if label in args.skip:
+            emit(f"\n[skipped {label}]")
+            continue
+        emit(f"\n{'#' * 72}\n# {label}  ({module_name})\n{'#' * 72}")
+        t0 = time.time()
+        module = importlib.import_module(module_name)
+        module.run(settings)
+        emit(f"[{label} done in {time.time() - t0:.1f}s]")
+
+    emit(
+        f"\nAll experiments finished in {(time.time() - t_start) / 60:.1f} "
+        f"minutes at scale {args.scale:g}."
+    )
+    Path(args.out).write_text("\n".join(lines) + "\n")
+    print(f"\nReport written to {args.out}")
+
+
+if __name__ == "__main__":
+    main()

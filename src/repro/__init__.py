@@ -1,0 +1,117 @@
+"""Req-block: DRAM cache management with request granularity for NAND SSDs.
+
+Reproduction of Lin et al., ICPP 2022 (DOI 10.1145/3545008.3545081).
+
+Quickstart
+----------
+>>> from repro import ReqBlockCache, ReplayConfig, get_workload, replay_trace
+>>> trace = get_workload("src1_2", scale=1 / 64)
+>>> metrics = replay_trace(trace, ReplayConfig(policy="reqblock",
+...                                            cache_bytes=1 << 20))
+>>> 0.0 <= metrics.hit_ratio <= 1.0
+True
+
+Package layout
+--------------
+``repro.core``
+    The Req-block policy: request blocks, IRL/SRL/DRL lists, Eq. 1.
+``repro.cache``
+    Policy framework + baselines (LRU, FIFO, LFU, CFLRU, FAB, BPLRU,
+    VBBMS) and the registry.
+``repro.ssd``
+    SSDsim-like device model: geometry, FTL, GC, channel/chip timing.
+``repro.traces``
+    Request model, MSR-Cambridge parser, calibrated synthetic workloads.
+``repro.sim``
+    Replay drivers, metrics, reporting, parallel sweeps.
+``repro.analysis``
+    Motivation statistics (Figures 2/3) and list-occupancy analysis.
+``repro.experiments``
+    One module per paper table/figure.
+"""
+
+from repro.cache import (
+    AccessOutcome,
+    BPLRUCache,
+    CachePolicy,
+    CFLRUCache,
+    FABCache,
+    FIFOCache,
+    FlushBatch,
+    LFUCache,
+    LRUCache,
+    PAPER_COMPARISON,
+    VBBMSCache,
+    available_policies,
+    create_policy,
+)
+from repro.core import (
+    AdaptiveReqBlockCache,
+    DEFAULT_DELTA,
+    ListLevel,
+    ReqBlockCache,
+    RequestBlock,
+)
+from repro.sim import (
+    ReplayConfig,
+    ReplayMetrics,
+    replay_cache_only,
+    replay_trace,
+)
+from repro.sim.export import write_csv, write_json
+from repro.ssd import PAPER_SSD, SSDConfig, SSDController
+from repro.traces import (
+    IORequest,
+    OpType,
+    SyntheticConfig,
+    Trace,
+    WORKLOAD_ORDER,
+    characterize,
+    generate_trace,
+    get_workload,
+    load_msr_trace,
+    scaled_cache_bytes,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessOutcome",
+    "BPLRUCache",
+    "CachePolicy",
+    "CFLRUCache",
+    "FABCache",
+    "FIFOCache",
+    "FlushBatch",
+    "LFUCache",
+    "LRUCache",
+    "PAPER_COMPARISON",
+    "VBBMSCache",
+    "available_policies",
+    "create_policy",
+    "AdaptiveReqBlockCache",
+    "DEFAULT_DELTA",
+    "ListLevel",
+    "ReqBlockCache",
+    "RequestBlock",
+    "ReplayConfig",
+    "ReplayMetrics",
+    "replay_cache_only",
+    "replay_trace",
+    "PAPER_SSD",
+    "SSDConfig",
+    "SSDController",
+    "IORequest",
+    "OpType",
+    "SyntheticConfig",
+    "Trace",
+    "WORKLOAD_ORDER",
+    "characterize",
+    "generate_trace",
+    "get_workload",
+    "load_msr_trace",
+    "scaled_cache_bytes",
+    "write_csv",
+    "write_json",
+    "__version__",
+]

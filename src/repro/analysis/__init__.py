@@ -1,0 +1,16 @@
+"""Analyses: motivation statistics (Figs. 2/3), list occupancy (Fig. 13),
+and Mattson reuse-distance / miss-ratio curves."""
+
+from repro.analysis.lists import ListOccupancySummary, summarize_list_log
+from repro.analysis.motivation import MotivationStats, analyze_motivation
+from repro.analysis.reuse import ReuseProfile, reuse_profile, split_reuse_by_size
+
+__all__ = [
+    "ListOccupancySummary",
+    "summarize_list_log",
+    "MotivationStats",
+    "analyze_motivation",
+    "ReuseProfile",
+    "reuse_profile",
+    "split_reuse_by_size",
+]

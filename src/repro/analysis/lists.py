@@ -1,0 +1,68 @@
+"""List-occupancy analysis for Req-block (Figure 13).
+
+Figure 13 plots the number of pages held in IRL, SRL and DRL over the
+course of each replay, sampled every 10,000 requests.  The replay driver
+collects these samples into ``ReplayMetrics.list_log``; this module
+summarises them (means, shares, the "SRL holds the most pages" check)
+for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+__all__ = ["ListOccupancySummary", "summarize_list_log"]
+
+_LEVELS = ("IRL", "SRL", "DRL")
+
+
+@dataclass(frozen=True, slots=True)
+class ListOccupancySummary:
+    """Aggregate view of one replay's IRL/SRL/DRL page counts."""
+
+    samples: int
+    mean_pages: Dict[str, float]
+    max_pages: Dict[str, int]
+    #: Long-run share of cached pages per list (means normalised).
+    share: Dict[str, float]
+
+    @property
+    def dominant_list(self) -> str:
+        """The list holding the most pages on average."""
+        return max(self.mean_pages, key=lambda k: self.mean_pages[k])
+
+    @property
+    def drl_is_smallest(self) -> bool:
+        """Paper §4.3: DRL holds a small part of cached request blocks."""
+        return self.dominant_list != "DRL" and self.share["DRL"] <= min(
+            self.share["IRL"], self.share["SRL"]
+        ) + 1e-9
+
+
+def summarize_list_log(
+    list_log: Sequence[Tuple[int, Dict[str, int]]]
+) -> ListOccupancySummary:
+    """Summarise the (request index, per-list page count) samples."""
+    if not list_log:
+        return ListOccupancySummary(
+            samples=0,
+            mean_pages={k: 0.0 for k in _LEVELS},
+            max_pages={k: 0 for k in _LEVELS},
+            share={k: 0.0 for k in _LEVELS},
+        )
+    totals = {k: 0.0 for k in _LEVELS}
+    maxima = {k: 0 for k in _LEVELS}
+    for _idx, counts in list_log:
+        for k in _LEVELS:
+            v = counts.get(k, 0)
+            totals[k] += v
+            if v > maxima[k]:
+                maxima[k] = v
+    n = len(list_log)
+    means = {k: totals[k] / n for k in _LEVELS}
+    grand = sum(means.values())
+    share = {k: (means[k] / grand if grand else 0.0) for k in _LEVELS}
+    return ListOccupancySummary(
+        samples=n, mean_pages=means, max_pages=maxima, share=share
+    )

@@ -1,0 +1,204 @@
+"""Cache-policy framework shared by all replacement schemes.
+
+Semantics follow the paper's Algorithm 1: the DRAM data cache is a
+**write buffer**.  Requests are processed page by page, in LPN order:
+
+* a **write page** that is already cached is updated in place (a *hit*);
+  otherwise it is inserted (a *miss*), evicting first if the cache is
+  full;
+* a **read page** that is cached is served from DRAM (a *hit*);
+  otherwise it is read from flash (a *miss*) and **not** inserted.
+
+A policy's ``access`` returns an :class:`AccessOutcome` describing what
+happened; evictions are expressed as :class:`FlushBatch` objects — the
+SSD controller turns each batch into flash programs, striped across
+channels unless the batch carries a ``pin_key`` (BPLRU's single-block
+flush).  Policies never touch the SSD directly, which keeps them unit-
+testable in isolation and lets the analysis experiments run them without
+a timing model at all.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import ClassVar, Iterable, List, Optional
+
+from repro.traces.model import IORequest
+from repro.utils.validation import require_positive
+
+__all__ = ["FlushBatch", "AccessOutcome", "CachePolicy", "WriteBufferPolicy"]
+
+
+@dataclass(slots=True)
+class FlushBatch:
+    """A set of pages evicted together (flushed to flash in one batch)."""
+
+    lpns: List[int]
+    reason: str = "capacity"
+    #: When set, the controller programs the whole batch into the plane
+    #: ``pin_key % n_planes`` instead of striping it — models policies
+    #: that flush a logical block onto one physical SSD block.
+    pin_key: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self.lpns)
+
+
+@dataclass(slots=True)
+class AccessOutcome:
+    """Per-request result of a cache access (page granularity)."""
+
+    #: Pages found in the cache (read hits + write updates).
+    page_hits: int = 0
+    #: Pages not found (write inserts + read misses).
+    page_misses: int = 0
+    #: Read pages that must be fetched from flash.
+    read_miss_lpns: List[int] = field(default_factory=list)
+    #: Write pages newly inserted into the cache.
+    inserted_pages: int = 0
+    #: Evictions triggered while serving this request, in order.
+    flushes: List[FlushBatch] = field(default_factory=list)
+
+    @property
+    def total_pages(self) -> int:
+        """Pages touched by the request (hits + misses)."""
+        return self.page_hits + self.page_misses
+
+    @property
+    def flushed_pages(self) -> int:
+        """Pages evicted across all flush batches of this access."""
+        return sum(len(b) for b in self.flushes)
+
+
+class CachePolicy(abc.ABC):
+    """Abstract DRAM-cache replacement policy.
+
+    Subclasses set ``name`` (registry key) and ``node_bytes`` (per-item
+    metadata size used by the Figure-12 space-overhead model) and
+    implement the page-granularity access protocol.
+    """
+
+    #: Registry key; subclasses must override.
+    name: ClassVar[str] = ""
+    #: Bytes of list metadata per cached item (paper §4.2.5: page node
+    #: 12 B, block node 24 B, request-block node 32 B).
+    node_bytes: ClassVar[int] = 12
+
+    def __init__(self, capacity_pages: int) -> None:
+        require_positive(capacity_pages, "capacity_pages")
+        self.capacity_pages = capacity_pages
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def access(self, request: IORequest) -> AccessOutcome:
+        """Serve one request through the cache (Algorithm 1 main loop)."""
+
+    @abc.abstractmethod
+    def occupancy(self) -> int:
+        """Number of pages currently cached (always <= capacity)."""
+
+    @abc.abstractmethod
+    def contains(self, lpn: int) -> bool:
+        """Whether ``lpn`` is currently cached."""
+
+    @abc.abstractmethod
+    def cached_lpns(self) -> Iterable[int]:
+        """All cached LPNs (order unspecified); for tests and draining."""
+
+    @abc.abstractmethod
+    def metadata_nodes(self) -> int:
+        """Live replacement-metadata node count (space-overhead model)."""
+
+    # ------------------------------------------------------------------
+    # Common services
+    # ------------------------------------------------------------------
+    def metadata_bytes(self) -> int:
+        """Current metadata footprint in bytes (Fig. 12)."""
+        return self.metadata_nodes() * self.node_bytes
+
+    def flush_all(self) -> FlushBatch:
+        """Drain the cache (device shutdown); returns one batch of all pages.
+
+        Policies must override this (and reset their internal structure
+        while doing so); the base implementation raises.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not support flush_all")
+
+    def validate(self) -> None:
+        """Check internal invariants (tests); default checks capacity."""
+        occ = self.occupancy()
+        assert 0 <= occ <= self.capacity_pages, (
+            f"{self.name}: occupancy {occ} outside [0, {self.capacity_pages}]"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<{type(self).__name__} capacity={self.capacity_pages} "
+            f"occupancy={self.occupancy()}>"
+        )
+
+
+class WriteBufferPolicy(CachePolicy):
+    """Base class implementing the Algorithm-1 page loop.
+
+    Subclasses implement the four primitive hooks; the base class walks
+    the request's pages, dispatches to them, and assembles the
+    :class:`AccessOutcome`.  This mirrors Algorithm 1's structure:
+    ``while size != 0: if is_in_cache(lpn): ... else: ...``.
+
+    Hooks
+    -----
+    ``_on_hit(lpn, request)``
+        ``lpn`` is cached and was read or updated; adjust recency
+        structures.
+    ``_insert(lpn, request, outcome)``
+        Cache the written page ``lpn`` (cache is guaranteed non-full).
+    ``_evict_one(outcome)``
+        The cache is full; evict at least one page, appending the
+        resulting :class:`FlushBatch` to ``outcome.flushes``.
+    """
+
+    def __init__(self, capacity_pages: int) -> None:
+        super().__init__(capacity_pages)
+        self._occupancy = 0
+
+    # -- hooks ---------------------------------------------------------
+    @abc.abstractmethod
+    def _on_hit(self, lpn: int, request: IORequest) -> None: ...
+
+    @abc.abstractmethod
+    def _insert(self, lpn: int, request: IORequest, outcome: AccessOutcome) -> None: ...
+
+    @abc.abstractmethod
+    def _evict_one(self, outcome: AccessOutcome) -> None: ...
+
+    # -- template ------------------------------------------------------
+    def access(self, request: IORequest) -> AccessOutcome:
+        """Algorithm-1 page loop: dispatch each page to the hooks."""
+        outcome = AccessOutcome()
+        for lpn in request.pages():
+            if self.contains(lpn):
+                outcome.page_hits += 1
+                self._on_hit(lpn, request)
+            else:
+                outcome.page_misses += 1
+                if request.is_write:
+                    while self._occupancy >= self.capacity_pages:
+                        before = self._occupancy
+                        self._evict_one(outcome)
+                        if self._occupancy >= before:
+                            raise RuntimeError(
+                                f"{type(self).__name__}._evict_one freed nothing"
+                            )
+                    self._insert(lpn, request, outcome)
+                    outcome.inserted_pages += 1
+                else:
+                    outcome.read_miss_lpns.append(lpn)
+        return outcome
+
+    def occupancy(self) -> int:
+        """Number of pages currently cached."""
+        return self._occupancy

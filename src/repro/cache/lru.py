@@ -1,0 +1,87 @@
+"""Page-level LRU — the paper's primary baseline.
+
+Classic least-recently-used over individual 4 KB pages: hits promote the
+page to the MRU head, eviction flushes the single LRU-tail page.  Every
+eviction therefore frees exactly one page and issues exactly one flash
+program — the behaviour the paper contrasts with batched block/request
+eviction (Fig. 10).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.cache.base import AccessOutcome, FlushBatch, WriteBufferPolicy
+from repro.traces.model import IORequest
+from repro.utils.dll import DLLNode, DoublyLinkedList
+
+__all__ = ["PageNode", "LRUCache"]
+
+
+class PageNode(DLLNode):
+    """One cached page in a page-granularity policy's list."""
+
+    __slots__ = ("lpn",)
+
+    def __init__(self, lpn: int) -> None:
+        super().__init__()
+        self.lpn = lpn
+
+
+class LRUCache(WriteBufferPolicy):
+    """Least-recently-used write buffer at page granularity."""
+
+    name = "lru"
+    node_bytes = 12  # paper §4.2.5: 12 B per page node
+
+    def __init__(self, capacity_pages: int) -> None:
+        super().__init__(capacity_pages)
+        self._list: DoublyLinkedList[PageNode] = DoublyLinkedList("lru")
+        self._index: Dict[int, PageNode] = {}
+
+    # ------------------------------------------------------------------
+    def contains(self, lpn: int) -> bool:
+        """Whether ``lpn`` is currently cached."""
+        return lpn in self._index
+
+    def cached_lpns(self) -> Iterable[int]:
+        """All cached LPNs (order unspecified)."""
+        return self._index.keys()
+
+    def metadata_nodes(self) -> int:
+        """Live replacement-metadata node count."""
+        return len(self._index)
+
+    # ------------------------------------------------------------------
+    def _on_hit(self, lpn: int, request: IORequest) -> None:
+        self._list.move_to_head(self._index[lpn])
+
+    def _insert(self, lpn: int, request: IORequest, outcome: AccessOutcome) -> None:
+        node = PageNode(lpn)
+        self._index[lpn] = node
+        self._list.push_head(node)
+        self._occupancy += 1
+
+    def _evict_one(self, outcome: AccessOutcome) -> None:
+        victim = self._list.pop_tail()
+        assert victim is not None, "evict called on empty cache"
+        del self._index[victim.lpn]
+        self._occupancy -= 1
+        outcome.flushes.append(FlushBatch([victim.lpn]))
+
+    # ------------------------------------------------------------------
+    def flush_all(self) -> FlushBatch:
+        """Drain the cache; returns one batch of the dirty pages."""
+        lpns = [n.lpn for n in self._list]
+        self._list.clear()
+        self._index.clear()
+        self._occupancy = 0
+        return FlushBatch(lpns, reason="drain")
+
+    def validate(self) -> None:
+        """Check structural invariants (tests); see CachePolicy."""
+        super().validate()
+        self._list.validate()
+        assert len(self._list) == len(self._index) == self._occupancy
+        for node in self._list:
+            assert self._index.get(node.lpn) is node

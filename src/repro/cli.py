@@ -1,0 +1,238 @@
+"""``reqblock-sim`` — command-line front end.
+
+Subcommands
+-----------
+``replay``
+    Replay one paper workload (or an MSR CSV file) through one policy
+    on the full device model and print the metric summary.
+``compare``
+    Run several policies over one workload and print a comparison table.
+``experiment``
+    Regenerate a paper table/figure by name (``fig8``, ``table2``, ...).
+``analyze``
+    Reuse-distance / miss-ratio-curve analysis of a workload.
+``policies`` / ``workloads``
+    List what is available.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import Dict, List, Optional
+
+from repro.cache.registry import PAPER_COMPARISON, available_policies
+from repro.experiments.common import ExperimentSettings
+from repro.sim.replay import ReplayConfig, replay_trace
+from repro.sim.report import format_table
+from repro.traces.model import Trace
+from repro.traces.msr import load_msr_trace
+from repro.traces.workloads import (
+    DEFAULT_SCALE,
+    WORKLOAD_ORDER,
+    get_workload,
+    scaled_cache_bytes,
+)
+
+__all__ = ["main"]
+
+_EXPERIMENTS: Dict[str, str] = {
+    "table1": "repro.experiments.table1_config",
+    "table2": "repro.experiments.table2_traces",
+    "fig2": "repro.experiments.fig2_cdf",
+    "fig3": "repro.experiments.fig3_large_hits",
+    "fig7": "repro.experiments.fig7_delta",
+    "fig8": "repro.experiments.fig8_response_time",
+    "fig9": "repro.experiments.fig9_hit_ratio",
+    "fig10": "repro.experiments.fig10_eviction_batch",
+    "fig11": "repro.experiments.fig11_write_count",
+    "fig12": "repro.experiments.fig12_space_overhead",
+    "fig13": "repro.experiments.fig13_list_occupancy",
+    "ablation-lists": "repro.experiments.ablation_lists",
+    "ablation-policies": "repro.experiments.ablation_policies",
+    "seed-sensitivity": "repro.experiments.seed_sensitivity",
+    "ablation-device": "repro.experiments.ablation_device",
+    "wear-study": "repro.experiments.wear_study",
+    "cache-scaling": "repro.experiments.cache_scaling",
+    "mdts-sensitivity": "repro.experiments.mdts_sensitivity",
+}
+
+
+def _load_trace(args: argparse.Namespace) -> Trace:
+    if args.workload in WORKLOAD_ORDER:
+        return get_workload(args.workload, args.scale)
+    return load_msr_trace(args.workload)
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    trace = _load_trace(args)
+    cache_bytes = scaled_cache_bytes(args.cache_mb, args.scale)
+    config = ReplayConfig(policy=args.policy, cache_bytes=cache_bytes)
+    if args.queue_depth is not None:
+        from repro.sim.closed_loop import replay_closed_loop
+
+        metrics = replay_closed_loop(trace, config, queue_depth=args.queue_depth)
+    else:
+        metrics = replay_trace(trace, config)
+    rows = [(k, v) for k, v in metrics.summary().items()]
+    print(format_table(("Metric", "Value"), rows, float_fmt="{:.4f}"))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    trace = _load_trace(args)
+    cache_bytes = scaled_cache_bytes(args.cache_mb, args.scale)
+    rows = []
+    all_metrics = []
+    for policy in args.policies:
+        m = replay_trace(trace, ReplayConfig(policy=policy, cache_bytes=cache_bytes))
+        all_metrics.append(m)
+        rows.append(
+            (
+                policy,
+                m.hit_ratio,
+                m.mean_response_ms,
+                m.mean_eviction_pages,
+                m.flash_total_writes,
+            )
+        )
+    print(
+        format_table(
+            ("Policy", "HitRatio", "MeanResp(ms)", "Evict(pages)", "FlashWrites"),
+            rows,
+        )
+    )
+    if args.csv:
+        from repro.sim.export import write_csv
+
+        write_csv(all_metrics, args.csv)
+        print(f"wrote {args.csv}")
+    if args.json:
+        from repro.sim.export import write_json
+
+        write_json(all_metrics, args.json, extra={"scale": args.scale})
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    module = importlib.import_module(_EXPERIMENTS[args.name])
+    settings = ExperimentSettings(
+        scale=args.scale, workloads=list(args.workloads), processes=args.processes
+    )
+    module.run(settings)
+    return 0
+
+
+def _cmd_policies(_args: argparse.Namespace) -> int:
+    for name in available_policies():
+        marker = " (paper comparison)" if name in PAPER_COMPARISON else ""
+        print(f"{name}{marker}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Reuse-distance / MRC analysis of one workload or trace file."""
+    from repro.analysis.reuse import reuse_profile, split_reuse_by_size
+    from repro.sim.report import sparkline
+    from repro.traces.stats import mean_request_pages
+
+    trace = _load_trace(args)
+    profile = reuse_profile(trace)
+    sizes = [2 ** k for k in range(4, 17)]
+    mrc = profile.miss_ratio_curve(sizes)
+    print(
+        format_table(
+            ("CachePages", "LRU miss ratio"),
+            [(c, f"{m:.3f}") for c, m in mrc],
+        )
+    )
+    print("MRC: " + sparkline([m for _c, m in mrc], width=len(mrc)))
+    boundary = mean_request_pages(trace)
+    small, large = split_reuse_by_size(trace, boundary)
+    for label, p in (("small-write", small), ("large-write", large)):
+        med = p.median_distance()
+        print(
+            f"{label} pages: {p.total_accesses} accesses, "
+            f"median reuse distance "
+            f"{med if med is not None else 'n/a'}"
+        )
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    from repro.traces.stats import characterize
+
+    rows = []
+    for name in WORKLOAD_ORDER:
+        spec = characterize(get_workload(name, args.scale))
+        rows.append(spec.row())
+    print(format_table(("Trace", "Req#", "WrRatio", "WrSize", "FreqR(Wr)"), rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the reqblock-sim argument parser (all subcommands)."""
+    parser = argparse.ArgumentParser(
+        prog="reqblock-sim",
+        description="Req-block SSD cache simulator (ICPP 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("replay", help="replay one workload through one policy")
+    p.add_argument("workload", help="paper workload name or MSR CSV path")
+    p.add_argument("--policy", default="reqblock", choices=available_policies())
+    p.add_argument("--cache-mb", type=int, default=16)
+    p.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    p.add_argument(
+        "--queue-depth", type=int, default=None,
+        help="closed-loop replay with this many outstanding requests "
+             "(default: open loop at trace timestamps)",
+    )
+    p.set_defaults(func=_cmd_replay)
+
+    p = sub.add_parser("compare", help="compare several policies on one workload")
+    p.add_argument("workload")
+    p.add_argument(
+        "--policies", nargs="+", default=list(PAPER_COMPARISON),
+        choices=available_policies(),
+    )
+    p.add_argument("--cache-mb", type=int, default=16)
+    p.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    p.add_argument("--csv", default=None, help="also write summaries to CSV")
+    p.add_argument("--json", default=None, help="also write summaries to JSON")
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("name", choices=sorted(_EXPERIMENTS))
+    p.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    p.add_argument("--workloads", nargs="+", default=list(WORKLOAD_ORDER))
+    p.add_argument("--processes", type=int, default=None)
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser(
+        "analyze", help="reuse-distance / miss-ratio analysis of a workload"
+    )
+    p.add_argument("workload", help="paper workload name or MSR CSV path")
+    p.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("policies", help="list registered cache policies")
+    p.set_defaults(func=_cmd_policies)
+
+    p = sub.add_parser("workloads", help="characterise the paper workloads")
+    p.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    p.set_defaults(func=_cmd_workloads)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse ``argv`` (default: sys.argv) and dispatch; returns exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Req-block: the paper's request-granularity cache management scheme."""
+
+from repro.core.adaptive import AdaptiveReqBlockCache
+from repro.core.multilist import ListLevel, ThreeLevelLists
+from repro.core.policy import DEFAULT_DELTA, ReqBlockCache
+from repro.core.request_block import RequestBlock
+
+__all__ = [
+    "AdaptiveReqBlockCache",
+    "ListLevel",
+    "ThreeLevelLists",
+    "DEFAULT_DELTA",
+    "ReqBlockCache",
+    "RequestBlock",
+]

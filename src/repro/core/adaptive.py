@@ -1,0 +1,96 @@
+"""Adaptive-δ Req-block — an extension beyond the paper.
+
+The paper fixes δ = 5 after an offline sensitivity sweep (Fig. 7); its
+own Figure 7 shows the best δ varies per workload.  This extension
+closes that loop online: the policy runs ordinary Req-block but
+periodically hill-climbs δ on the observed interval hit ratio —
+* every ``epoch_pages`` page accesses, compare this epoch's hit ratio
+  with the previous epoch's;
+* if the last δ change helped (hit ratio up), keep moving in the same
+  direction; if it hurt, reverse; bounded to ``[1, delta_max]``.
+
+Changing δ re-threshold's *future* promotion decisions only; blocks
+already in SRL stay (they will be re-ranked by Eq. 1 regardless), so an
+adjustment is O(1).
+
+Registered as ``"reqblock-adaptive"``; compared against fixed δ in the
+``ablation_lists``/``ablation_policies`` experiments.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.cache.base import AccessOutcome
+from repro.cache.registry import register_policy
+from repro.core.policy import DEFAULT_DELTA, ReqBlockCache
+from repro.traces.model import IORequest
+from repro.utils.validation import require_positive
+
+__all__ = ["AdaptiveReqBlockCache"]
+
+
+class AdaptiveReqBlockCache(ReqBlockCache):
+    """Req-block with online hill-climbing of the SRL size limit δ."""
+
+    name: ClassVar[str] = "reqblock-adaptive"
+
+    def __init__(
+        self,
+        capacity_pages: int,
+        delta: int = DEFAULT_DELTA,
+        delta_max: int = 16,
+        epoch_pages: int = 8192,
+        **kwargs,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        delta:
+            Starting δ (the paper's default).
+        delta_max:
+            Upper bound of the search range.
+        epoch_pages:
+            Page accesses per adaptation epoch; small epochs react
+            faster but measure noisier hit ratios.
+        """
+        super().__init__(capacity_pages, delta=delta, **kwargs)
+        require_positive(delta_max, "delta_max")
+        require_positive(epoch_pages, "epoch_pages")
+        if delta > delta_max:
+            raise ValueError(f"delta ({delta}) exceeds delta_max ({delta_max})")
+        self.delta_max = delta_max
+        self.epoch_pages = epoch_pages
+        self._direction = 1  # current hill-climb direction
+        self._epoch_hits = 0
+        self._epoch_total = 0
+        self._prev_ratio: float | None = None
+        #: (page clock, delta) log of every adjustment, for analysis.
+        self.delta_history: list[tuple[int, int]] = [(0, self.delta)]
+
+    # ------------------------------------------------------------------
+    def access(self, request: IORequest) -> AccessOutcome:
+        """Serve one request through the cache (see CachePolicy)."""
+        outcome = super().access(request)
+        self._epoch_hits += outcome.page_hits
+        self._epoch_total += outcome.total_pages
+        if self._epoch_total >= self.epoch_pages:
+            self._adapt()
+        return outcome
+
+    def _adapt(self) -> None:
+        ratio = self._epoch_hits / self._epoch_total
+        self._epoch_hits = 0
+        self._epoch_total = 0
+        if self._prev_ratio is not None:
+            if ratio < self._prev_ratio:
+                # Last move hurt: back off and try the other way.
+                self._direction = -self._direction
+            new_delta = min(self.delta_max, max(1, self.delta + self._direction))
+            if new_delta != self.delta:
+                self.delta = new_delta
+                self.delta_history.append((self._clock, new_delta))
+        self._prev_ratio = ratio
+
+
+register_policy(AdaptiveReqBlockCache)

@@ -1,0 +1,140 @@
+"""The three-level list structure of Req-block (Fig. 4).
+
+* **IRL** — Inserted Request List: every new request block starts here.
+* **SRL** — Small Request List: blocks with ``page_num <= δ`` that were
+  hit are promoted here.
+* **DRL** — Divided Request List: blocks holding the hit pages split out
+  of large blocks.
+
+This module keeps the bookkeeping the policy needs on top of the raw
+lists: which level a block is on, per-level page counts (Figure 13
+plots exactly these), and O(1) cross-level moves.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.request_block import RequestBlock
+from repro.utils.dll import DoublyLinkedList
+
+__all__ = ["ListLevel", "ThreeLevelLists"]
+
+
+class ListLevel(enum.Enum):
+    """The three lists, lowest to highest privilege."""
+
+    IRL = "IRL"
+    SRL = "SRL"
+    DRL = "DRL"
+
+
+class ThreeLevelLists:
+    """IRL/SRL/DRL container with per-level page accounting."""
+
+    __slots__ = ("_lists", "_level_of", "_page_counts")
+
+    def __init__(self) -> None:
+        self._lists: Dict[ListLevel, DoublyLinkedList[RequestBlock]] = {
+            level: DoublyLinkedList(level.value) for level in ListLevel
+        }
+        self._level_of: Dict[int, ListLevel] = {}  # id(block) -> level
+        self._page_counts: Dict[ListLevel, int] = {level: 0 for level in ListLevel}
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def level_of(self, block: RequestBlock) -> Optional[ListLevel]:
+        """The list currently holding ``block`` (None if detached)."""
+        return self._level_of.get(id(block))
+
+    def head(self, level: ListLevel) -> Optional[RequestBlock]:
+        """MRU block of ``level`` (None if empty)."""
+        return self._lists[level].head
+
+    def tail(self, level: ListLevel) -> Optional[RequestBlock]:
+        """Eviction-candidate block of ``level`` (None if empty)."""
+        return self._lists[level].tail
+
+    def tails(self) -> List[Tuple[ListLevel, RequestBlock]]:
+        """Non-empty lists' tail blocks — the eviction candidates."""
+        out = []
+        for level, lst in self._lists.items():
+            if lst.tail is not None:
+                out.append((level, lst.tail))
+        return out
+
+    def blocks(self, level: ListLevel) -> Iterator[RequestBlock]:
+        """Iterate ``level`` head -> tail."""
+        return iter(self._lists[level])
+
+    def block_count(self, level: ListLevel) -> int:
+        """Request blocks currently on ``level``."""
+        return len(self._lists[level])
+
+    def page_count(self, level: ListLevel) -> int:
+        """Cached pages currently on ``level`` (Fig. 13's series)."""
+        return self._page_counts[level]
+
+    def total_blocks(self) -> int:
+        """Request blocks across all three lists."""
+        return sum(len(lst) for lst in self._lists.values())
+
+    def total_pages(self) -> int:
+        """Cached pages across all three lists."""
+        return sum(self._page_counts.values())
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def push_head(self, level: ListLevel, block: RequestBlock) -> None:
+        """Insert a block not currently on any list at ``level``'s head."""
+        self._lists[level].push_head(block)
+        self._level_of[id(block)] = level
+        self._page_counts[level] += block.page_num
+
+    def remove(self, block: RequestBlock) -> ListLevel:
+        """Detach ``block`` from whichever list holds it."""
+        level = self._level_of.pop(id(block))
+        self._lists[level].remove(block)
+        self._page_counts[level] -= block.page_num
+        return level
+
+    def move_to_head(self, level: ListLevel, block: RequestBlock) -> None:
+        """Move ``block`` (possibly across lists) to ``level``'s head."""
+        current = self._level_of.get(id(block))
+        if current == level:
+            self._lists[level].move_to_head(block)
+            return
+        self.remove(block)
+        self.push_head(level, block)
+
+    def note_page_added(self, block: RequestBlock) -> None:
+        """Adjust the page count after a page joined ``block`` in place."""
+        level = self._level_of[id(block)]
+        self._page_counts[level] += 1
+
+    def note_page_removed(self, block: RequestBlock) -> None:
+        """Adjust the page count after a page left ``block`` in place."""
+        level = self._level_of[id(block)]
+        self._page_counts[level] -= 1
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Structural invariants: list membership and page counts agree."""
+        seen = 0
+        for level, lst in self._lists.items():
+            lst.validate()
+            pages = 0
+            for block in lst:
+                assert self._level_of.get(id(block)) == level, (
+                    f"block {block!r} in {level} list but level_of disagrees"
+                )
+                assert block.page_num > 0, f"empty block retained on {level}"
+                pages += block.page_num
+                seen += 1
+            assert pages == self._page_counts[level], (
+                f"{level}: counted {pages} pages, cached {self._page_counts[level]}"
+            )
+        assert seen == len(self._level_of), "level_of has stale entries"

@@ -1,0 +1,75 @@
+"""The request block — Req-block's unit of cache management.
+
+A request block groups the cached pages of one write request (or the
+hit pages split out of a large block).  Per the paper (§3.1/§3.3) it
+carries the state Eq. 1 needs to rank eviction victims:
+
+* ``pages`` — the LPNs currently belonging to the block (pages can be
+  removed by splits, so this shrinks over time);
+* ``access_cnt`` — hits since the block was buffered, initialised to 1;
+* ``t_insert`` — the (logical) time the block was created;
+* ``origin`` — for a block created by splitting, the block its pages
+  were taken from; used by downgraded merging at eviction (Fig. 6).
+
+The node is intrusive (:class:`DLLNode`) so moving a block between the
+IRL/SRL/DRL lists is O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.utils.dll import DLLNode
+
+__all__ = ["RequestBlock"]
+
+
+class RequestBlock(DLLNode):
+    """One cached request block (>= 1 data pages)."""
+
+    __slots__ = ("req_id", "pages", "access_cnt", "t_insert", "origin")
+
+    def __init__(self, req_id: int, t_insert: int) -> None:
+        super().__init__()
+        #: Identity of the write request that created this block; used by
+        #: ``create_req_blk`` to append pages of an in-flight request to
+        #: the same head block (Algorithm 1, lines 1-6).
+        self.req_id = req_id
+        self.pages: Set[int] = set()
+        #: "initialized to 1" (paper, below Eq. 1).
+        self.access_cnt = 1
+        self.t_insert = t_insert
+        #: Block this one was split from, if any (for downgraded merging).
+        self.origin: Optional["RequestBlock"] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def page_num(self) -> int:
+        """Eq. 1's ``Page_num``."""
+        return len(self.pages)
+
+    @property
+    def is_split(self) -> bool:
+        """Whether this block was created by splitting a larger block."""
+        return self.origin is not None
+
+    def frequency(self, t_cur: int) -> float:
+        """Eq. 1: ``Access_cnt / (Page_num * (T_cur - T_insert))``.
+
+        The logical clock is strictly increasing and blocks are created
+        at the current tick, so ``t_cur - t_insert`` is clamped to a
+        minimum of 1 to keep the ratio finite for just-created blocks.
+        """
+        age = max(1, t_cur - self.t_insert)
+        n = self.page_num
+        if n == 0:
+            # An empty block should have been discarded; rank it last.
+            return float("inf")
+        return self.access_cnt / (n * age)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<RequestBlock req={self.req_id} pages={self.page_num} "
+            f"acc={self.access_cnt} t={self.t_insert}"
+            f"{' split' if self.is_split else ''}>"
+        )

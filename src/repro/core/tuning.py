@@ -1,0 +1,71 @@
+"""δ tuning for Req-block (the Fig. 7 sensitivity study).
+
+δ separates small from large request blocks: blocks of at most δ pages
+are promoted whole to SRL on a hit.  The paper sweeps δ and picks 5.
+``sweep_delta`` replays one workload across a δ range and
+``recommend_delta`` scores the results the way §4.2.1 describes —
+favouring hit ratio with response time as the tie-breaker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.metrics import ReplayMetrics
+from repro.sim.sweep import SweepJob, run_jobs
+
+__all__ = ["DeltaPoint", "sweep_delta", "recommend_delta"]
+
+
+@dataclass(frozen=True, slots=True)
+class DeltaPoint:
+    """One δ setting's outcome on one workload."""
+
+    delta: int
+    hit_ratio: float
+    mean_response_ms: float
+
+
+def sweep_delta(
+    workload: str,
+    cache_bytes: int,
+    deltas: Sequence[int] = tuple(range(1, 8)),
+    scale: float = 1.0 / 16.0,
+    cache_only: bool = False,
+    processes: Optional[int] = None,
+) -> List[DeltaPoint]:
+    """Replay ``workload`` once per δ; returns one point per δ."""
+    jobs = [
+        SweepJob(
+            workload=workload,
+            policy="reqblock",
+            cache_bytes=cache_bytes,
+            scale=scale,
+            policy_kwargs=(("delta", d),),
+            cache_only=cache_only,
+        )
+        for d in deltas
+    ]
+    results = run_jobs(jobs, processes=processes)
+    return [
+        DeltaPoint(d, m.hit_ratio, m.mean_response_ms)
+        for d, m in zip(deltas, results)
+    ]
+
+
+def recommend_delta(points: Sequence[DeltaPoint]) -> int:
+    """The δ with the best hit ratio; response time breaks near-ties.
+
+    "Near-tie" means within 1% relative hit ratio of the best — the
+    sensitivity curves of Fig. 7 are flat near the optimum, where the
+    paper prefers the setting with better I/O time.
+    """
+    if not points:
+        raise ValueError("no sweep points given")
+    best_hit = max(p.hit_ratio for p in points)
+    contenders = [p for p in points if p.hit_ratio >= best_hit * 0.99]
+    if all(p.mean_response_ms == 0.0 for p in contenders):
+        # Cache-only sweep: no timing signal; take the best hit ratio.
+        return max(contenders, key=lambda p: p.hit_ratio).delta
+    return min(contenders, key=lambda p: p.mean_response_ms).delta

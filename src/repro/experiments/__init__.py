@@ -1,0 +1,31 @@
+"""One experiment module per paper table/figure, plus ablations.
+
+=================  ==============================================
+Module             Reproduces
+=================  ==============================================
+table1_config      Table 1 (SSD settings)
+table2_traces      Table 2 (trace specifications)
+fig2_cdf           Figure 2 (insert/hit CDFs vs request size)
+fig3_large_hits    Figure 3 (large-request re-hit fraction)
+fig7_delta         Figure 7 (delta sensitivity)
+fig8_response_time Figure 8 (I/O response time vs LRU)
+fig9_hit_ratio     Figure 9 (hit ratio vs Req-block)
+fig10_eviction_batch  Figure 10 (pages per eviction)
+fig11_write_count  Figure 11 (flash write counts)
+fig12_space_overhead  Figure 12 (metadata footprint)
+fig13_list_occupancy  Figure 13 (IRL/SRL/DRL occupancy)
+ablation_lists     beyond-paper: Req-block mechanism ablation
+ablation_policies  beyond-paper: all registered baselines
+seed_sensitivity   beyond-paper: bootstrap CIs over generator seeds
+ablation_device    beyond-paper: DFTL/GC-policy/stream-separation substrate
+wear_study         beyond-paper: erases, write amplification, lifetime
+cache_scaling      beyond-paper: dense hit-ratio curves + Mattson check
+mdts_sensitivity   beyond-paper: host request splitting vs the mechanism
+=================  ==============================================
+
+Every module exposes ``run(settings) -> dict`` and a CLI ``main()``.
+"""
+
+from repro.experiments.common import ExperimentSettings
+
+__all__ = ["ExperimentSettings"]

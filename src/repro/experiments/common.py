@@ -1,0 +1,125 @@
+"""Shared plumbing for the per-figure experiment modules.
+
+Each experiment module exposes ``run(settings) -> dict`` returning the
+figure's data (and printing the paper-style rows via ``settings.out``),
+plus a ``main()`` entry point.  ``ExperimentSettings`` centralises the
+scale/cache/parallelism knobs so every figure can be regenerated at
+paper scale (``scale=1.0``) or the fast default (1/16).
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.metrics import ReplayMetrics
+from repro.sim.sweep import SweepJob, run_jobs
+from repro.traces.workloads import (
+    DEFAULT_SCALE,
+    PAPER_CACHE_SIZES_MB,
+    WORKLOAD_ORDER,
+    scaled_cache_bytes,
+)
+
+__all__ = [
+    "ExperimentSettings",
+    "run_grid",
+    "add_standard_args",
+    "settings_from_args",
+]
+
+
+@dataclass
+class ExperimentSettings:
+    """Common experiment knobs."""
+
+    #: Trace/cache scale relative to the paper (1.0 = full length).
+    scale: float = DEFAULT_SCALE
+    #: Which workloads to run (paper order by default).
+    workloads: List[str] = field(default_factory=lambda: list(WORKLOAD_ORDER))
+    #: Paper cache sizes to sweep where the figure sweeps them.
+    cache_sizes_mb: List[int] = field(
+        default_factory=lambda: list(PAPER_CACHE_SIZES_MB)
+    )
+    #: Worker processes for sweeps (None = auto, 1 = inline).
+    processes: Optional[int] = None
+    #: Sink for human-readable output.
+    out: Callable[[str], None] = print
+
+    def cache_bytes(self, paper_mb: int) -> int:
+        """Scaled cache size for a paper-quoted MB figure."""
+        return scaled_cache_bytes(paper_mb, self.scale)
+
+    def quiet(self) -> "ExperimentSettings":
+        """A copy that prints nothing (for benchmarks)."""
+        from dataclasses import replace
+
+        return replace(self, out=lambda _s: None)
+
+
+def run_grid(
+    settings: ExperimentSettings,
+    policies: List[str],
+    cache_sizes_mb: Optional[List[int]] = None,
+    policy_kwargs: Optional[Dict[str, Dict]] = None,
+    cache_only: bool = False,
+) -> Dict[tuple, ReplayMetrics]:
+    """Run the (workload x cache size x policy) grid; keyed results.
+
+    Returns ``{(workload, paper_mb, policy): metrics}``.
+    """
+    sizes = cache_sizes_mb or settings.cache_sizes_mb
+    policy_kwargs = policy_kwargs or {}
+    jobs: List[SweepJob] = []
+    keys: List[tuple] = []
+    for w in settings.workloads:
+        for mb in sizes:
+            for p in policies:
+                jobs.append(
+                    SweepJob(
+                        workload=w,
+                        policy=p,
+                        cache_bytes=settings.cache_bytes(mb),
+                        scale=settings.scale,
+                        policy_kwargs=tuple(
+                            sorted(policy_kwargs.get(p, {}).items())
+                        ),
+                        cache_only=cache_only,
+                    )
+                )
+                keys.append((w, mb, p))
+    results = run_jobs(jobs, processes=settings.processes)
+    return dict(zip(keys, results))
+
+
+def add_standard_args(parser: argparse.ArgumentParser) -> None:
+    """Attach the scale/workloads/processes options every experiment shares."""
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=DEFAULT_SCALE,
+        help="trace/cache scale relative to the paper (1.0 = full length)",
+    )
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        default=list(WORKLOAD_ORDER),
+        choices=WORKLOAD_ORDER,
+        help="paper workloads to replay",
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="sweep worker processes (1 = inline)",
+    )
+
+
+def settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
+    """Build settings from the standard argparse options."""
+    return ExperimentSettings(
+        scale=args.scale,
+        workloads=list(args.workloads),
+        processes=args.processes,
+    )

@@ -1,0 +1,84 @@
+"""Figure 7 — sensitivity of δ (SRL size limit) with a 32 MB cache.
+
+Sweeps δ from 1 to 7 on every workload and prints hit ratio and mean
+I/O response time normalised to δ = 1, exactly as Fig. 7 plots them.
+The paper concludes δ = 5 works best overall; ``run`` also reports the
+δ our sweep would pick per trace and in aggregate.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Sequence
+
+from repro.core.tuning import DeltaPoint, recommend_delta, sweep_delta
+from repro.experiments.common import (
+    ExperimentSettings,
+    add_standard_args,
+    settings_from_args,
+)
+from repro.experiments.paper_reference import BEST_DELTA
+from repro.sim.report import banner, format_series, format_table
+
+__all__ = ["run", "main", "DELTAS"]
+
+DELTAS: Sequence[int] = tuple(range(1, 8))
+
+
+def run(
+    settings: ExperimentSettings | None = None, cache_mb: int = 32
+) -> Dict[str, List[DeltaPoint]]:
+    """Run the experiment; prints the rows via ``settings.out``
+    and returns the raw result structure (see module docstring)."""
+    settings = settings or ExperimentSettings()
+    cache_bytes = settings.cache_bytes(cache_mb)
+    settings.out(
+        banner(
+            f"Figure 7: delta sensitivity, {cache_mb}MB-equivalent cache "
+            f"(normalised to delta=1; paper picks delta={BEST_DELTA})"
+        )
+    )
+    results: Dict[str, List[DeltaPoint]] = {}
+    votes: Dict[int, int] = {}
+    for name in settings.workloads:
+        points = sweep_delta(
+            name,
+            cache_bytes,
+            deltas=DELTAS,
+            scale=settings.scale,
+            processes=settings.processes,
+        )
+        results[name] = points
+        base_hit = points[0].hit_ratio or 1.0
+        base_rt = points[0].mean_response_ms or 1.0
+        settings.out(
+            format_series(
+                f"{name} hit ratio  ",
+                [p.delta for p in points],
+                [p.hit_ratio / base_hit for p in points],
+            )
+        )
+        settings.out(
+            format_series(
+                f"{name} response   ",
+                [p.delta for p in points],
+                [p.mean_response_ms / base_rt for p in points],
+            )
+        )
+        pick = recommend_delta(points)
+        votes[pick] = votes.get(pick, 0) + 1
+        settings.out(f"{name}: recommended delta = {pick}")
+    overall = max(votes, key=lambda d: (votes[d], d))
+    settings.out(f"\nOverall recommendation: delta = {overall} (paper: {BEST_DELTA})")
+    return results
+
+
+def main() -> None:
+    """CLI entry point (argparse wrapper around :func:`run`)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_standard_args(parser)
+    run(settings_from_args(parser.parse_args()))
+
+
+if __name__ == "__main__":
+    main()

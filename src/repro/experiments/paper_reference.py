@@ -1,0 +1,66 @@
+"""Numbers reported by the paper, for paper-vs-measured comparison.
+
+Only values stated in the text are recorded (the figures' exact bar
+heights are not published as numbers); experiments compare *shape* —
+orderings and approximate factors — against these.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = [
+    "TABLE2",
+    "AVG_RESPONSE_REDUCTION_VS",
+    "AVG_HIT_IMPROVEMENT_VS",
+    "AVG_WRITE_REDUCTION_VS",
+    "FIG3_LARGE_REHIT_RANGE",
+    "SPACE_OVERHEAD_PCT",
+    "BEST_DELTA",
+]
+
+#: Table 2 rows: (requests, write ratio, mean write KB,
+#: frequent ratio, frequent-write ratio).
+TABLE2: Dict[str, tuple] = {
+    "hm_1": (609_312, 0.047, 20.0, 0.461, 0.839),
+    "lun_1": (1_894_391, 0.332, 18.6, 0.124, 0.128),
+    "usr_0": (2_237_889, 0.596, 10.3, 0.529, 0.329),
+    "src1_2": (1_907_773, 0.746, 32.5, 0.796, 0.391),
+    "ts_0": (1_801_734, 0.824, 8.0, 0.430, 0.581),
+    "proj_0": (4_224_525, 0.875, 40.9, 0.625, 0.599),
+}
+
+#: §4.2.2: Req-block reduces mean I/O response time by this fraction.
+AVG_RESPONSE_REDUCTION_VS: Dict[str, float] = {
+    "lru": 0.238,
+    "bplru": 0.113,
+    "vbbms": 0.077,
+}
+
+#: §4.2.3: Req-block improves cache hits by this fraction on average.
+AVG_HIT_IMPROVEMENT_VS: Dict[str, float] = {
+    "lru": 0.429,
+    "bplru": 0.236,
+    "vbbms": 0.041,
+}
+
+#: §4.2.4: Req-block cuts flash write counts by this fraction on average.
+AVG_WRITE_REDUCTION_VS: Dict[str, float] = {
+    "lru": 0.086,
+    "bplru": 0.043,
+    "vbbms": 0.011,
+}
+
+#: §2.2 / Fig. 3: fraction of large-request cached pages re-accessed.
+FIG3_LARGE_REHIT_RANGE = (0.22, 0.372)
+
+#: §4.2.5 / Fig. 12: average metadata footprint as a share of cache size.
+SPACE_OVERHEAD_PCT: Dict[str, float] = {
+    "lru": 0.0029,
+    "bplru": 0.0032,
+    "reqblock": 0.0041,
+    "vbbms": 0.0053,
+}
+
+#: §4.2.1 / Fig. 7: the δ the paper selects.
+BEST_DELTA = 5

@@ -1,0 +1,103 @@
+"""Wear and endurance study — beyond the paper.
+
+The paper motivates the DRAM write buffer with NAND's limited P/E
+budget (§1) and shows Req-block writes the least to flash (Fig. 11),
+but never closes the loop to device lifetime.  This experiment does:
+replay each workload under the four comparison policies on the full
+device model and report the wear outcomes —
+
+* total erases and write amplification,
+* per-block wear evenness (coefficient of variation),
+* the fraction of the P/E budget consumed by the most-worn block, and
+  the projected lifetime ratio vs LRU.
+
+Fewer flash writes (Fig. 11) should translate into proportionally fewer
+erases, so Req-block projects the longest lifetime.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, Tuple
+
+from repro.cache.registry import PAPER_COMPARISON, create_policy
+from repro.experiments.common import (
+    ExperimentSettings,
+    add_standard_args,
+    settings_from_args,
+)
+from repro.sim.replay import sized_ssd_for
+from repro.sim.report import banner, format_table
+from repro.ssd.controller import SSDController
+from repro.ssd.wear import WearReport, wear_report
+from repro.traces.workloads import get_workload, scaled_cache_bytes
+
+__all__ = ["run", "main"]
+
+
+def run(
+    settings: ExperimentSettings | None = None, cache_mb: int = 16
+) -> Dict[Tuple[str, str], WearReport]:
+    """Run the experiment; prints the rows via ``settings.out``
+    and returns the raw result structure (see module docstring)."""
+    settings = settings or ExperimentSettings()
+    cache_pages = scaled_cache_bytes(cache_mb, settings.scale) // 4096
+    settings.out(
+        banner(
+            f"Wear study ({cache_mb}MB-equivalent cache, "
+            f"scale={settings.scale:g})"
+        )
+    )
+    results: Dict[Tuple[str, str], WearReport] = {}
+    rows = []
+    for name in settings.workloads:
+        trace = get_workload(name, settings.scale)
+        ssd_config = sized_ssd_for(trace)
+        lru_erases = None
+        for policy_name in PAPER_COMPARISON:
+            controller = SSDController(
+                ssd_config, create_policy(policy_name, cache_pages)
+            )
+            for request in trace:
+                controller.submit(request)
+            report = wear_report(
+                ssd_config,
+                controller.flash,
+                host_programs=controller.flushed_pages,
+                gc_programs=controller.gc.stats.pages_migrated,
+            )
+            results[(name, policy_name)] = report
+            if policy_name == "lru":
+                lru_erases = report.total_erases
+            lifetime_vs_lru = (
+                lru_erases / report.total_erases
+                if report.total_erases and lru_erases
+                else 1.0
+            )
+            rows.append(
+                (
+                    f"{name}/{policy_name}",
+                    report.total_erases,
+                    f"{report.write_amplification:.3f}",
+                    f"{report.cov:.2f}",
+                    f"{lifetime_vs_lru:.3f}x",
+                )
+            )
+    settings.out(
+        format_table(
+            ("Trace/Policy", "Erases", "WriteAmp", "WearCoV", "LifeVsLRU"),
+            rows,
+        )
+    )
+    return results
+
+
+def main() -> None:
+    """CLI entry point (argparse wrapper around :func:`run`)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_standard_args(parser)
+    run(settings_from_args(parser.parse_args()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Replay harness: open/closed-loop drivers, metrics, reporting, sweeps,
+export and bootstrap statistics."""
+
+from repro.sim.bootstrap import BootstrapResult, bootstrap_ci, paired_improvement
+from repro.sim.closed_loop import replay_closed_loop
+from repro.sim.export import metrics_to_rows, write_csv, write_json
+from repro.sim.metrics import ReplayMetrics
+from repro.sim.replay import (
+    ReplayConfig,
+    replay_cache_only,
+    replay_trace,
+    sized_ssd_for,
+    written_footprint,
+)
+from repro.sim.report import banner, format_series, format_table, normalize, sparkline
+from repro.sim.runner import CachedSweepRunner, job_key
+from repro.sim.sweep import SweepJob, grid_jobs, run_jobs
+
+__all__ = [
+    "BootstrapResult",
+    "bootstrap_ci",
+    "paired_improvement",
+    "replay_closed_loop",
+    "metrics_to_rows",
+    "write_csv",
+    "write_json",
+    "ReplayMetrics",
+    "ReplayConfig",
+    "replay_cache_only",
+    "replay_trace",
+    "sized_ssd_for",
+    "written_footprint",
+    "banner",
+    "sparkline",
+    "CachedSweepRunner",
+    "job_key",
+    "format_series",
+    "format_table",
+    "normalize",
+    "SweepJob",
+    "grid_jobs",
+    "run_jobs",
+]

@@ -1,0 +1,60 @@
+"""Export replay metrics to CSV / JSON for downstream analysis.
+
+The experiment modules print paper-style tables; this module gives the
+same data a machine-readable shape, so sweeps can feed notebooks or
+plotting scripts without re-running simulations.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, List, Mapping, Union
+
+from repro.sim.metrics import ReplayMetrics
+
+__all__ = ["metrics_to_rows", "write_csv", "write_json"]
+
+PathLike = Union[str, Path]
+
+
+def metrics_to_rows(metrics: Iterable[ReplayMetrics]) -> List[dict]:
+    """Flatten metrics into summary dicts (one row per replay)."""
+    return [m.summary() for m in metrics]
+
+
+def write_csv(metrics: Iterable[ReplayMetrics], path: PathLike) -> int:
+    """Write one summary row per replay; returns the row count.
+
+    Column order follows the summary dict of the first row; all rows
+    share the same schema by construction.
+    """
+    rows = metrics_to_rows(metrics)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        if not rows:
+            return 0
+        writer = csv.DictWriter(fh, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)
+    return len(rows)
+
+
+def write_json(
+    metrics: Iterable[ReplayMetrics],
+    path: PathLike,
+    extra: Mapping[str, object] | None = None,
+) -> int:
+    """Write summaries (plus optional run metadata) as a JSON document."""
+    rows = metrics_to_rows(metrics)
+    doc = {"runs": rows}
+    if extra:
+        doc["meta"] = dict(extra)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return len(rows)

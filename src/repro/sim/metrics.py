@@ -1,0 +1,156 @@
+"""Replay metric aggregation.
+
+One :class:`ReplayMetrics` instance accumulates everything the paper's
+figures report, in O(1) memory per request:
+
+* page-granularity hit ratio, split by read/write (Fig. 9);
+* per-request response time statistics (Fig. 8);
+* eviction batch-size histogram (Fig. 10);
+* flash write counts, host flushes and GC traffic separately (Fig. 11);
+* replacement-metadata footprint samples (Fig. 12);
+* Req-block's per-list page counts, logged every 10k requests (Fig. 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.cache.base import AccessOutcome
+from repro.ssd.controller import RequestRecord
+from repro.traces.model import IORequest
+from repro.utils.stats import Histogram, RatioCounter, ReservoirQuantiles, RunningStats
+
+__all__ = ["ReplayMetrics"]
+
+#: Fig. 13: "logged once for every 10,000 requests".
+LIST_LOG_INTERVAL = 10_000
+
+
+@dataclass
+class ReplayMetrics:
+    """Aggregated results of replaying one trace through one policy."""
+
+    trace_name: str = ""
+    policy_name: str = ""
+    cache_pages: int = 0
+
+    # Cache behaviour.
+    pages: RatioCounter = field(default_factory=RatioCounter)
+    read_pages: RatioCounter = field(default_factory=RatioCounter)
+    write_pages: RatioCounter = field(default_factory=RatioCounter)
+
+    # Timing.
+    response_ms: RunningStats = field(default_factory=RunningStats)
+    read_response_ms: RunningStats = field(default_factory=RunningStats)
+    write_response_ms: RunningStats = field(default_factory=RunningStats)
+    response_quantiles: ReservoirQuantiles = field(
+        default_factory=ReservoirQuantiles
+    )
+
+    # Evictions.
+    eviction_hist: Histogram = field(default_factory=Histogram)
+
+    # Flash traffic (filled in at the end of replay).
+    host_flush_pages: int = 0
+    gc_migrated_pages: int = 0
+    gc_erases: int = 0
+    flash_total_writes: int = 0
+
+    # Metadata footprint (sampled).
+    metadata_bytes: RunningStats = field(default_factory=RunningStats)
+
+    # Device utilisation over the replay horizon (full replays only).
+    mean_plane_utilisation: float = 0.0
+    max_plane_utilisation: float = 0.0
+    mean_bus_utilisation: float = 0.0
+
+    # Req-block list occupancy log: (request index, {"IRL": n, ...}).
+    list_log: List[Tuple[int, Dict[str, int]]] = field(default_factory=list)
+
+    n_requests: int = 0
+
+    # ------------------------------------------------------------------
+    def record(self, request: IORequest, record: RequestRecord) -> None:
+        """Fold one serviced request into the aggregates."""
+        outcome = record.outcome
+        self.n_requests += 1
+        self.pages.hits += outcome.page_hits
+        self.pages.total += outcome.total_pages
+        if request.is_read:
+            self.read_pages.hits += outcome.page_hits
+            self.read_pages.total += outcome.total_pages
+            self.read_response_ms.add(record.response_ms)
+        else:
+            self.write_pages.hits += outcome.page_hits
+            self.write_pages.total += outcome.total_pages
+            self.write_response_ms.add(record.response_ms)
+        self.response_ms.add(record.response_ms)
+        self.response_quantiles.add(record.response_ms)
+        for batch in outcome.flushes:
+            if batch.lpns:
+                self.eviction_hist.add(len(batch.lpns))
+
+    # ------------------------------------------------------------------
+    # Derived figures
+    # ------------------------------------------------------------------
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of accessed pages absorbed by the cache (Fig. 9)."""
+        return self.pages.ratio
+
+    @property
+    def mean_response_ms(self) -> float:
+        """Mean per-request I/O response time (Fig. 8)."""
+        return self.response_ms.mean
+
+    @property
+    def total_response_ms(self) -> float:
+        """Summed response time — the figure's 'overall I/O response time'."""
+        return self.response_ms.total
+
+    def response_percentile(self, q: float) -> float:
+        """Estimated response-time quantile (e.g. q=0.99 for p99)."""
+        return self.response_quantiles.quantile(q)
+
+    @property
+    def eviction_count(self) -> int:
+        """Total eviction operations observed."""
+        return int(round(sum(w for _k, w in self.eviction_hist.items())))
+
+    @property
+    def mean_eviction_pages(self) -> float:
+        """Average pages per eviction operation (Fig. 10)."""
+        return self.eviction_hist.mean()
+
+    @property
+    def mean_metadata_kb(self) -> float:
+        """Average replacement-metadata footprint in KB (Fig. 12)."""
+        return self.metadata_bytes.mean / 1024.0
+
+    @property
+    def max_metadata_kb(self) -> float:
+        """Peak sampled metadata footprint in KB."""
+        return (self.metadata_bytes.max / 1024.0) if self.metadata_bytes.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of headline numbers (report/CSV friendly)."""
+        return {
+            "trace": self.trace_name,
+            "policy": self.policy_name,
+            "cache_pages": self.cache_pages,
+            "requests": self.n_requests,
+            "hit_ratio": self.hit_ratio,
+            "read_hit_ratio": self.read_pages.ratio,
+            "write_hit_ratio": self.write_pages.ratio,
+            "mean_response_ms": self.mean_response_ms,
+            "p99_response_ms": self.response_percentile(0.99),
+            "total_response_ms": self.total_response_ms,
+            "evictions": self.eviction_count,
+            "mean_eviction_pages": self.mean_eviction_pages,
+            "host_flush_pages": self.host_flush_pages,
+            "gc_migrated_pages": self.gc_migrated_pages,
+            "flash_total_writes": self.flash_total_writes,
+            "mean_metadata_kb": self.mean_metadata_kb,
+            "mean_plane_utilisation": self.mean_plane_utilisation,
+        }

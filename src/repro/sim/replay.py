@@ -1,0 +1,183 @@
+"""Trace replay: drive a cache policy + SSD model over a trace.
+
+The central experimental harness.  ``replay_trace`` builds a device
+sized for the trace, streams every request through the controller in
+arrival order, and returns a fully-populated
+:class:`~repro.sim.metrics.ReplayMetrics`.
+
+A cache-only fast path (``replay_cache_only``) runs a policy without the
+flash timing model — used by the motivation/occupancy analyses
+(Figures 2, 3, 13) and by the δ sweep, where only hit behaviour matters
+and the 3-4x speedup buys a denser parameter grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.cache.base import CachePolicy
+from repro.cache.registry import create_policy
+from repro.core.policy import ReqBlockCache
+from repro.sim.metrics import LIST_LOG_INTERVAL, ReplayMetrics
+from repro.ssd.config import SSDConfig
+from repro.ssd.controller import RequestRecord, SSDController
+from repro.traces.model import PAGE_SIZE_BYTES, Trace
+from repro.utils.validation import require_positive
+
+__all__ = [
+    "ReplayConfig",
+    "replay_trace",
+    "replay_cache_only",
+    "written_footprint",
+    "sized_ssd_for",
+]
+
+#: How often (in requests) the metadata footprint is sampled.
+METADATA_SAMPLE_INTERVAL = 256
+
+
+def written_footprint(trace: Trace) -> int:
+    """Distinct LPNs written by the trace — what will occupy flash."""
+    seen: set[int] = set()
+    for r in trace.writes():
+        seen.update(r.pages())
+    return len(seen)
+
+
+def sized_ssd_for(
+    trace: Trace,
+    base: Optional[SSDConfig] = None,
+    over_provisioning: float = 0.5,
+) -> SSDConfig:
+    """An :class:`SSDConfig` sized so the trace's writes exercise GC.
+
+    Keeps the paper's channel/chip geometry and timing; only the blocks
+    per plane shrink to match the (possibly scaled) trace footprint.
+    """
+    base = base or SSDConfig()
+    footprint = max(1, written_footprint(trace))
+    return base.sized_for(footprint, over_provisioning)
+
+
+@dataclass
+class ReplayConfig:
+    """Everything needed to reproduce one replay run."""
+
+    policy: str = "lru"
+    cache_bytes: int = 16 * 1024 * 1024
+    policy_kwargs: Dict[str, Any] = field(default_factory=dict)
+    ssd: Optional[SSDConfig] = None  # auto-sized for the trace when None
+    over_provisioning: float = 0.5
+    cache_service_ms_per_page: float = 0.01
+    gc_victim_policy: str = "greedy"  # or "cost_benefit"
+    #: DFTL mode: DRAM budget for the cached mapping table (None = the
+    #: paper's fully-resident page-level table).
+    mapping_cache_bytes: Optional[int] = None
+    drain_at_end: bool = False
+    log_lists: bool = True  # record Fig.-13 occupancy for Req-block
+    #: Requests replayed to warm the cache before metrics start
+    #: recording (the device/cache state still evolves during warmup).
+    warmup_requests: int = 0
+
+    @property
+    def cache_pages(self) -> int:
+        """Cache capacity in 4 KB pages (validated positive)."""
+        pages = self.cache_bytes // PAGE_SIZE_BYTES
+        require_positive(pages, "cache capacity in pages")
+        return pages
+
+
+def _build_policy(config: ReplayConfig) -> CachePolicy:
+    return create_policy(config.policy, config.cache_pages, **config.policy_kwargs)
+
+
+def replay_trace(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
+    """Replay ``trace`` on the full device model; returns the metrics."""
+    policy = _build_policy(config)
+    ssd_config = config.ssd or sized_ssd_for(
+        trace, over_provisioning=config.over_provisioning
+    )
+    controller = SSDController(
+        ssd_config,
+        policy,
+        cache_service_ms_per_page=config.cache_service_ms_per_page,
+        gc_victim_policy=config.gc_victim_policy,
+        mapping_cache_bytes=config.mapping_cache_bytes,
+    )
+    metrics = ReplayMetrics(
+        trace_name=trace.name,
+        policy_name=config.policy,
+        cache_pages=config.cache_pages,
+    )
+    track_lists = config.log_lists and isinstance(policy, ReqBlockCache)
+    base_flush = base_migrated = base_erases = base_programs = 0
+
+    for i, request in enumerate(trace):
+        if config.warmup_requests and i == config.warmup_requests:
+            # Exclude warmup traffic from the flash counters.
+            base_flush = controller.flushed_pages
+            base_migrated = controller.gc.stats.pages_migrated
+            base_erases = controller.gc.stats.blocks_erased
+            base_programs = controller.total_flash_writes
+        record = controller.submit(request)
+        if i < config.warmup_requests:
+            continue
+        metrics.record(request, record)
+        if i % METADATA_SAMPLE_INTERVAL == 0:
+            metrics.metadata_bytes.add(policy.metadata_bytes())
+        if track_lists and i % LIST_LOG_INTERVAL == 0 and i > 0:
+            metrics.list_log.append((i, policy.list_page_counts()))
+
+    if config.drain_at_end and len(trace):
+        controller.drain(trace[len(trace) - 1].time)
+
+    metrics.host_flush_pages = controller.flushed_pages - base_flush
+    metrics.gc_migrated_pages = controller.gc.stats.pages_migrated - base_migrated
+    metrics.gc_erases = controller.gc.stats.blocks_erased - base_erases
+    metrics.flash_total_writes = controller.total_flash_writes - base_programs
+    if len(trace):
+        horizon = max(
+            trace[len(trace) - 1].time,
+            max(controller.resources.plane_free, default=0.0),
+        )
+        plane_u = controller.resources.utilisation(horizon)
+        bus_u = controller.resources.bus_utilisation(horizon)
+        if plane_u:
+            metrics.mean_plane_utilisation = sum(plane_u) / len(plane_u)
+            metrics.max_plane_utilisation = max(plane_u)
+        if bus_u:
+            metrics.mean_bus_utilisation = sum(bus_u) / len(bus_u)
+    return metrics
+
+
+def replay_cache_only(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
+    """Replay through the cache policy alone (no flash timing/GC).
+
+    Response-time fields stay zero; hit ratios, eviction histogram,
+    metadata samples and list logs are identical to a full replay
+    because the policy never observes the flash backend.
+    """
+    policy = _build_policy(config)
+    metrics = ReplayMetrics(
+        trace_name=trace.name,
+        policy_name=config.policy,
+        cache_pages=config.cache_pages,
+    )
+    track_lists = config.log_lists and isinstance(policy, ReqBlockCache)
+    flushed = 0
+
+    for i, request in enumerate(trace):
+        outcome = policy.access(request)
+        if i < config.warmup_requests:
+            continue
+        metrics.record(request, RequestRecord(response_ms=0.0, outcome=outcome))
+        flushed += outcome.flushed_pages
+        if i % METADATA_SAMPLE_INTERVAL == 0:
+            metrics.metadata_bytes.add(policy.metadata_bytes())
+        if track_lists and i % LIST_LOG_INTERVAL == 0 and i > 0:
+            metrics.list_log.append((i, policy.list_page_counts()))
+
+    metrics.host_flush_pages = flushed
+    metrics.flash_total_writes = flushed
+    return metrics

@@ -1,0 +1,117 @@
+"""Plain-text table / series formatting for experiment output.
+
+Every experiment prints the rows or series of its paper figure through
+these helpers, so benchmark output is uniform and diffable (the
+EXPERIMENTS.md paper-vs-measured records are generated from it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["format_table", "normalize", "format_series", "banner", "sparkline"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render an aligned monospace table.
+
+    Floats are formatted with ``float_fmt``; everything else with
+    ``str``.  Columns are right-aligned except the first.
+    """
+    def fmt(cell: object) -> str:
+        """Render one cell (floats via float_fmt)."""
+        if isinstance(cell, bool):
+            return str(cell)
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        """Join one row with column alignment."""
+        parts = [
+            cells[0].ljust(widths[0]),
+            *(c.rjust(w) for c, w in zip(cells[1:], widths[1:])),
+        ]
+        return "  ".join(parts)
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def normalize(
+    values: Mapping[str, float], base_key: str, invert: bool = False
+) -> Dict[str, float]:
+    """Normalise a mapping of values to one entry (the paper's style).
+
+    ``invert=False`` divides each value by the base (Fig. 8: response
+    time normalised to LRU); ``invert=True`` divides the base by each
+    value.  A zero base yields zeros rather than raising, since a
+    degenerate run should still produce a readable table.
+    """
+    base = values[base_key]
+    out: Dict[str, float] = {}
+    for key, v in values.items():
+        if invert:
+            out[key] = base / v if v else 0.0
+        else:
+            out[key] = v / base if base else 0.0
+    return out
+
+
+def format_series(
+    name: str, xs: Sequence[object], ys: Sequence[float], y_fmt: str = "{:.3f}"
+) -> str:
+    """One labelled x/y series (for figures that are line plots)."""
+    pairs = ", ".join(f"{x}={y_fmt.format(y)}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """An ASCII sparkline of a series (down-sampled to ``width``).
+
+    Used by experiments that print time series (Fig. 13's occupancy,
+    MRC curves) so trends are visible in plain terminal output.
+    """
+    vals = list(values)
+    if not vals:
+        return ""
+    if len(vals) > width:
+        stride = len(vals) / width
+        vals = [vals[int(i * stride)] for i in range(width)]
+    lo, hi = min(vals), max(vals)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_CHARS[len(_SPARK_CHARS) // 2] * len(vals)
+    scale = len(_SPARK_CHARS) - 1
+    return "".join(
+        _SPARK_CHARS[int(round((v - lo) / span * scale))] for v in vals
+    )
+
+
+def banner(text: str, width: int = 72) -> str:
+    """A section banner for experiment output."""
+    bar = "=" * width
+    return f"{bar}\n{text}\n{bar}"

@@ -1,0 +1,106 @@
+"""Resumable sweep runner with an on-disk result cache.
+
+Full-scale sweeps (6 traces x 4 policies x 3 cache sizes at
+``scale=1.0``) take hours of pure-Python compute; an interrupted run
+should not start over.  :class:`CachedSweepRunner` wraps
+:func:`repro.sim.sweep.run_jobs` with a JSON result store keyed by each
+job's full parameterisation: completed jobs are loaded instead of
+re-run, new or changed jobs execute, and every completion is persisted
+immediately (crash-safe via write-to-temp + rename).
+
+Only the metric *summary* (the ``ReplayMetrics.summary()`` dict) is
+cached — the store is for sweep tables, not for resuming figure
+internals like list-occupancy logs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.sim.sweep import SweepJob, run_jobs
+
+__all__ = ["CachedSweepRunner", "job_key"]
+
+PathLike = Union[str, Path]
+
+
+def job_key(job: SweepJob) -> str:
+    """Stable content hash of a job's full parameterisation."""
+    payload = json.dumps(
+        {
+            "workload": job.workload,
+            "policy": job.policy,
+            "cache_bytes": job.cache_bytes,
+            "scale": job.scale,
+            "policy_kwargs": list(job.policy_kwargs),
+            "replay_kwargs": list(job.replay_kwargs),
+            "cache_only": job.cache_only,
+            "drain_at_end": job.drain_at_end,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+class CachedSweepRunner:
+    """Run sweep jobs, caching summaries in a JSON store."""
+
+    def __init__(self, store_path: PathLike) -> None:
+        self.store_path = Path(store_path)
+        self._store: Dict[str, dict] = {}
+        if self.store_path.exists():
+            with open(self.store_path) as fh:
+                self._store = json.load(fh)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def cached(self, job: SweepJob) -> Optional[dict]:
+        """The cached summary for ``job``, or None."""
+        return self._store.get(job_key(job))
+
+    def _persist(self) -> None:
+        self.store_path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.store_path.with_suffix(".tmp")
+        with open(tmp, "w") as fh:
+            json.dump(self._store, fh, indent=1, sort_keys=True)
+        os.replace(tmp, self.store_path)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        jobs: Iterable[SweepJob],
+        processes: Optional[int] = None,
+    ) -> List[dict]:
+        """Summaries for ``jobs`` (same order), running only the missing ones.
+
+        Fresh results are persisted in batches as they arrive, so an
+        interrupted sweep resumes where it stopped.
+        """
+        jobs = list(jobs)
+        keys = [job_key(j) for j in jobs]
+        missing = [
+            (i, job) for i, (key, job) in enumerate(zip(keys, jobs))
+            if key not in self._store
+        ]
+        if missing:
+            fresh = run_jobs([job for _i, job in missing], processes=processes)
+            for (i, job), metrics in zip(missing, fresh):
+                self._store[keys[i]] = metrics.summary()
+            self._persist()
+        return [self._store[key] for key in keys]
+
+    def invalidate(self, jobs: Iterable[SweepJob]) -> int:
+        """Drop cached results for ``jobs``; returns how many were dropped."""
+        dropped = 0
+        for job in jobs:
+            if self._store.pop(job_key(job), None) is not None:
+                dropped += 1
+        if dropped:
+            self._persist()
+        return dropped

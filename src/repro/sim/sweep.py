@@ -1,0 +1,112 @@
+"""Parallel parameter sweeps over (trace x policy x cache size) grids.
+
+The figure-8/9 grids multiply 6 traces x 4 policies x 3 cache sizes;
+runs are embarrassingly parallel, so the sweep fans jobs out over a
+:class:`multiprocessing.Pool`.  Jobs are specified by *names and
+numbers* (workload name, scale, policy name, kwargs) rather than live
+objects so they pickle cheaply; each worker process regenerates and
+memoises traces via :func:`repro.traces.workloads.get_workload`.
+
+Set ``processes=1`` (or ``REPRO_SWEEP_PROCESSES=1``) for in-process
+execution — required under pytest-benchmark and handy for debugging.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.sim.metrics import ReplayMetrics
+from repro.sim.replay import ReplayConfig, replay_cache_only, replay_trace
+from repro.traces.workloads import DEFAULT_SCALE, get_workload
+
+__all__ = ["SweepJob", "run_jobs", "grid_jobs"]
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One replay, specified by value (picklable)."""
+
+    workload: str
+    policy: str
+    cache_bytes: int
+    scale: float = DEFAULT_SCALE
+    policy_kwargs: Tuple[Tuple[str, Any], ...] = ()
+    #: Extra ReplayConfig fields (e.g. gc_victim_policy,
+    #: mapping_cache_bytes) as sorted key/value pairs.
+    replay_kwargs: Tuple[Tuple[str, Any], ...] = ()
+    cache_only: bool = False
+    drain_at_end: bool = False
+
+    def key(self) -> Tuple[str, str, int]:
+        """(workload, policy, cache bytes) — the figure-grid cell key."""
+        return (self.workload, self.policy, self.cache_bytes)
+
+
+def _run_one(job: SweepJob) -> ReplayMetrics:
+    trace = get_workload(job.workload, job.scale)
+    config = ReplayConfig(
+        policy=job.policy,
+        cache_bytes=job.cache_bytes,
+        policy_kwargs=dict(job.policy_kwargs),
+        drain_at_end=job.drain_at_end,
+        **dict(job.replay_kwargs),
+    )
+    runner = replay_cache_only if job.cache_only else replay_trace
+    return runner(trace, config)
+
+
+def run_jobs(
+    jobs: Iterable[SweepJob], processes: Optional[int] = None
+) -> List[ReplayMetrics]:
+    """Run jobs (in order) and return their metrics (same order).
+
+    ``processes`` defaults to ``REPRO_SWEEP_PROCESSES`` or the CPU
+    count, capped at the job count; 1 means run inline.
+    """
+    jobs = list(jobs)
+    if processes is None:
+        env = os.environ.get("REPRO_SWEEP_PROCESSES")
+        processes = int(env) if env else (os.cpu_count() or 1)
+    processes = max(1, min(processes, len(jobs) or 1))
+    if processes == 1 or len(jobs) <= 1:
+        return [_run_one(job) for job in jobs]
+    # 'fork' shares the already-imported package with workers; traces
+    # are regenerated per worker and memoised there.
+    ctx = get_context("fork")
+    with ctx.Pool(processes) as pool:
+        return pool.map(_run_one, jobs)
+
+
+def grid_jobs(
+    workloads: Iterable[str],
+    policies: Iterable[str],
+    cache_sizes_bytes: Iterable[int],
+    scale: float = DEFAULT_SCALE,
+    policy_kwargs: Optional[Dict[str, Dict[str, Any]]] = None,
+    cache_only: bool = False,
+) -> List[SweepJob]:
+    """The full cross product, ordered workload-major (figure order).
+
+    ``policy_kwargs`` maps policy name -> constructor kwargs (e.g.
+    ``{"reqblock": {"delta": 5}}``).
+    """
+    policy_kwargs = policy_kwargs or {}
+    out: List[SweepJob] = []
+    for w in workloads:
+        for c in cache_sizes_bytes:
+            for p in policies:
+                kwargs = tuple(sorted(policy_kwargs.get(p, {}).items()))
+                out.append(
+                    SweepJob(
+                        workload=w,
+                        policy=p,
+                        cache_bytes=c,
+                        scale=scale,
+                        policy_kwargs=kwargs,
+                        cache_only=cache_only,
+                    )
+                )
+    return out

@@ -1,0 +1,33 @@
+"""SSDsim-like device model: geometry, timing, FTL, GC, controller."""
+
+from repro.ssd.config import PAPER_SSD, SSDConfig
+from repro.ssd.controller import RequestRecord, SSDController
+from repro.ssd.dftl import CachedMappingFTL, CMTStats
+from repro.ssd.flash import FlashArray, FlashOutOfSpace, PageState
+from repro.ssd.ftl import FTLStats, PageFTL
+from repro.ssd.gc import GarbageCollector, GCStats
+from repro.ssd.geometry import Geometry, PPA
+from repro.ssd.resources import OpTimes, ResourceTimelines
+from repro.ssd.wear import WearReport, wear_report
+
+__all__ = [
+    "PAPER_SSD",
+    "SSDConfig",
+    "RequestRecord",
+    "SSDController",
+    "CachedMappingFTL",
+    "CMTStats",
+    "FlashArray",
+    "FlashOutOfSpace",
+    "PageState",
+    "FTLStats",
+    "PageFTL",
+    "GarbageCollector",
+    "GCStats",
+    "Geometry",
+    "PPA",
+    "OpTimes",
+    "ResourceTimelines",
+    "WearReport",
+    "wear_report",
+]

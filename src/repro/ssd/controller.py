@@ -1,0 +1,208 @@
+"""SSD controller: couples the DRAM cache policy to the flash backend.
+
+Models the request path of Figure 1: the host delivers a request, the
+cache absorbs what it can, and the FTL services the rest on the flash
+array.  Service semantics (see DESIGN.md §5):
+
+* a **write** completes once its pages are in DRAM; when the cache had
+  to evict to make room, the write additionally waits until the victim
+  batch's data has *left DRAM over the channel buses* (``xfer_end``) —
+  the evicted slots are reusable as soon as the data sits in the plane
+  registers, while the 2 ms cell programs continue in the background,
+  occupying planes and delaying subsequent reads/GC.  This is how
+  eviction efficiency (batch size, channel striping) shapes response
+  time without over-charging every write the full program latency;
+* a **read** completes when its last page is available — immediately
+  for cache hits, after the scheduled flash read otherwise;
+* flush batches stripe across planes via the FTL's dynamic allocator
+  unless the batch is pinned (``FlushBatch.pin_key``, BPLRU), in which
+  case every page programs into one plane and the batch serialises on
+  that plane's chip and channel;
+* garbage collection runs inside ``write_page`` when a plane crosses
+  the free-space threshold, occupying that chip's timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.base import AccessOutcome, CachePolicy, FlushBatch
+from repro.ssd.config import SSDConfig
+from repro.ssd.flash import FlashArray
+from repro.ssd.ftl import PageFTL
+from repro.ssd.gc import GarbageCollector
+from repro.ssd.geometry import Geometry
+from repro.ssd.resources import ResourceTimelines
+from repro.traces.model import IORequest
+
+__all__ = ["RequestRecord", "SSDController"]
+
+
+class _BacklogFeedback:
+    """DeviceFeedback adapter: flush backlog from the plane timelines.
+
+    Assumes a flush of ``lpn`` lands on plane ``lpn % n_planes`` (ECR's
+    known-target premise; our dynamic allocator may place it elsewhere,
+    making this an estimate of *relative* channel load, which is what
+    the heuristic needs).
+    """
+
+    __slots__ = ("_controller",)
+
+    def __init__(self, controller: "SSDController") -> None:
+        self._controller = controller
+
+    def flush_backlog_ms(self, lpn: int) -> float:
+        """Queueing delay a flush of ``lpn`` would face right now."""
+        c = self._controller
+        plane = lpn % c.config.n_planes
+        return max(0.0, c.resources.plane_free[plane] - c._now)
+
+
+@dataclass(frozen=True, slots=True)
+class RequestRecord:
+    """Timing and cache outcome of one serviced request."""
+
+    response_ms: float
+    outcome: AccessOutcome
+
+
+class SSDController:
+    """The simulated device: DRAM cache + page-level FTL + NAND timing."""
+
+    def __init__(
+        self,
+        config: SSDConfig,
+        policy: CachePolicy,
+        cache_service_ms_per_page: float = 0.01,
+        wear_aware_gc: bool = False,
+        gc_victim_policy: str = "greedy",
+        mapping_cache_bytes: "int | None" = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        config:
+            Device geometry and timing (Table 1 defaults).
+        policy:
+            The DRAM cache replacement scheme to drive.
+        cache_service_ms_per_page:
+            Host-interface + DRAM time to move one page into or out of
+            the data cache; the fast path every policy shares.
+        mapping_cache_bytes:
+            When set, the FTL caches its mapping table on demand
+            (DFTL-style) with this much DRAM instead of holding it all
+            resident — translation misses then delay host operations.
+        """
+        self.config = config
+        self.policy = policy
+        self.cache_service_ms = cache_service_ms_per_page
+        self.geometry = Geometry(config)
+        self.flash = FlashArray(config, self.geometry)
+        self.resources = ResourceTimelines(config, self.geometry)
+        self.gc = GarbageCollector(
+            config,
+            self.geometry,
+            self.flash,
+            self.resources,
+            wear_aware=wear_aware_gc,
+            victim_policy=gc_victim_policy,
+        )
+        if mapping_cache_bytes is None:
+            self.ftl: PageFTL = PageFTL(
+                config, self.geometry, self.flash, self.resources, self.gc
+            )
+        else:
+            from repro.ssd.dftl import CachedMappingFTL
+
+            self.ftl = CachedMappingFTL(
+                config,
+                self.geometry,
+                self.flash,
+                self.resources,
+                self.gc,
+                mapping_cache_bytes=mapping_cache_bytes,
+            )
+        # Cost-aware policies (ECR) may ask the device for flush
+        # backlog estimates; inject the narrow feedback adapter.
+        if hasattr(policy, "set_device_feedback"):
+            policy.set_device_feedback(_BacklogFeedback(self))
+        #: Host pages flushed from the cache to flash (Figure 11's count;
+        #: GC migrations are tracked separately in ``gc.stats``).
+        self.flushed_pages = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, request: IORequest) -> RequestRecord:
+        """Service one request; returns its response time and outcome.
+
+        Requests must be submitted in non-decreasing arrival order (the
+        resource timelines assume open-loop, time-sorted replay).
+        """
+        now = request.time
+        self._now = now
+        outcome = self.policy.access(request)
+
+        space_ready = now
+        for batch in outcome.flushes:
+            space_ready = max(space_ready, self._flush(batch, now))
+
+        dram_time = self.cache_service_ms * request.npages
+        if request.is_write:
+            completion = now + dram_time
+            if outcome.flushes:
+                # The write had to wait for cache space: the victim
+                # batch's transfers out of DRAM gate the insertion.
+                completion = max(completion, space_ready + dram_time)
+        else:
+            completion = now + dram_time if outcome.page_hits else now
+            for lpn in outcome.read_miss_lpns:
+                op = self.ftl.read_page(lpn, now)
+                completion = max(completion, op.end)
+        return RequestRecord(response_ms=completion - now, outcome=outcome)
+
+    # ------------------------------------------------------------------
+    def _flush(self, batch: FlushBatch, now: float) -> float:
+        """Program a flush batch; returns when its data has left DRAM.
+
+        The cell programs keep their planes busy beyond the returned
+        instant; only the bus transfers gate cache-space reuse.
+        """
+        if not batch.lpns:
+            return now
+        xfer_done = now
+        if batch.pin_key is None:
+            for lpn in batch.lpns:
+                op = self.ftl.write_page(lpn, now)
+                xfer_done = max(xfer_done, op.xfer_end)
+        else:
+            # Pinned batch: all pages confined to one channel (rotating
+            # over that channel's chips/planes), so the flush cannot use
+            # cross-channel parallelism.
+            channel = self.ftl.pinned_channel_for(batch.pin_key)
+            planes = self.ftl.planes_of_channel(channel)
+            for i, lpn in enumerate(batch.lpns):
+                op = self.ftl.write_page(lpn, now, plane=planes[i % len(planes)])
+                xfer_done = max(xfer_done, op.xfer_end)
+        self.flushed_pages += len(batch.lpns)
+        return xfer_done
+
+    def drain(self, now: float) -> float:
+        """Flush everything left in the cache (shutdown); returns finish time."""
+        batch = self.policy.flush_all()
+        return self._flush(batch, now)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_flash_writes(self) -> int:
+        """All programs issued: host flushes + GC migrations."""
+        return self.flash.total_programs
+
+    def validate(self) -> None:
+        """Cross-component invariants (tests)."""
+        self.policy.validate()
+        self.flash.validate()
+        self.ftl.validate()
+        # A cached LPN may also be mapped (stale flash copy is allowed);
+        # but every flushed page must be mapped.
+        # (No direct check possible without replay history; covered by
+        # integration tests.)

@@ -1,0 +1,208 @@
+"""Page-level flash translation layer.
+
+Maintains the LPN -> PPN mapping (and its inverse for GC), allocates
+physical pages, and schedules the flash operations on the resource
+timelines.  Two allocation disciplines are provided:
+
+* **dynamic striping** (default): consecutive writes rotate over planes
+  in channel-fastest order, so a batch of N pages spreads across
+  channels and chips — this is how page-level FTLs exploit internal
+  parallelism, and why batched evictions are cheap for VBBMS/Req-block;
+* **pinned**: all pages of a batch are confined to one channel —
+  used to model BPLRU's whole-block-to-one-SSD-block flush, the paper's
+  explanation for BPLRU's inferior response times (§4.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.ssd.config import SSDConfig
+from repro.ssd.flash import FlashArray
+from repro.ssd.gc import GarbageCollector
+from repro.ssd.geometry import Geometry
+from repro.ssd.resources import OpTimes, ResourceTimelines
+
+__all__ = ["FTLStats", "PageFTL"]
+
+
+@dataclass
+class FTLStats:
+    """Flash traffic counters (GC traffic is tracked by GCStats)."""
+
+    host_programs: int = 0
+    host_reads: int = 0
+    unmapped_reads: int = 0
+
+    def merge(self, other: "FTLStats") -> None:
+        """Fold another counter set into this one."""
+        self.host_programs += other.host_programs
+        self.host_reads += other.host_reads
+        self.unmapped_reads += other.unmapped_reads
+
+
+class PageFTL:
+    """Page-mapping FTL with dynamic or pinned allocation."""
+
+    __slots__ = (
+        "config",
+        "geometry",
+        "flash",
+        "resources",
+        "gc",
+        "stats",
+        "_map",
+        "_rmap",
+        "_alloc_order",
+        "_rr",
+    )
+
+    def __init__(
+        self,
+        config: SSDConfig,
+        geometry: Geometry,
+        flash: FlashArray,
+        resources: ResourceTimelines,
+        gc: GarbageCollector,
+    ) -> None:
+        self.config = config
+        self.geometry = geometry
+        self.flash = flash
+        self.resources = resources
+        self.gc = gc
+        self.stats = FTLStats()
+        self._map: Dict[int, int] = {}
+        self._rmap: Dict[int, int] = {}
+        # Channel-fastest plane rotation: consecutive allocations hit
+        # different channels first, then different chips, then planes —
+        # maximising bus/cell overlap for batched writes.
+        order: List[int] = []
+        for plane_in_chip in range(config.planes_per_chip):
+            for chip_in_channel in range(config.chips_per_channel):
+                for channel in range(config.n_channels):
+                    chip = channel * config.chips_per_channel + chip_in_channel
+                    order.append(chip * config.planes_per_chip + plane_in_chip)
+        self._alloc_order = order
+        self._rr = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_mapped(self, lpn: int) -> bool:
+        """Whether ``lpn`` currently has a physical copy."""
+        return lpn in self._map
+
+    def lookup(self, lpn: int) -> Optional[int]:
+        """The PPN backing ``lpn``, or None if never written."""
+        return self._map.get(lpn)
+
+    def mapped_count(self) -> int:
+        """Number of live LPN -> PPN mappings."""
+        return len(self._map)
+
+    # ------------------------------------------------------------------
+    # Host operations
+    # ------------------------------------------------------------------
+    def _next_plane(self) -> int:
+        plane = self._alloc_order[self._rr]
+        self._rr = (self._rr + 1) % len(self._alloc_order)
+        return plane
+
+    def pinned_channel_for(self, key: int) -> int:
+        """A deterministic channel for callers that pin batches (BPLRU):
+        batch ``key`` (the logical block number) always maps to the same
+        channel, mimicking a block-mapped flush target.  The flush may
+        still interleave over that channel's chips/planes, but cannot
+        spread across channels (the paper's §4.2.2 observation)."""
+        return key % self.config.n_channels
+
+    def planes_of_channel(self, channel: int) -> List[int]:
+        """Global plane indices belonging to ``channel``."""
+        c = self.config
+        first_chip = channel * c.chips_per_channel
+        return [
+            chip * c.planes_per_chip + plane
+            for chip in range(first_chip, first_chip + c.chips_per_channel)
+            for plane in range(c.planes_per_chip)
+        ]
+
+    def write_page(
+        self, lpn: int, now: float, plane: Optional[int] = None
+    ) -> OpTimes:
+        """Program the current data of ``lpn``; returns the op's timing.
+
+        Invalidates any previous physical copy, allocates in ``plane``
+        (or the next plane in the stripe rotation), and runs GC on that
+        plane afterwards if it crossed the free-space threshold.  The
+        returned end time does *not* include GC — GC is background work
+        that occupies the plane timeline and delays later operations.
+        """
+        target_plane = self._next_plane() if plane is None else plane
+        old = self._map.get(lpn)
+        if old is not None:
+            self.flash.invalidate(old)
+            del self._rmap[old]
+        ppn = self.flash.allocate_page(target_plane)
+        op = self.resources.schedule_program(target_plane, now)
+        self.flash.program(ppn)
+        self._map[lpn] = ppn
+        self._rmap[ppn] = lpn
+        self.stats.host_programs += 1
+        self.gc.maybe_collect(self, target_plane, op.end)
+        return op
+
+    def read_page(self, lpn: int, now: float) -> OpTimes:
+        """Schedule a flash read of ``lpn``.
+
+        Reads of never-written LPNs (cold data predating the trace) cost
+        a real flash read on a deterministic pseudo-location — the data
+        exists on the device even though this replay never wrote it.
+        """
+        ppn = self._map.get(lpn)
+        if ppn is None:
+            self.stats.unmapped_reads += 1
+            plane = lpn % self.config.n_planes
+        else:
+            self.stats.host_reads += 1
+            plane = self.geometry.plane_of_ppn(ppn)
+        return self.resources.schedule_read(plane, now)
+
+    # ------------------------------------------------------------------
+    # GC support
+    # ------------------------------------------------------------------
+    def relocate(self, ppn: int, plane: int, now: float) -> OpTimes:
+        """Move the live page at ``ppn`` into ``plane``'s active block.
+
+        Called only by the garbage collector, with the victim block's
+        pages; never triggers nested GC.
+        """
+        lpn = self._rmap.get(ppn)
+        if lpn is None:
+            raise ValueError(f"relocate: ppn {ppn} holds no live LPN")
+        self.flash.invalidate(ppn)
+        del self._rmap[ppn]
+        new_ppn = self.flash.allocate_page(plane, stream="gc")
+        op = self.resources.schedule_program(plane, now)
+        self.flash.program(new_ppn)
+        self._map[lpn] = new_ppn
+        self._rmap[new_ppn] = lpn
+        return op
+
+    # ------------------------------------------------------------------
+    # Invariants (tests)
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Mapping must be a bijection onto exactly the VALID flash pages."""
+        from repro.ssd.flash import PageState
+
+        assert len(self._map) == len(self._rmap), "map/rmap size mismatch"
+        for lpn, ppn in self._map.items():
+            assert self._rmap.get(ppn) == lpn, f"rmap mismatch at lpn {lpn}"
+            assert (
+                self.flash.page_state[ppn] == PageState.VALID
+            ), f"lpn {lpn} maps to non-valid ppn {ppn}"
+        n_valid = sum(self.flash.valid_count)
+        assert n_valid == len(self._map), (
+            f"{n_valid} valid flash pages but {len(self._map)} mapped LPNs"
+        )

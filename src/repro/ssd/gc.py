@@ -1,0 +1,194 @@
+"""Garbage collection: greedy (SSDsim default) or cost-benefit.
+
+When a plane's free-block ratio drops below ``gc_threshold`` (Table 1:
+10%), the collector repeatedly picks a victim block, migrates its valid
+pages into the plane's active block, erases it, and stops once the free
+ratio recovers to ``gc_low_watermark``.  Two victim policies:
+
+* ``greedy`` — fewest valid pages (the SSDsim default and what the
+  paper's evaluation runs);
+* ``cost_benefit`` — maximise ``(1 - u) * age / (2u)`` (Rosenblum &
+  Ousterhout's LFS cleaner adapted to flash), where ``u`` is the
+  block's valid fraction and ``age`` the programs elapsed since the
+  block was last written.  Kept as an ablation: hot/cold-aware victim
+  choice matters under skewed rewrites.
+
+Migration reads and programs are scheduled on the owning plane's
+timeline, so GC delays subsequent host operations on that plane exactly
+as in SSDsim; erase adds its 15 ms on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.ssd.config import SSDConfig
+from repro.ssd.flash import FlashArray, FlashOutOfSpace
+from repro.ssd.geometry import Geometry
+from repro.ssd.resources import ResourceTimelines
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ssd.ftl import PageFTL
+
+__all__ = ["GCStats", "GarbageCollector"]
+
+
+@dataclass
+class GCStats:
+    """Counters accumulated over a replay."""
+
+    invocations: int = 0
+    blocks_erased: int = 0
+    pages_migrated: int = 0
+    busy_ms: float = 0.0
+
+    def merge(self, other: "GCStats") -> None:
+        """Fold another counter set into this one."""
+        self.invocations += other.invocations
+        self.blocks_erased += other.blocks_erased
+        self.pages_migrated += other.pages_migrated
+        self.busy_ms += other.busy_ms
+
+
+#: Recognised victim-selection policies.
+VICTIM_POLICIES = ("greedy", "cost_benefit")
+
+
+class GarbageCollector:
+    """Per-plane garbage collector with pluggable victim selection."""
+
+    __slots__ = (
+        "config",
+        "geometry",
+        "flash",
+        "resources",
+        "stats",
+        "_wear_aware",
+        "victim_policy",
+    )
+
+    def __init__(
+        self,
+        config: SSDConfig,
+        geometry: Geometry,
+        flash: FlashArray,
+        resources: ResourceTimelines,
+        wear_aware: bool = False,
+        victim_policy: str = "greedy",
+    ) -> None:
+        if victim_policy not in VICTIM_POLICIES:
+            raise ValueError(
+                f"unknown victim_policy {victim_policy!r}; "
+                f"choose from {VICTIM_POLICIES}"
+            )
+        self.config = config
+        self.geometry = geometry
+        self.flash = flash
+        self.resources = resources
+        self.stats = GCStats()
+        self._wear_aware = wear_aware
+        self.victim_policy = victim_policy
+
+    # ------------------------------------------------------------------
+    def _collectable(self, plane: int):
+        """Blocks eligible for collection in ``plane``: not active, not
+        free, and holding at least one reclaimable (invalid) page."""
+        flash = self.flash
+        for block in self.geometry.blocks_of_plane(plane):
+            if flash.block_is_active(block) or flash.write_ptr[block] == 0:
+                continue
+            if flash.valid_count[block] >= flash.write_ptr[block]:
+                continue  # every written page still valid
+            yield block
+
+    def select_victim(self, plane: int) -> Optional[int]:
+        """Pick the victim block per the configured policy (see module
+        docstring); ``wear_aware`` breaks ties toward younger blocks."""
+        if self.victim_policy == "cost_benefit":
+            return self._select_cost_benefit(plane)
+        return self._select_greedy(plane)
+
+    def _select_greedy(self, plane: int) -> Optional[int]:
+        flash = self.flash
+        best = None
+        best_key: tuple[int, int] | None = None
+        for block in self._collectable(plane):
+            key = (
+                flash.valid_count[block],
+                flash.erase_count[block] if self._wear_aware else 0,
+            )
+            if best_key is None or key < best_key:
+                best_key = key
+                best = block
+        return best
+
+    def _select_cost_benefit(self, plane: int) -> Optional[int]:
+        flash = self.flash
+        now_seq = flash.total_programs
+        pages = self.config.pages_per_block
+        best = None
+        best_score = -1.0
+        for block in self._collectable(plane):
+            u = flash.valid_count[block] / pages
+            age = max(1, now_seq - flash.last_program_seq[block])
+            # (1-u)*age / 2u; u == 0 (fully invalid) is infinitely good.
+            score = float("inf") if u == 0 else (1.0 - u) * age / (2.0 * u)
+            if score > best_score or (
+                score == best_score
+                and self._wear_aware
+                and best is not None
+                and flash.erase_count[block] < flash.erase_count[best]
+            ):
+                best_score = score
+                best = block
+        return best
+
+    def maybe_collect(self, ftl: "PageFTL", plane: int, now: float) -> float:
+        """Run GC on ``plane`` if below threshold; returns the finish time
+        (or ``now`` when no collection was needed)."""
+        if self.flash.free_ratio(plane) >= self.config.gc_threshold:
+            return now
+        return self.collect(ftl, plane, now)
+
+    def collect(self, ftl: "PageFTL", plane: int, now: float) -> float:
+        """Collect blocks until the plane recovers to the low watermark."""
+        self.stats.invocations += 1
+        t = now
+        start = now
+        flash = self.flash
+        while flash.free_ratio(plane) < self.config.gc_low_watermark:
+            victim = self.select_victim(plane)
+            if victim is None:
+                if flash.free_block_count(plane) == 0:
+                    raise FlashOutOfSpace(
+                        f"plane {plane}: no collectable block and no free blocks; "
+                        "logical footprint exceeds physical capacity"
+                    )
+                break  # nothing reclaimable yet; free list still has room
+            t = self._collect_block(ftl, plane, victim, t)
+        self.stats.busy_ms += t - start
+        return t
+
+    # ------------------------------------------------------------------
+    def _collect_block(
+        self, ftl: "PageFTL", plane: int, victim: int, now: float
+    ) -> float:
+        """Migrate valid pages out of ``victim``, then erase it."""
+        flash = self.flash
+        t = now
+        for ppn in flash.valid_pages_of_block(victim):
+            # Read out of the victim...
+            op = self.resources.schedule_read(plane, t)
+            t = op.end
+            # ...and program into the active block of the same plane.
+            # ftl.relocate updates mapping and flash state; it must not
+            # trigger nested GC (the free list is guaranteed non-empty
+            # because the victim itself is about to be erased).
+            op = ftl.relocate(ppn, plane, t)
+            t = op.end
+            self.stats.pages_migrated += 1
+        op = self.resources.schedule_erase(plane, t)
+        flash.erase(victim)
+        self.stats.blocks_erased += 1
+        return op.end

@@ -1,0 +1,140 @@
+"""Physical page addressing.
+
+A physical page address (PPA) is packed into a flat integer PPN with the
+layout ``channel -> chip -> plane -> block -> page`` so that consecutive
+PPNs within a block are consecutive integers (the FTL's active-block
+write pointer is then a simple increment).  The tuple form is used for
+reporting and tests; the flat form is what the FTL stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.ssd.config import SSDConfig
+
+__all__ = ["PPA", "Geometry"]
+
+
+@dataclass(frozen=True, slots=True)
+class PPA:
+    """Unpacked physical page address."""
+
+    channel: int
+    chip: int
+    plane: int
+    block: int
+    page: int
+
+
+class Geometry:
+    """Converts between flat PPNs, unpacked PPAs and unit indices.
+
+    Unit indexing used throughout the simulator:
+
+    * ``chip_index = channel * chips_per_channel + chip`` — the timing
+      model's parallel unit;
+    * ``plane_index = chip_index * planes_per_chip + plane`` — the GC /
+      allocation domain;
+    * ``block_index = plane_index * blocks_per_plane + block`` — flash
+      array storage.
+    """
+
+    __slots__ = (
+        "config",
+        "_pages_per_block",
+        "_pages_per_plane",
+        "_pages_per_chip",
+        "_pages_per_channel",
+    )
+
+    def __init__(self, config: SSDConfig) -> None:
+        self.config = config
+        self._pages_per_block = config.pages_per_block
+        self._pages_per_plane = config.blocks_per_plane * config.pages_per_block
+        self._pages_per_chip = self._pages_per_plane * config.planes_per_chip
+        self._pages_per_channel = self._pages_per_chip * config.chips_per_channel
+
+    # ------------------------------------------------------------------
+    @property
+    def total_pages(self) -> int:
+        """Total physical pages addressable on this geometry."""
+        return self._pages_per_channel * self.config.n_channels
+
+    def unpack(self, ppn: int) -> PPA:
+        """Flat PPN -> structured address."""
+        if not 0 <= ppn < self.total_pages:
+            raise ValueError(f"ppn {ppn} out of range [0, {self.total_pages})")
+        channel, rest = divmod(ppn, self._pages_per_channel)
+        chip, rest = divmod(rest, self._pages_per_chip)
+        plane, rest = divmod(rest, self._pages_per_plane)
+        block, page = divmod(rest, self._pages_per_block)
+        return PPA(channel, chip, plane, block, page)
+
+    def pack(self, ppa: PPA) -> int:
+        """Structured address -> flat PPN."""
+        c = self.config
+        if not (
+            0 <= ppa.channel < c.n_channels
+            and 0 <= ppa.chip < c.chips_per_channel
+            and 0 <= ppa.plane < c.planes_per_chip
+            and 0 <= ppa.block < c.blocks_per_plane
+            and 0 <= ppa.page < c.pages_per_block
+        ):
+            raise ValueError(f"address out of range: {ppa}")
+        return (
+            ppa.channel * self._pages_per_channel
+            + ppa.chip * self._pages_per_chip
+            + ppa.plane * self._pages_per_plane
+            + ppa.block * self._pages_per_block
+            + ppa.page
+        )
+
+    # ------------------------------------------------------------------
+    # Fast paths used on every simulated flash operation.
+    # ------------------------------------------------------------------
+    def chip_of_ppn(self, ppn: int) -> int:
+        """Global chip index (the timing unit) that owns ``ppn``."""
+        return ppn // self._pages_per_chip
+
+    def plane_of_ppn(self, ppn: int) -> int:
+        """Global plane index (the GC domain) that owns ``ppn``."""
+        return ppn // self._pages_per_plane
+
+    def block_of_ppn(self, ppn: int) -> int:
+        """Global block index that contains ``ppn``."""
+        return ppn // self._pages_per_block
+
+    def page_offset(self, ppn: int) -> int:
+        """Offset of ``ppn`` within its block."""
+        return ppn % self._pages_per_block
+
+    def channel_of_chip(self, chip_index: int) -> int:
+        """Channel owning global chip ``chip_index``."""
+        return chip_index // self.config.chips_per_channel
+
+    def chip_of_plane(self, plane_index: int) -> int:
+        """Global chip index owning global plane ``plane_index``."""
+        return plane_index // self.config.planes_per_chip
+
+    def plane_of_block(self, block_index: int) -> int:
+        """Global plane index owning global block ``block_index``."""
+        return block_index // self.config.blocks_per_plane
+
+    def first_ppn_of_block(self, block_index: int) -> int:
+        """PPN of page 0 of ``block_index``."""
+        return block_index * self._pages_per_block
+
+    def planes(self) -> range:
+        """All global plane indices."""
+        return range(self.config.n_planes)
+
+    def chips(self) -> range:
+        """All global chip indices."""
+        return range(self.config.n_chips)
+
+    def blocks_of_plane(self, plane_index: int) -> range:
+        """Global block indices belonging to ``plane_index``."""
+        start = plane_index * self.config.blocks_per_plane
+        return range(start, start + self.config.blocks_per_plane)

@@ -1,0 +1,165 @@
+"""Channel/plane resource timelines — the simulator's timing core.
+
+SSDsim (Hu et al., TC 2013 — the simulator the paper modified) models
+*multilevel* parallelism: channels carry the bus traffic while chips,
+dies and planes execute cell operations concurrently.  We model the two
+levels that matter for the paper's experiments:
+
+* the **channel bus** — serialises all data transfers on a channel
+  (10 ns/B, Table 1);
+* the **plane** — executes one cell operation (read 0.075 ms /
+  program 2 ms / erase 15 ms) at a time; planes of the same chip or
+  channel overlap freely (multi-plane / interleaved commands).
+
+For open-loop trace replay this "resource timeline" formulation is
+exactly equivalent to a discrete-event simulation with FIFO service per
+resource, and an order of magnitude cheaper — which matters for a
+pure-Python simulator.
+
+Operation shapes:
+
+* **program**: bus transfer DRAM -> plane register (``xfer``), then the
+  cell program on the plane.  Bus busy for ``xfer``; plane busy for
+  ``xfer + program``.  ``OpTimes.xfer_end`` marks when the data has left
+  DRAM — the instant the cache slot becomes reusable.
+* **read**: cell read on the plane, then transfer out over the bus.
+* **erase**: plane busy for ``erase``; no bus traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.ssd.config import SSDConfig
+from repro.ssd.geometry import Geometry
+
+__all__ = ["OpTimes", "ResourceTimelines"]
+
+
+@dataclass(frozen=True, slots=True)
+class OpTimes:
+    """Timing of one scheduled flash operation (ms).
+
+    ``xfer_end`` is when the bus transfer finished: for programs, the
+    moment the written data has left the DRAM cache; for reads, equal to
+    ``end`` (the data is available only after the transfer out).
+    """
+
+    start: float
+    xfer_end: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """End-to-end time of the operation."""
+        return self.end - self.start
+
+
+class ResourceTimelines:
+    """Busy-until bookkeeping for every channel bus and every plane.
+
+    All ``schedule_*`` methods take the earliest possible issue time
+    (usually the request arrival) and return the operation's
+    :class:`OpTimes`; they mutate the timelines so later operations
+    queue correctly.  Replay must proceed in non-decreasing ``now``
+    order (open-loop, time-sorted traces satisfy this).
+    """
+
+    __slots__ = (
+        "config",
+        "geometry",
+        "bus_free",
+        "plane_free",
+        "bus_busy_ms",
+        "plane_busy_ms",
+        "_xfer",
+    )
+
+    def __init__(self, config: SSDConfig, geometry: Geometry) -> None:
+        self.config = config
+        self.geometry = geometry
+        self.bus_free: List[float] = [0.0] * config.n_channels
+        self.plane_free: List[float] = [0.0] * config.n_planes
+        #: Exact accumulated busy time per resource (for utilisation
+        #: reporting — the Fig. 8 discussion's "channel utilisation").
+        self.bus_busy_ms: List[float] = [0.0] * config.n_channels
+        self.plane_busy_ms: List[float] = [0.0] * config.n_planes
+        self._xfer = config.page_transfer_ms
+
+    # ------------------------------------------------------------------
+    def channel_of_plane(self, plane: int) -> int:
+        """Channel whose bus serves ``plane``."""
+        c = self.config
+        return plane // (c.planes_per_chip * c.chips_per_channel)
+
+    def schedule_program(self, plane: int, now: float) -> OpTimes:
+        """One page program on ``plane``: bus transfer in, then cell program.
+
+        The transfer is gated by the channel bus only — NAND cache
+        registers let data move into the die while an earlier program is
+        still running — so back-to-back programs pipeline: transfers
+        stream over the bus while cell programs queue on the plane.
+        """
+        channel = self.channel_of_plane(plane)
+        start = max(now, self.bus_free[channel])
+        xfer_end = start + self._xfer
+        prog_start = max(xfer_end, self.plane_free[plane])
+        end = prog_start + self.config.program_latency_ms
+        self.bus_free[channel] = xfer_end
+        self.plane_free[plane] = end
+        self.bus_busy_ms[channel] += self._xfer
+        self.plane_busy_ms[plane] += self.config.program_latency_ms
+        return OpTimes(start, xfer_end, end)
+
+    def schedule_read(self, plane: int, now: float) -> OpTimes:
+        """One page read on ``plane``: cell read, then bus transfer out."""
+        channel = self.channel_of_plane(plane)
+        cell_start = max(now, self.plane_free[plane])
+        cell_end = cell_start + self.config.read_latency_ms
+        xfer_start = max(cell_end, self.bus_free[channel])
+        end = xfer_start + self._xfer
+        self.bus_free[channel] = end
+        self.plane_free[plane] = end
+        self.bus_busy_ms[channel] += self._xfer
+        self.plane_busy_ms[plane] += end - cell_start
+        return OpTimes(cell_start, end, end)
+
+    def schedule_erase(self, plane: int, now: float) -> OpTimes:
+        """One block erase on ``plane``; occupies only the plane."""
+        start = max(now, self.plane_free[plane])
+        end = start + self.config.erase_latency_ms
+        self.plane_free[plane] = end
+        self.plane_busy_ms[plane] += self.config.erase_latency_ms
+        return OpTimes(start, end, end)
+
+    # ------------------------------------------------------------------
+    def earliest_free_plane(self, planes: List[int], now: float) -> int:
+        """The plane among ``planes`` that can start soonest at ``now``."""
+        best_plane = planes[0]
+        best_time = float("inf")
+        for plane in planes:
+            t = max(now, self.plane_free[plane])
+            if t < best_time:
+                best_time = t
+                best_plane = plane
+        return best_plane
+
+    def utilisation(self, horizon: float) -> List[float]:
+        """Exact fraction of ``[0, horizon]`` each plane spent busy."""
+        if horizon <= 0:
+            return [0.0] * len(self.plane_free)
+        return [min(b, horizon) / horizon for b in self.plane_busy_ms]
+
+    def bus_utilisation(self, horizon: float) -> List[float]:
+        """Exact fraction of ``[0, horizon]`` each channel bus spent busy."""
+        if horizon <= 0:
+            return [0.0] * len(self.bus_free)
+        return [min(b, horizon) / horizon for b in self.bus_busy_ms]
+
+    def reset(self) -> None:
+        """Clear all timelines and busy counters (fresh replay)."""
+        self.bus_free = [0.0] * self.config.n_channels
+        self.plane_free = [0.0] * self.config.n_planes
+        self.bus_busy_ms = [0.0] * self.config.n_channels
+        self.plane_busy_ms = [0.0] * self.config.n_planes

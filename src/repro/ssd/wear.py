@@ -1,0 +1,76 @@
+"""Wear (P/E cycle) accounting and endurance estimation.
+
+High-density NAND endures only a few hundred to a few thousand
+program/erase cycles (the paper's introduction motivates the DRAM write
+buffer with exactly this limit), so the simulator tracks per-block erase
+counts and exposes the summary statistics lifetime studies report:
+mean/max wear, coefficient of variation (wear evenness), and the
+fraction of the endurance budget consumed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.ssd.config import SSDConfig
+from repro.ssd.flash import FlashArray
+
+__all__ = ["WearReport", "wear_report"]
+
+
+@dataclass(frozen=True, slots=True)
+class WearReport:
+    """Summary of the array's wear state at a point in time."""
+
+    total_erases: int
+    mean_erases: float
+    max_erases: int
+    min_erases: int
+    #: Coefficient of variation of per-block erase counts; 0 = perfectly
+    #: even wear.  Undefined (reported 0) when nothing was erased.
+    cov: float
+    #: max_erases / pe_cycle_limit — the fraction of the endurance budget
+    #: consumed by the most-worn block, which bounds device lifetime.
+    budget_used: float
+    #: Write amplification: (host + GC programs) / host programs.
+    write_amplification: float
+
+    def remaining_lifetime_fraction(self) -> float:
+        """1 - budget_used, clipped at 0."""
+        return max(0.0, 1.0 - self.budget_used)
+
+
+def wear_report(
+    config: SSDConfig,
+    flash: FlashArray,
+    host_programs: int,
+    gc_programs: int,
+) -> WearReport:
+    """Build a :class:`WearReport` from the current array state."""
+    counts: List[int] = flash.erase_count
+    n = len(counts)
+    total = sum(counts)
+    mean = total / n if n else 0.0
+    mx = max(counts) if counts else 0
+    mn = min(counts) if counts else 0
+    if total > 0 and n > 1:
+        var = sum((c - mean) ** 2 for c in counts) / n
+        cov = math.sqrt(var) / mean if mean > 0 else 0.0
+    else:
+        cov = 0.0
+    wa = (
+        (host_programs + gc_programs) / host_programs
+        if host_programs > 0
+        else 1.0
+    )
+    return WearReport(
+        total_erases=total,
+        mean_erases=mean,
+        max_erases=mx,
+        min_erases=mn,
+        cov=cov,
+        budget_used=mx / config.pe_cycle_limit if config.pe_cycle_limit else 0.0,
+        write_amplification=wa,
+    )

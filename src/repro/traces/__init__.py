@@ -1,0 +1,63 @@
+"""Trace substrate: request model, MSR parser, synthetic paper workloads."""
+
+from repro.traces.model import PAGE_SIZE_BYTES, IORequest, OpType, Trace
+from repro.traces.io import cached_workload, load_trace, save_trace
+from repro.traces.msr import load_msr_trace, parse_msr_csv
+from repro.traces.patterns import (
+    mixed_pattern,
+    random_writes,
+    sequential_writes,
+    zipf_writes,
+)
+from repro.traces.stats import TraceSpec, characterize, mean_request_pages
+from repro.traces.synthetic import SyntheticConfig, SyntheticTraceGenerator, generate_trace
+from repro.traces.transform import (
+    filter_ops,
+    merge_traces,
+    remap_addresses,
+    slice_time,
+    time_scale,
+)
+from repro.traces.workloads import (
+    DEFAULT_SCALE,
+    PAPER_CACHE_SIZES_MB,
+    PAPER_WORKLOADS,
+    WORKLOAD_ORDER,
+    get_config,
+    get_workload,
+    scaled_cache_bytes,
+)
+
+__all__ = [
+    "PAGE_SIZE_BYTES",
+    "IORequest",
+    "OpType",
+    "Trace",
+    "cached_workload",
+    "load_trace",
+    "save_trace",
+    "load_msr_trace",
+    "parse_msr_csv",
+    "mixed_pattern",
+    "random_writes",
+    "sequential_writes",
+    "zipf_writes",
+    "filter_ops",
+    "merge_traces",
+    "remap_addresses",
+    "slice_time",
+    "time_scale",
+    "TraceSpec",
+    "characterize",
+    "mean_request_pages",
+    "SyntheticConfig",
+    "SyntheticTraceGenerator",
+    "generate_trace",
+    "DEFAULT_SCALE",
+    "PAPER_CACHE_SIZES_MB",
+    "PAPER_WORKLOADS",
+    "WORKLOAD_ORDER",
+    "get_config",
+    "get_workload",
+    "scaled_cache_bytes",
+]

@@ -1,0 +1,152 @@
+"""Trace transforms: slicing, time-scaling, filtering, merging, remapping.
+
+Utilities for shaping traces before replay — the operations storage
+papers routinely apply (time-compress a trace to raise load, merge two
+volumes onto one device, strip reads for a pure write-buffer study,
+offset a volume's address range).  All transforms are pure: they return
+new :class:`Trace` objects and never mutate their inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from repro.traces.model import IORequest, OpType, Trace
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = [
+    "time_scale",
+    "slice_time",
+    "filter_ops",
+    "remap_addresses",
+    "merge_traces",
+    "truncate_requests",
+    "split_large_requests",
+]
+
+
+def time_scale(trace: Trace, factor: float, name: str | None = None) -> Trace:
+    """Multiply every arrival time by ``factor``.
+
+    ``factor < 1`` compresses the trace (higher load, more queueing);
+    ``factor > 1`` stretches it.  Request contents are unchanged.
+    """
+    require_positive(factor, "factor")
+    return Trace(
+        name or f"{trace.name}*t{factor:g}",
+        [
+            IORequest(r.time * factor, r.op, r.lpn, r.npages)
+            for r in trace
+        ],
+    )
+
+
+def slice_time(
+    trace: Trace, start_ms: float, end_ms: float, rebase: bool = True
+) -> Trace:
+    """Requests with ``start_ms <= time < end_ms``; times rebased to 0."""
+    require_non_negative(start_ms, "start_ms")
+    if end_ms <= start_ms:
+        raise ValueError(f"empty window: [{start_ms}, {end_ms})")
+    picked = [r for r in trace if start_ms <= r.time < end_ms]
+    if rebase:
+        picked = [
+            IORequest(r.time - start_ms, r.op, r.lpn, r.npages) for r in picked
+        ]
+    return Trace(f"{trace.name}[{start_ms:g}:{end_ms:g}ms]", picked)
+
+
+def filter_ops(
+    trace: Trace,
+    keep: Callable[[IORequest], bool],
+    name: str | None = None,
+) -> Trace:
+    """Keep only requests for which ``keep`` returns True.
+
+    Common filters::
+
+        filter_ops(t, lambda r: r.is_write)          # writes only
+        filter_ops(t, lambda r: r.npages <= 4)       # small requests
+    """
+    return Trace(name or f"{trace.name}|filtered", [r for r in trace if keep(r)])
+
+
+def remap_addresses(
+    trace: Trace, offset_pages: int, name: str | None = None
+) -> Trace:
+    """Shift every request's LPN by ``offset_pages`` (must stay >= 0)."""
+    if trace.requests and trace.requests[0].lpn + offset_pages < 0:
+        pass  # per-request check below raises precisely
+    out: List[IORequest] = []
+    for r in trace:
+        new_lpn = r.lpn + offset_pages
+        if new_lpn < 0:
+            raise ValueError(
+                f"remap would move lpn {r.lpn} below zero "
+                f"(offset {offset_pages})"
+            )
+        out.append(IORequest(r.time, r.op, new_lpn, r.npages))
+    return Trace(name or f"{trace.name}+{offset_pages}p", out)
+
+
+def merge_traces(
+    traces: Sequence[Trace],
+    name: str = "merged",
+    disjoint_addresses: bool = True,
+) -> Trace:
+    """Interleave several traces by arrival time onto one device.
+
+    With ``disjoint_addresses`` (default) each input trace is shifted
+    into its own address region (sized to the largest input footprint),
+    modelling separate volumes sharing an SSD; otherwise addresses are
+    taken verbatim (shared namespace).
+    """
+    if not traces:
+        raise ValueError("merge_traces needs at least one trace")
+    shifted: List[Trace] = []
+    if disjoint_addresses:
+        region = max(t.max_lpn() + 1 for t in traces)
+        for i, t in enumerate(traces):
+            shifted.append(remap_addresses(t, i * region) if i else t)
+    else:
+        shifted = list(traces)
+    merged = sorted(
+        (r for t in shifted for r in t), key=lambda r: r.time
+    )
+    return Trace(name, merged)
+
+
+def truncate_requests(trace: Trace, n: int) -> Trace:
+    """The first ``n`` requests (alias of ``Trace.head`` with checks)."""
+    require_positive(n, "n")
+    return trace.head(n)
+
+
+def split_large_requests(
+    trace: Trace, max_pages: int, name: str | None = None
+) -> Trace:
+    """Split requests larger than ``max_pages`` into chained chunks.
+
+    Hosts bound the transfer size per command (NVMe's MDTS); a 1 MB
+    write reaches the device as several maximum-sized commands.  Chunks
+    keep the parent's arrival time (they are queued back-to-back), so
+    the page stream and its timing envelope are preserved while the
+    *request-size distribution* the cache sees changes — which is
+    exactly what a request-granularity policy like Req-block is
+    sensitive to.  Useful for studying how the MDTS setting shifts the
+    small/large boundary.
+    """
+    require_positive(max_pages, "max_pages")
+    out: List[IORequest] = []
+    for r in trace:
+        if r.npages <= max_pages:
+            out.append(r)
+            continue
+        lpn = r.lpn
+        remaining = r.npages
+        while remaining > 0:
+            chunk = min(max_pages, remaining)
+            out.append(IORequest(r.time, r.op, lpn, chunk))
+            lpn += chunk
+            remaining -= chunk
+    return Trace(name or f"{trace.name}|mdts{max_pages}", out)

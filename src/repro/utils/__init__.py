@@ -1,0 +1,25 @@
+"""Shared low-level utilities: intrusive lists, streaming stats, validation."""
+
+from repro.utils.dll import DLLNode, DoublyLinkedList
+from repro.utils.stats import CDFBuilder, Histogram, RatioCounter, RunningStats
+from repro.utils.validation import (
+    require_divides,
+    require_in_range,
+    require_non_negative,
+    require_positive,
+    require_power_of_two,
+)
+
+__all__ = [
+    "DLLNode",
+    "DoublyLinkedList",
+    "CDFBuilder",
+    "Histogram",
+    "RatioCounter",
+    "RunningStats",
+    "require_divides",
+    "require_in_range",
+    "require_non_negative",
+    "require_positive",
+    "require_power_of_two",
+]

@@ -1,0 +1,237 @@
+"""Intrusive doubly-linked list used by every cache policy.
+
+All cache replacement policies in this package (LRU, BPLRU, VBBMS,
+Req-block's three-level lists, ...) need O(1) insertion at the head,
+O(1) removal of an arbitrary node, and O(1) access to the tail.  A
+plain :class:`collections.OrderedDict` covers LRU but not the richer
+"move this node between lists" operations Req-block performs, so we use
+an *intrusive* doubly-linked list: the node object itself carries the
+``prev``/``next`` pointers and a back-reference to the owning list, which
+makes cross-list moves explicit and checkable.
+
+The list maintains a length counter and a sentinel-free head/tail pair;
+``validate()`` walks the chain and asserts structural invariants, which
+the property-based test-suite leans on heavily.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, Optional, TypeVar
+
+__all__ = ["DLLNode", "DoublyLinkedList"]
+
+
+class DLLNode:
+    """A node that can live in at most one :class:`DoublyLinkedList`.
+
+    Subclass this (or compose it) to attach payload.  The node keeps a
+    reference to its owning list so that membership checks and cross-list
+    moves are O(1) and mistakes (e.g. inserting a node into two lists)
+    raise immediately instead of corrupting pointers.
+    """
+
+    __slots__ = ("prev", "next", "owner")
+
+    def __init__(self) -> None:
+        self.prev: Optional[DLLNode] = None
+        self.next: Optional[DLLNode] = None
+        self.owner: Optional[DoublyLinkedList] = None
+
+    @property
+    def in_list(self) -> bool:
+        """Whether this node is currently linked into a list."""
+        return self.owner is not None
+
+
+T = TypeVar("T", bound=DLLNode)
+
+
+class DoublyLinkedList(Generic[T]):
+    """Intrusive doubly-linked list with O(1) head/tail/remove.
+
+    Parameters
+    ----------
+    name:
+        Optional label used in error messages and ``repr`` — handy when a
+        policy juggles several lists (IRL/SRL/DRL).
+    """
+
+    __slots__ = ("name", "_head", "_tail", "_len")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._head: Optional[T] = None
+        self._tail: Optional[T] = None
+        self._len = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._len
+
+    def __bool__(self) -> bool:
+        return self._len > 0
+
+    def __iter__(self) -> Iterator[T]:
+        """Iterate head -> tail.
+
+        Mutating the list while iterating is not supported; take a
+        snapshot (``list(dll)``) first if you need to mutate.
+        """
+        node = self._head
+        while node is not None:
+            yield node  # type: ignore[misc]
+            node = node.next  # type: ignore[assignment]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        label = self.name or "dll"
+        return f"<DoublyLinkedList {label!r} len={self._len}>"
+
+    @property
+    def head(self) -> Optional[T]:
+        """First (most-recently inserted/promoted) node, or ``None``."""
+        return self._head
+
+    @property
+    def tail(self) -> Optional[T]:
+        """Last (least-recently touched) node, or ``None``."""
+        return self._tail
+
+    def __contains__(self, node: DLLNode) -> bool:
+        return node.owner is self
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def _claim(self, node: T) -> None:
+        if node.owner is not None:
+            raise ValueError(
+                f"node already belongs to list {node.owner.name!r}; "
+                f"remove it before inserting into {self.name!r}"
+            )
+        node.owner = self
+
+    def push_head(self, node: T) -> None:
+        """Insert ``node`` at the head (MRU position)."""
+        self._claim(node)
+        node.prev = None
+        node.next = self._head
+        if self._head is not None:
+            self._head.prev = node
+        self._head = node
+        if self._tail is None:
+            self._tail = node
+        self._len += 1
+
+    def push_tail(self, node: T) -> None:
+        """Insert ``node`` at the tail (LRU / eviction-candidate position)."""
+        self._claim(node)
+        node.next = None
+        node.prev = self._tail
+        if self._tail is not None:
+            self._tail.next = node
+        self._tail = node
+        if self._head is None:
+            self._head = node
+        self._len += 1
+
+    def insert_after(self, anchor: T, node: T) -> None:
+        """Insert ``node`` immediately after ``anchor`` (must be in this list)."""
+        if anchor.owner is not self:
+            raise ValueError("anchor node is not in this list")
+        self._claim(node)
+        node.prev = anchor
+        node.next = anchor.next
+        if anchor.next is not None:
+            anchor.next.prev = node
+        else:
+            self._tail = node
+        anchor.next = node
+        self._len += 1
+
+    def remove(self, node: T) -> None:
+        """Unlink ``node`` from this list in O(1)."""
+        if node.owner is not self:
+            raise ValueError(
+                f"cannot remove node from {self.name!r}: it belongs to "
+                f"{node.owner.name if node.owner else None!r}"
+            )
+        if node.prev is not None:
+            node.prev.next = node.next
+        else:
+            self._head = node.next  # type: ignore[assignment]
+        if node.next is not None:
+            node.next.prev = node.prev
+        else:
+            self._tail = node.prev  # type: ignore[assignment]
+        node.prev = node.next = None
+        node.owner = None
+        self._len -= 1
+
+    def move_to_head(self, node: T) -> None:
+        """Promote ``node`` (already in this list) to the head."""
+        if node.owner is not self:
+            raise ValueError("node is not in this list")
+        if self._head is node:
+            return
+        self.remove(node)
+        self.push_head(node)
+
+    def move_to_tail(self, node: T) -> None:
+        """Demote ``node`` (already in this list) to the tail."""
+        if node.owner is not self:
+            raise ValueError("node is not in this list")
+        if self._tail is node:
+            return
+        self.remove(node)
+        self.push_tail(node)
+
+    def pop_head(self) -> Optional[T]:
+        """Remove and return the head node, or ``None`` if empty."""
+        node = self._head
+        if node is not None:
+            self.remove(node)
+        return node
+
+    def pop_tail(self) -> Optional[T]:
+        """Remove and return the tail node, or ``None`` if empty."""
+        node = self._tail
+        if node is not None:
+            self.remove(node)
+        return node
+
+    def clear(self) -> None:
+        """Unlink every node (O(n))."""
+        node = self._head
+        while node is not None:
+            nxt = node.next
+            node.prev = node.next = None
+            node.owner = None
+            node = nxt  # type: ignore[assignment]
+        self._head = self._tail = None
+        self._len = 0
+
+    # ------------------------------------------------------------------
+    # Invariant checking (used by tests)
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Walk the chain asserting structural invariants.
+
+        Raises ``AssertionError`` on corruption.  O(n); intended for the
+        test-suite, not for hot paths.
+        """
+        count = 0
+        prev = None
+        node = self._head
+        while node is not None:
+            assert node.owner is self, "node owner mismatch"
+            assert node.prev is prev, "broken prev pointer"
+            prev = node
+            node = node.next
+            count += 1
+            assert count <= self._len, "cycle detected or length undercount"
+        assert prev is self._tail, "tail pointer mismatch"
+        assert count == self._len, f"length mismatch: walked {count}, stored {self._len}"
+        if self._len == 0:
+            assert self._head is None and self._tail is None

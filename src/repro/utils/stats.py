@@ -1,0 +1,279 @@
+"""Streaming statistics helpers.
+
+Trace replays run for hundreds of thousands of requests, so metric
+aggregation must be O(1) per sample and must not retain the sample
+stream.  :class:`RunningStats` implements Welford's online algorithm for
+mean/variance; :class:`Histogram` keeps integer-bucket counts (used for
+eviction-batch-size and request-size distributions); :class:`CDFBuilder`
+accumulates weighted samples and emits the cumulative distribution the
+paper plots in Figure 2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = [
+    "RunningStats",
+    "Histogram",
+    "CDFBuilder",
+    "RatioCounter",
+    "ReservoirQuantiles",
+]
+
+
+class RunningStats:
+    """Welford online mean / variance / min / max accumulator."""
+
+    __slots__ = ("count", "_mean", "_m2", "min", "max", "total")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.total = 0.0
+
+    def add(self, x: float) -> None:
+        """Fold one sample into the accumulator."""
+        self.count += 1
+        self.total += x
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    def merge(self, other: "RunningStats") -> None:
+        """Fold another accumulator into this one (parallel reduction)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            self.total = other.total
+            return
+        n1, n2 = self.count, other.count
+        delta = other._mean - self._mean
+        total = n1 + n2
+        self._mean += delta * n2 / total
+        self._m2 += other._m2 + delta * delta * n1 * n2 / total
+        self.count = total
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0 for an empty accumulator)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance."""
+        return self._m2 / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RunningStats(n={self.count}, mean={self.mean:.4g}, "
+            f"std={self.stddev:.4g}, min={self.min:.4g}, max={self.max:.4g})"
+        )
+
+
+class Histogram:
+    """Sparse integer-keyed histogram with weighted counts."""
+
+    __slots__ = ("_buckets",)
+
+    def __init__(self) -> None:
+        self._buckets: Dict[int, float] = {}
+
+    def add(self, key: int, weight: float = 1.0) -> None:
+        """Add ``weight`` to bucket ``key``."""
+        self._buckets[key] = self._buckets.get(key, 0.0) + weight
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram in."""
+        for k, w in other._buckets.items():
+            self.add(k, w)
+
+    @property
+    def total(self) -> float:
+        """Sum of all bucket weights."""
+        return sum(self._buckets.values())
+
+    def items(self) -> List[Tuple[int, float]]:
+        """(key, weight) pairs sorted by key."""
+        return sorted(self._buckets.items())
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def __getitem__(self, key: int) -> float:
+        return self._buckets.get(key, 0.0)
+
+    def mean(self) -> float:
+        """Weighted mean of the keys."""
+        t = self.total
+        if t == 0:
+            return 0.0
+        return sum(k * w for k, w in self._buckets.items()) / t
+
+    def cdf(self) -> List[Tuple[int, float]]:
+        """Cumulative distribution over the sorted keys, normalised to 1."""
+        total = self.total
+        if total == 0:
+            return []
+        acc = 0.0
+        out = []
+        for k, w in self.items():
+            acc += w
+            out.append((k, acc / total))
+        return out
+
+    def percentile(self, q: float) -> int:
+        """Smallest key whose cumulative weight reaches quantile ``q``."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        for k, c in self.cdf():
+            if c >= q:
+                return k
+        raise ValueError("empty histogram has no percentiles")
+
+
+class CDFBuilder:
+    """Accumulates (x, weight) samples and evaluates the empirical CDF.
+
+    Figure 2 of the paper plots, for each request size ``s``, the fraction
+    of page inserts / page hits attributable to requests of size <= s.
+    This class is exactly that: feed it ``add(request_size, n_pages)``
+    and read back ``evaluate(sizes)``.
+    """
+
+    __slots__ = ("_hist",)
+
+    def __init__(self) -> None:
+        self._hist = Histogram()
+
+    def add(self, x: int, weight: float = 1.0) -> None:
+        """Accumulate ``weight`` at sample point ``x``."""
+        self._hist.add(x, weight)
+
+    @property
+    def total_weight(self) -> float:
+        """Total accumulated weight."""
+        return self._hist.total
+
+    def evaluate(self, xs: Sequence[int]) -> List[float]:
+        """CDF value at each of ``xs`` (must be sorted ascending)."""
+        cdf = self._hist.cdf()
+        out: List[float] = []
+        i = 0
+        last = 0.0
+        for x in xs:
+            while i < len(cdf) and cdf[i][0] <= x:
+                last = cdf[i][1]
+                i += 1
+            out.append(last)
+        return out
+
+    def support(self) -> List[int]:
+        """The distinct sample points, ascending."""
+        return [k for k, _ in self._hist.items()]
+
+
+class ReservoirQuantiles:
+    """Fixed-memory quantile estimation via reservoir sampling (Vitter's
+    Algorithm R).
+
+    Replays see hundreds of thousands of response times; tail latencies
+    (p95/p99) matter for the Figure-8 discussion but exact quantiles
+    would require retaining every sample.  A ~4k-element uniform
+    reservoir estimates upper quantiles to well under a percentile point
+    at replay sizes, deterministically (seeded LCG, no global RNG
+    state).
+    """
+
+    __slots__ = ("capacity", "count", "_samples", "_state")
+
+    def __init__(self, capacity: int = 4096, seed: int = 0x5EED) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.count = 0
+        self._samples: List[float] = []
+        self._state = seed & 0xFFFFFFFFFFFF or 1
+
+    def _next_rand(self, bound: int) -> int:
+        # 48-bit LCG (same constants as java.util.Random); adequate for
+        # sampling and keeps replays bit-reproducible without numpy.
+        self._state = (self._state * 0x5DEECE66D + 0xB) & 0xFFFFFFFFFFFF
+        return (self._state >> 16) % bound
+
+    def add(self, x: float) -> None:
+        """Offer one sample to the reservoir."""
+        self.count += 1
+        if len(self._samples) < self.capacity:
+            self._samples.append(x)
+            return
+        j = self._next_rand(self.count)
+        if j < self.capacity:
+            self._samples[j] = x
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 <= q <= 1) of the stream so far."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        idx = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[idx]
+
+    def merge(self, other: "ReservoirQuantiles") -> None:
+        """Fold another reservoir in (approximate: concatenate + trim)."""
+        self.count += other.count
+        self._samples.extend(other._samples)
+        if len(self._samples) > self.capacity:
+            # Deterministic thinning: keep a stride sample.
+            stride = len(self._samples) / self.capacity
+            self._samples = [
+                self._samples[int(i * stride)] for i in range(self.capacity)
+            ]
+
+
+@dataclass
+class RatioCounter:
+    """Hit/total counter with a safe ratio accessor."""
+
+    hits: int = 0
+    total: int = 0
+
+    def record(self, hit: bool, weight: int = 1) -> None:
+        """Count ``weight`` accesses, hit or missed."""
+        self.total += weight
+        if hit:
+            self.hits += weight
+
+    def merge(self, other: "RatioCounter") -> None:
+        """Fold another counter in."""
+        self.hits += other.hits
+        self.total += other.total
+
+    @property
+    def ratio(self) -> float:
+        """hits / total (0 when empty)."""
+        return self.hits / self.total if self.total else 0.0

@@ -1,0 +1,61 @@
+"""Argument-validation helpers shared across the package.
+
+Simulation configs have many interdependent integer parameters (page
+size divides block size, cache capacity is a whole number of pages, ...)
+and a mis-configured simulator produces silently wrong numbers rather
+than crashes.  These helpers turn configuration mistakes into immediate
+``ValueError``s with actionable messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "require_positive",
+    "require_non_negative",
+    "require_power_of_two",
+    "require_in_range",
+    "require_divides",
+]
+
+
+def require_positive(value: int | float, name: str) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def require_non_negative(value: int | float, name: str) -> None:
+    """Raise ``ValueError`` unless ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def require_power_of_two(value: int, name: str) -> None:
+    """Raise ``ValueError`` unless ``value`` is a positive power of two."""
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{name} must be a positive power of two, got {value!r}")
+
+
+def require_in_range(
+    value: int | float, name: str, lo: int | float, hi: int | float
+) -> None:
+    """Raise ``ValueError`` unless ``lo <= value <= hi``."""
+    if not lo <= value <= hi:
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+
+
+def require_divides(divisor: int, dividend: int, what: str) -> None:
+    """Raise ``ValueError`` unless ``divisor`` divides ``dividend`` exactly."""
+    if divisor <= 0 or dividend % divisor:
+        raise ValueError(
+            f"{what}: {divisor} does not evenly divide {dividend}"
+        )
+
+
+def require_type(value: Any, name: str, *types: type) -> None:
+    """Raise ``TypeError`` unless ``value`` is an instance of one of ``types``."""
+    if not isinstance(value, types):
+        names = " | ".join(t.__name__ for t in types)
+        raise TypeError(f"{name} must be {names}, got {type(value).__name__}")

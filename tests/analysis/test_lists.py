@@ -1,0 +1,44 @@
+"""Tests for the Fig. 13 list-occupancy summary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.lists import summarize_list_log
+
+
+def sample(i, irl, srl, drl):
+    return (i, {"IRL": irl, "SRL": srl, "DRL": drl})
+
+
+class TestSummarize:
+    def test_empty_log(self):
+        s = summarize_list_log([])
+        assert s.samples == 0
+        assert s.mean_pages == {"IRL": 0.0, "SRL": 0.0, "DRL": 0.0}
+        assert s.share["SRL"] == 0.0
+
+    def test_means_and_max(self):
+        s = summarize_list_log([sample(0, 10, 20, 2), sample(1, 30, 40, 4)])
+        assert s.samples == 2
+        assert s.mean_pages == {"IRL": 20.0, "SRL": 30.0, "DRL": 3.0}
+        assert s.max_pages == {"IRL": 30, "SRL": 40, "DRL": 4}
+
+    def test_shares_sum_to_one(self):
+        s = summarize_list_log([sample(0, 10, 20, 10)])
+        assert sum(s.share.values()) == pytest.approx(1.0)
+
+    def test_dominant_list(self):
+        s = summarize_list_log([sample(0, 10, 50, 5)])
+        assert s.dominant_list == "SRL"
+
+    def test_drl_is_smallest(self):
+        s = summarize_list_log([sample(0, 10, 50, 5)])
+        assert s.drl_is_smallest
+        s2 = summarize_list_log([sample(0, 1, 2, 50)])
+        assert not s2.drl_is_smallest
+
+    def test_missing_keys_default_zero(self):
+        s = summarize_list_log([(0, {"IRL": 5})])
+        assert s.mean_pages["SRL"] == 0.0
+        assert s.mean_pages["DRL"] == 0.0

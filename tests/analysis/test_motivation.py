@@ -1,0 +1,88 @@
+"""Tests for the Fig. 2/3 motivation analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.motivation import analyze_motivation
+from tests.conftest import R, W, make_trace
+
+
+class TestCDFs:
+    def test_insert_cdf_keyed_by_request_size(self):
+        # 2 small pages (size 2) + 6 large pages (size 6): boundary = 4.
+        t = make_trace([W(0, 2), W(10, 6)])
+        stats = analyze_motivation(t, cache_pages=32)
+        assert stats.insert_cdf.evaluate([2]) == [pytest.approx(0.25)]
+        assert stats.insert_cdf.evaluate([6]) == [pytest.approx(1.0)]
+
+    def test_hit_cdf_attributes_hits_to_inserting_size(self):
+        t = make_trace([W(0, 2), W(10, 6), R(0, 1), R(0, 1), R(10, 1)])
+        stats = analyze_motivation(t, cache_pages=32)
+        # 2 hits from the size-2 request, 1 from the size-6 request.
+        assert stats.hit_cdf.evaluate([2]) == [pytest.approx(2 / 3)]
+        assert stats.hit_cdf.evaluate([6]) == [pytest.approx(1.0)]
+
+    def test_cdf_rows_shape(self):
+        t = make_trace([W(0, 2), R(0, 2)])
+        stats = analyze_motivation(t, cache_pages=32)
+        rows = stats.cdf_rows([1, 2, 4])
+        assert [r[0] for r in rows] == [1, 2, 4]
+        assert rows[-1][1] == pytest.approx(1.0)
+
+
+class TestLargeRehit:
+    def test_counts_first_hits_only(self):
+        # Large request (6 pages, boundary 4 from sizes 2 and 6).
+        t = make_trace([W(0, 2), W(10, 6), R(10, 1), R(10, 1)])
+        stats = analyze_motivation(t, cache_pages=32)
+        assert stats.large_pages_cached == 6
+        assert stats.large_pages_hit == 1  # page 10 counted once
+        assert stats.large_hit_fraction == pytest.approx(1 / 6)
+
+    def test_small_fraction(self):
+        t = make_trace([W(0, 2), W(10, 6), R(0, 2)])
+        stats = analyze_motivation(t, cache_pages=32)
+        assert stats.small_pages_cached == 2
+        assert stats.small_pages_hit == 2
+        assert stats.small_hit_fraction == pytest.approx(1.0)
+
+    def test_empty_fractions(self):
+        t = make_trace([R(0, 2)])
+        stats = analyze_motivation(t, cache_pages=8)
+        assert stats.large_hit_fraction == 0.0
+        assert stats.small_hit_fraction == 0.0
+
+
+class TestEvictionBookkeeping:
+    def test_evicted_pages_forgotten(self):
+        # Cache of 4: the size-4 write fills it; the next write evicts.
+        t = make_trace([W(0, 4), W(10, 4), R(0, 4)])
+        stats = analyze_motivation(t, cache_pages=4)
+        # Pages 0-3 were evicted before the read: no hits recorded.
+        assert stats.hit_cdf.total_weight == 0
+
+    def test_rewrite_is_a_hit_not_an_insert(self):
+        t = make_trace([W(0, 2), W(0, 2)])
+        stats = analyze_motivation(t, cache_pages=8)
+        assert stats.insert_cdf.total_weight == 2
+        assert stats.hit_cdf.total_weight == 2
+
+
+class TestObservationsOnPaperWorkloads:
+    """O1/O2 must hold on the calibrated generators (§2.2)."""
+
+    @pytest.fixture(scope="class")
+    def stats(self):
+        from repro.traces.workloads import get_workload, scaled_cache_bytes
+
+        scale = 1 / 64
+        trace = get_workload("src1_2", scale)
+        return analyze_motivation(trace, scaled_cache_bytes(16, scale) // 4096)
+
+    def test_obs1_small_requests_dominate_hits(self, stats):
+        assert stats.hits_from_small_fraction() > 0.6
+        assert stats.inserts_from_small_fraction() < 0.35
+
+    def test_obs2_large_pages_rarely_rehit(self, stats):
+        assert stats.large_hit_fraction < 0.5

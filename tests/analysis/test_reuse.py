@@ -1,0 +1,121 @@
+"""Tests for reuse-distance analysis and the Mattson MRC."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.reuse import reuse_profile, split_reuse_by_size
+from repro.traces.model import IORequest, OpType, Trace
+from tests.conftest import R, W, make_trace
+
+
+class TestStackDistances:
+    def test_first_touches_are_cold(self):
+        p = reuse_profile(make_trace([W(0), W(1), W(2)]))
+        assert p.cold_accesses == 3
+        assert p.distances.total == 0
+
+    def test_immediate_reuse_distance_zero(self):
+        p = reuse_profile(make_trace([W(0), W(0)]))
+        assert p.distances[0] == 1
+
+    def test_known_sequence(self):
+        # Pages: a b c a  -> reuse of 'a' saw {b, c} = distance 2.
+        p = reuse_profile(make_trace([W(0), W(1), W(2), W(0)]))
+        assert p.distances[2] == 1
+        assert p.cold_accesses == 3
+
+    def test_repeated_intermediate_counts_once(self):
+        # a b b a -> distinct pages between the two a's = {b} = 1.
+        p = reuse_profile(make_trace([W(0), W(1), W(1), W(0)]))
+        assert p.distances[1] == 1
+        assert p.distances[0] == 1  # the b-b reuse
+
+    def test_multi_page_requests_flattened(self):
+        p = reuse_profile(make_trace([W(0, 3), W(0, 3)]))
+        # Second request re-touches 0,1,2; each saw 2 distinct others.
+        assert p.distances[2] == 3
+
+    def test_writes_only_filter(self):
+        t = make_trace([W(0), R(0), W(0)])
+        p = reuse_profile(t, writes_only=True)
+        assert p.total_accesses == 2
+        assert p.distances[0] == 1
+
+    def test_empty(self):
+        p = reuse_profile(Trace("e", []))
+        assert p.total_accesses == 0
+        assert p.hit_ratio_at(100) == 0.0
+        assert p.median_distance() is None
+
+
+class TestMattsonProperty:
+    """The MRC must agree exactly with direct LRU simulation."""
+
+    @staticmethod
+    def _lru_hit_ratio(pages, capacity):
+        from collections import OrderedDict
+
+        cache: OrderedDict[int, None] = OrderedDict()
+        hits = 0
+        for p in pages:
+            if p in cache:
+                hits += 1
+                cache.move_to_end(p)
+            else:
+                if len(cache) >= capacity:
+                    cache.popitem(last=False)
+                cache[p] = None
+        return hits / len(pages) if pages else 0.0
+
+    @given(
+        pages=st.lists(st.integers(0, 25), min_size=1, max_size=300),
+        capacity=st.integers(1, 30),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_direct_lru(self, pages, capacity):
+        reqs = [
+            IORequest(float(i), OpType.WRITE, p, 1) for i, p in enumerate(pages)
+        ]
+        profile = reuse_profile(Trace("h", reqs))
+        assert profile.hit_ratio_at(capacity) == pytest.approx(
+            self._lru_hit_ratio(pages, capacity)
+        )
+
+    def test_mrc_monotone_nonincreasing(self, tiny_trace):
+        profile = reuse_profile(tiny_trace)
+        sizes = [1, 8, 32, 128, 512, 4096]
+        mrc = profile.miss_ratio_curve(sizes)
+        misses = [m for _c, m in mrc]
+        assert misses == sorted(misses, reverse=True)
+        # And consistent with the pointwise evaluation.
+        for c, miss in mrc:
+            assert miss == pytest.approx(1.0 - profile.hit_ratio_at(c))
+
+
+class TestSplitBySize:
+    def test_small_pages_show_shorter_distances(self, tiny_trace):
+        from repro.traces.stats import mean_request_pages
+
+        boundary = mean_request_pages(tiny_trace)
+        small, large = split_reuse_by_size(tiny_trace, boundary)
+        assert small.total_accesses > 0 and large.total_accesses > 0
+        # The paper's premise, measured directly: small-write pages
+        # re-use much more (higher finite fraction).
+        small_reuse = small.finite_accesses / small.total_accesses
+        large_reuse = large.finite_accesses / large.total_accesses
+        assert small_reuse > large_reuse
+
+    def test_reads_attributed_to_writing_request(self):
+        t = make_trace([W(0, 2), W(10, 8), R(0, 1), R(10, 1)])
+        small, large = split_reuse_by_size(t, boundary_pages=4)
+        assert small.total_accesses == 3  # 2 writes + 1 read
+        assert large.total_accesses == 9  # 8 writes + 1 read
+
+    def test_unwritten_reads_ignored(self):
+        t = make_trace([W(0, 2), R(100, 4)])
+        small, large = split_reuse_by_size(t, boundary_pages=4)
+        assert small.total_accesses == 2
+        assert large.total_accesses == 0

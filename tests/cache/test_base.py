@@ -1,0 +1,125 @@
+"""Direct tests of the policy framework base classes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.base import AccessOutcome, CachePolicy, FlushBatch, WriteBufferPolicy
+from tests.conftest import R, W
+
+
+class _Stub(WriteBufferPolicy):
+    """Minimal conforming write buffer (FIFO via a list)."""
+
+    name = "stub"
+
+    def __init__(self, capacity_pages, broken_evict=False):
+        super().__init__(capacity_pages)
+        self._order = []
+        self._set = set()
+        self.broken_evict = broken_evict
+
+    def _on_hit(self, lpn, request):
+        pass
+
+    def _insert(self, lpn, request, outcome):
+        self._order.append(lpn)
+        self._set.add(lpn)
+        self._occupancy += 1
+
+    def _evict_one(self, outcome):
+        if self.broken_evict:
+            return  # frees nothing: the template must detect this
+        lpn = self._order.pop(0)
+        self._set.discard(lpn)
+        self._occupancy -= 1
+        outcome.flushes.append(FlushBatch([lpn]))
+
+    def contains(self, lpn):
+        return lpn in self._set
+
+    def cached_lpns(self):
+        return set(self._set)
+
+    def metadata_nodes(self):
+        return len(self._set)
+
+
+class TestTemplateLoop:
+    def test_write_path(self):
+        s = _Stub(4)
+        out = s.access(W(0, 3))
+        assert out.inserted_pages == 3
+        assert out.page_misses == 3
+        assert s.occupancy() == 3
+
+    def test_read_path_collects_misses(self):
+        s = _Stub(4)
+        s.access(W(0, 1))
+        out = s.access(R(0, 3))
+        assert out.page_hits == 1
+        assert out.read_miss_lpns == [1, 2]
+
+    def test_eviction_invoked_at_capacity(self):
+        s = _Stub(2)
+        s.access(W(0, 2))
+        out = s.access(W(10, 1))
+        assert out.flushes and out.flushes[0].lpns == [0]
+
+    def test_broken_evictor_detected(self):
+        s = _Stub(1, broken_evict=True)
+        s.access(W(0, 1))
+        with pytest.raises(RuntimeError, match="freed nothing"):
+            s.access(W(1, 1))
+
+
+class TestBaseServices:
+    def test_metadata_bytes_uses_node_size(self):
+        s = _Stub(4)
+        s.access(W(0, 2))
+        assert s.metadata_bytes() == 2 * _Stub.node_bytes
+
+    def test_flush_all_default_unimplemented(self):
+        class Bare(CachePolicy):
+            name = "bare"
+
+            def access(self, request):  # pragma: no cover - unused
+                raise NotImplementedError
+
+            def occupancy(self):
+                return 0
+
+            def contains(self, lpn):
+                return False
+
+            def cached_lpns(self):
+                return []
+
+            def metadata_nodes(self):
+                return 0
+
+        with pytest.raises(NotImplementedError):
+            Bare(4).flush_all()
+
+    def test_validate_checks_capacity(self):
+        s = _Stub(2)
+        s._occupancy = 99  # corrupt deliberately
+        with pytest.raises(AssertionError):
+            s.validate()
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            _Stub(0)
+
+
+class TestOutcomeDataclasses:
+    def test_totals(self):
+        out = AccessOutcome(page_hits=2, page_misses=3)
+        assert out.total_pages == 5
+
+    def test_flushed_pages(self):
+        out = AccessOutcome(flushes=[FlushBatch([1, 2]), FlushBatch([3])])
+        assert out.flushed_pages == 3
+
+    def test_flush_batch_len(self):
+        assert len(FlushBatch([5, 6, 7])) == 3

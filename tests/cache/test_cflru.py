@@ -1,0 +1,84 @@
+"""Tests for CFLRU (clean-first LRU)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.cflru import CFLRUCache
+from tests.conftest import R, W
+
+
+class TestCFLRU:
+    def test_caches_reads_as_clean(self):
+        c = CFLRUCache(4)
+        out = c.access(R(0, 2))
+        assert out.read_miss_lpns == [0, 1]
+        assert c.contains(0) and c.contains(1)
+        assert c.occupancy() == 2
+
+    def test_clean_page_dropped_for_free(self):
+        c = CFLRUCache(4, window_fraction=1.0)
+        c.access(R(0))  # clean
+        c.access(W(1))  # dirty
+        c.access(W(2))
+        c.access(W(3))
+        out = c.access(W(4))  # eviction: the clean page 0 drops, no flush
+        assert out.flushes == []
+        assert not c.contains(0)
+        assert c.contains(1)
+
+    def test_dirty_tail_flushed_when_no_clean_in_window(self):
+        c = CFLRUCache(4, window_fraction=0.5)
+        for lpn in (0, 1, 2, 3):
+            c.access(W(lpn))  # all dirty
+        out = c.access(W(4))
+        assert out.flushes and out.flushes[0].lpns == [0]
+
+    def test_clean_outside_window_not_dropped(self):
+        # Window covers only the LRU tail entry; the clean page sits at
+        # the MRU end and must not be sacrificed.
+        c = CFLRUCache(4, window_fraction=0.25)
+        for lpn in (0, 1, 2):
+            c.access(W(lpn))
+        c.access(R(10))  # clean, MRU
+        out = c.access(W(4))
+        assert out.flushes and out.flushes[0].lpns == [0]
+        assert c.contains(10)
+
+    def test_write_hit_dirties_clean_page(self):
+        c = CFLRUCache(4, window_fraction=1.0)
+        c.access(R(0))
+        c.access(W(0))  # now dirty
+        c.access(W(1))
+        c.access(W(2))
+        c.access(W(3))  # cache full: 0 must now be flushed, not dropped
+        out = c.access(W(4))
+        assert out.flushes  # dirty eviction happened somewhere
+        assert c.occupancy() == 4
+
+    def test_read_hit_promotes(self):
+        c = CFLRUCache(3, window_fraction=0.0)
+        for lpn in (0, 1, 2):
+            c.access(W(lpn))
+        c.access(R(0))
+        out = c.access(W(3))
+        assert out.flushes[0].lpns == [1]
+
+    def test_flush_all_returns_only_dirty(self):
+        c = CFLRUCache(8)
+        c.access(W(0, 2))
+        c.access(R(10, 2))
+        batch = c.flush_all()
+        assert sorted(batch.lpns) == [0, 1]
+        assert c.occupancy() == 0
+
+    def test_window_fraction_validated(self):
+        with pytest.raises(ValueError):
+            CFLRUCache(4, window_fraction=1.5)
+
+    def test_capacity_bound(self):
+        c = CFLRUCache(5)
+        for i in range(50):
+            c.access(W(i, 2) if i % 2 else R(i + 100, 2))
+            assert c.occupancy() <= 5
+            c.validate()

@@ -1,0 +1,116 @@
+"""Tests for ECR (eviction-cost-aware replacement)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.ecr import ECRCache
+from repro.cache.lru import LRUCache
+from tests.conftest import R, W
+
+
+class _FixedFeedback:
+    """Deterministic backlog oracle for unit tests."""
+
+    def __init__(self, costs):
+        self.costs = costs
+        self.queries = 0
+
+    def flush_backlog_ms(self, lpn):
+        self.queries += 1
+        return self.costs.get(lpn, 100.0)
+
+
+class TestWithoutFeedback:
+    def test_degenerates_to_lru(self, tiny_trace):
+        ecr = ECRCache(64)
+        lru = LRUCache(64)
+        for req in list(tiny_trace)[:1500]:
+            a = ecr.access(req)
+            b = lru.access(req)
+            assert a.page_hits == b.page_hits
+            assert [x.lpns for x in a.flushes] == [x.lpns for x in b.flushes]
+
+    def test_window_one_is_lru_even_with_feedback(self):
+        c = ECRCache(2, window=1)
+        c.set_device_feedback(_FixedFeedback({0: 0.0, 1: 0.0}))
+        c.access(W(0))
+        c.access(W(1))
+        out = c.access(W(2))
+        assert out.flushes[0].lpns == [0]  # strict LRU order
+
+
+class TestWithFeedback:
+    def test_prefers_cheapest_victim_in_window(self):
+        c = ECRCache(3, window=3)
+        c.set_device_feedback(_FixedFeedback({0: 50.0, 1: 0.0, 2: 50.0}))
+        for lpn in (0, 1, 2):
+            c.access(W(lpn))
+        out = c.access(W(3))
+        # LRU would evict 0; ECR picks 1 (zero backlog).
+        assert out.flushes[0].lpns == [1]
+        assert c.contains(0)
+        c.validate()
+
+    def test_tie_breaks_toward_lru_end(self):
+        c = ECRCache(3, window=3)
+        c.set_device_feedback(_FixedFeedback({0: 5.0, 1: 5.0, 2: 5.0}))
+        for lpn in (0, 1, 2):
+            c.access(W(lpn))
+        out = c.access(W(3))
+        assert out.flushes[0].lpns == [0]
+
+    def test_window_limits_search(self):
+        # Cheapest page sits outside the 2-wide window: not considered.
+        c = ECRCache(4, window=2)
+        c.set_device_feedback(_FixedFeedback({0: 9.0, 1: 8.0, 2: 0.0, 3: 9.0}))
+        for lpn in (0, 1, 2, 3):
+            c.access(W(lpn))
+        out = c.access(W(4))
+        assert out.flushes[0].lpns == [1]  # best within {0, 1}
+
+    def test_feedback_queried_per_eviction(self):
+        fb = _FixedFeedback({})
+        c = ECRCache(2, window=2)
+        c.set_device_feedback(fb)
+        c.access(W(0))
+        c.access(W(1))
+        c.access(W(2))
+        assert fb.queries == 2  # both window candidates consulted
+
+
+class TestControllerIntegration:
+    def test_feedback_injected_by_controller(self):
+        from repro.cache.registry import create_policy
+        from repro.ssd.config import SSDConfig
+        from repro.ssd.controller import SSDController
+
+        policy = create_policy("ecr", 8)
+        SSDController(SSDConfig(blocks_per_plane=32), policy)
+        assert policy._feedback is not None
+
+    def test_backlog_reflects_busy_planes(self):
+        from repro.cache.lru import LRUCache
+        from repro.ssd.config import SSDConfig
+        from repro.ssd.controller import SSDController
+        from repro.ssd.controller import _BacklogFeedback
+
+        c = SSDController(SSDConfig(blocks_per_plane=32), LRUCache(8))
+        fb = _BacklogFeedback(c)
+        c._now = 0.0
+        assert fb.flush_backlog_ms(0) == 0.0
+        # Busy a plane; its backlog becomes positive.
+        c.ftl.write_page(0, 0.0, plane=0)
+        assert fb.flush_backlog_ms(0) > 0.0
+        # Far in the future, the backlog has drained.
+        c._now = 1000.0
+        assert fb.flush_backlog_ms(0) == 0.0
+
+    def test_full_replay(self, tiny_trace):
+        from repro.sim.replay import ReplayConfig, replay_trace
+
+        m = replay_trace(
+            tiny_trace, ReplayConfig(policy="ecr", cache_bytes=64 * 4096)
+        )
+        assert m.n_requests == len(tiny_trace)
+        assert 0.0 < m.hit_ratio < 1.0

@@ -1,0 +1,68 @@
+"""Tests for FAB (flash-aware buffer)."""
+
+from __future__ import annotations
+
+from repro.cache.fab import FABCache
+from tests.conftest import R, W
+
+
+class TestFAB:
+    def test_groups_by_flash_block(self):
+        c = FABCache(16, pages_per_block=4)
+        c.access(W(0, 2))  # block 0
+        c.access(W(4, 1))  # block 1
+        assert c.metadata_nodes() == 2
+        assert c.occupancy() == 3
+
+    def test_evicts_largest_group(self):
+        c = FABCache(6, pages_per_block=4)
+        c.access(W(0, 4))  # block 0: 4 pages
+        c.access(W(8, 2))  # block 2: 2 pages
+        out = c.access(W(100, 1))  # evict the 4-page group
+        assert out.flushes[0].lpns == [0, 1, 2, 3]
+        assert c.contains(8)
+
+    def test_recency_ignored(self):
+        c = FABCache(6, pages_per_block=4)
+        c.access(W(0, 4))
+        c.access(W(8, 2))
+        for _ in range(5):
+            c.access(R(0, 4))  # hits on the big group change nothing
+        out = c.access(W(100, 1))
+        assert out.flushes[0].lpns == [0, 1, 2, 3]
+
+    def test_batch_is_block_pinned(self):
+        c = FABCache(4, pages_per_block=4)
+        c.access(W(0, 4))
+        out = c.access(W(100, 1))
+        assert out.flushes[0].pin_key == 0
+
+    def test_tie_broken_by_insertion_order(self):
+        c = FABCache(4, pages_per_block=4)
+        c.access(W(0, 2))  # block 0
+        c.access(W(4, 2))  # block 1, same size
+        out = c.access(W(100, 1))
+        assert out.flushes[0].lpns == [0, 1]
+
+    def test_group_grows_across_requests(self):
+        c = FABCache(16, pages_per_block=8)
+        c.access(W(0, 2))
+        c.access(W(4, 2))  # same flash block 0
+        assert c.metadata_nodes() == 1
+        c.validate()
+
+    def test_capacity_bound_and_invariants(self):
+        c = FABCache(10, pages_per_block=4)
+        for i in range(80):
+            c.access(W((i * 7) % 40, 2))
+            assert c.occupancy() <= 10
+            c.validate()
+
+    def test_flush_all(self):
+        c = FABCache(8, pages_per_block=4)
+        c.access(W(0, 3))
+        c.access(W(8, 2))
+        batch = c.flush_all()
+        assert sorted(batch.lpns) == [0, 1, 2, 8, 9]
+        assert c.occupancy() == 0
+        assert c.metadata_nodes() == 0

@@ -1,0 +1,45 @@
+"""Tests for page-level FIFO."""
+
+from __future__ import annotations
+
+from repro.cache.fifo import FIFOCache
+from tests.conftest import R, W
+
+
+class TestFIFO:
+    def test_eviction_ignores_hits(self):
+        c = FIFOCache(3)
+        for lpn in (0, 1, 2):
+            c.access(W(lpn))
+        c.access(R(0))  # hit, but FIFO does not promote
+        out = c.access(W(3))
+        assert out.flushes[0].lpns == [0]
+        assert not c.contains(0)
+
+    def test_insertion_order_preserved_across_hits(self):
+        c = FIFOCache(3)
+        for lpn in (0, 1, 2):
+            c.access(W(lpn))
+        c.access(W(0))  # write hit: update in place
+        out = c.access(W(3))
+        assert out.flushes[0].lpns == [0]
+
+    def test_hits_counted(self):
+        c = FIFOCache(4)
+        c.access(W(0, 2))
+        out = c.access(R(0, 2))
+        assert out.page_hits == 2
+
+    def test_capacity_bound(self):
+        c = FIFOCache(5)
+        for i in range(30):
+            c.access(W(i, 2))
+            assert c.occupancy() <= 5
+        c.validate()
+
+    def test_flush_all(self):
+        c = FIFOCache(4)
+        c.access(W(7, 2))
+        batch = c.flush_all()
+        assert sorted(batch.lpns) == [7, 8]
+        assert c.occupancy() == 0

@@ -1,0 +1,61 @@
+"""Tests for the O(1) LFU cache."""
+
+from __future__ import annotations
+
+from repro.cache.lfu import LFUCache
+from tests.conftest import R, W
+
+
+class TestLFU:
+    def test_evicts_least_frequent(self):
+        c = LFUCache(3)
+        for lpn in (0, 1, 2):
+            c.access(W(lpn))
+        c.access(R(0))
+        c.access(R(1))  # lpn 2 has the lowest count
+        out = c.access(W(3))
+        assert out.flushes[0].lpns == [2]
+
+    def test_lru_tie_break(self):
+        c = LFUCache(3)
+        for lpn in (0, 1, 2):
+            c.access(W(lpn))  # all freq 1
+        out = c.access(W(3))  # ties broken by recency: evict oldest (0)
+        assert out.flushes[0].lpns == [0]
+
+    def test_frequency_accumulates(self):
+        c = LFUCache(2)
+        c.access(W(0))
+        for _ in range(5):
+            c.access(R(0))
+        c.access(W(1))
+        out = c.access(W(2))  # 1 (freq 1) evicted, not 0 (freq 6)
+        assert out.flushes[0].lpns == [1]
+        assert c.contains(0)
+
+    def test_new_insert_resets_min_freq(self):
+        c = LFUCache(2)
+        c.access(W(0))
+        c.access(R(0))  # freq 2
+        c.access(W(1))  # freq 1
+        c.access(R(1))  # freq 2
+        c.access(W(2))  # evict one of the freq-2 (LRU: 0), insert freq-1
+        assert c.contains(2)
+        assert c.occupancy() == 2
+        c.validate()
+
+    def test_capacity_bound_under_churn(self):
+        c = LFUCache(6)
+        for i in range(100):
+            c.access(W(i % 17, 1))
+            assert c.occupancy() <= 6
+            c.validate()
+
+    def test_flush_all(self):
+        c = LFUCache(4)
+        c.access(W(0, 3))
+        c.access(R(1))
+        batch = c.flush_all()
+        assert sorted(batch.lpns) == [0, 1, 2]
+        assert c.occupancy() == 0
+        assert c.metadata_nodes() == 0

@@ -1,0 +1,183 @@
+"""Property-based conformance tests run against EVERY registered policy.
+
+These pin down the write-buffer contract of ``CachePolicy`` (see
+cache/base.py): capacity bounds, hit/miss accounting, eviction-flush
+consistency, and agreement with a reference set model.  Each property
+runs across all registered policies, so a new policy gets the full
+battery for free.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.registry import available_policies, create_policy
+from repro.traces.model import IORequest, OpType
+
+ALL_POLICIES = available_policies()
+
+# CFLRU caches read data by design; every other policy is a pure write
+# buffer.  Properties that assume "reads never allocate" skip it.
+WRITE_BUFFER_POLICIES = [p for p in ALL_POLICIES if p != "cflru"]
+
+
+def requests(max_lpn=60, max_pages=8):
+    return st.lists(
+        st.tuples(
+            st.booleans(),  # is_write
+            st.integers(0, max_lpn),
+            st.integers(1, max_pages),
+        ),
+        min_size=1,
+        max_size=120,
+    )
+
+
+def play(policy, ops):
+    """Feed ops through the policy, yielding (request, outcome) pairs.
+
+    A generator so property tests can interleave their checks with the
+    policy's evolving state."""
+    for i, (is_write, lpn, npages) in enumerate(ops):
+        req = IORequest(
+            time=float(i),
+            op=OpType.WRITE if is_write else OpType.READ,
+            lpn=lpn,
+            npages=npages,
+        )
+        yield req, policy.access(req)
+
+
+@pytest.mark.parametrize("name", ALL_POLICIES)
+class TestPolicyContract:
+    @given(ops=requests(), capacity=st.integers(2, 32))
+    @settings(max_examples=60, deadline=None)
+    def test_capacity_never_exceeded(self, name, ops, capacity):
+        policy = create_policy(name, capacity)
+        for _req, _out in play(policy, ops):
+            assert policy.occupancy() <= capacity
+            policy.validate()
+
+    @given(ops=requests(), capacity=st.integers(2, 32))
+    @settings(max_examples=60, deadline=None)
+    def test_page_accounting_adds_up(self, name, ops, capacity):
+        policy = create_policy(name, capacity)
+        for req, out in play(policy, ops):
+            assert out.page_hits + out.page_misses == req.npages
+            assert out.page_hits >= 0 and out.page_misses >= 0
+
+    @given(ops=requests(), capacity=st.integers(2, 32))
+    @settings(max_examples=60, deadline=None)
+    def test_flushed_pages_were_cached(self, name, ops, capacity):
+        """No policy may flush an LPN it never held or was handed."""
+        policy = create_policy(name, capacity)
+        cached_before: set[int] = set()
+        for req, out in play(policy, ops):
+            flushed = [lpn for b in out.flushes for lpn in b.lpns]
+            # Pages the request may legitimately (re)insert: written
+            # pages, plus read fills for policies that cache reads.
+            touched = set(req.pages())
+            for lpn in flushed:
+                assert lpn in cached_before or lpn in touched, (
+                    f"{name} flushed unknown lpn {lpn}"
+                )
+            # A flushed page is gone afterwards — unless the same
+            # request re-cached it after the eviction (an LPN evicted to
+            # make room for an earlier page of the same request).
+            for lpn in flushed:
+                assert not policy.contains(lpn) or lpn in touched
+            cached_before = set(policy.cached_lpns())
+
+    @given(ops=requests(), capacity=st.integers(2, 32))
+    @settings(max_examples=40, deadline=None)
+    def test_contains_matches_cached_lpns(self, name, ops, capacity):
+        policy = create_policy(name, capacity)
+        for _ in play(policy, ops):
+            pass
+        listed = set(policy.cached_lpns())
+        assert len(listed) == policy.occupancy()
+        for lpn in listed:
+            assert policy.contains(lpn)
+
+    @given(ops=requests(), capacity=st.integers(2, 32))
+    @settings(max_examples=40, deadline=None)
+    def test_flush_all_drains_exactly_the_cache(self, name, ops, capacity):
+        policy = create_policy(name, capacity)
+        for _ in play(policy, ops):
+            pass
+        before = set(policy.cached_lpns())
+        dirty_before = before
+        batch = policy.flush_all()
+        assert policy.occupancy() == 0
+        if name == "cflru":
+            # Clean pages are dropped, not flushed.
+            assert set(batch.lpns) <= dirty_before
+        else:
+            assert set(batch.lpns) == before
+        policy.validate()
+
+
+@pytest.mark.parametrize("name", WRITE_BUFFER_POLICIES)
+class TestWriteBufferSemantics:
+    @given(ops=requests(), capacity=st.integers(2, 32))
+    @settings(max_examples=40, deadline=None)
+    def test_reads_never_allocate(self, name, ops, capacity):
+        policy = create_policy(name, capacity)
+        for req, out in play(policy, ops):
+            if not req.is_read:
+                continue
+            # Checked immediately, before any later write can cache it.
+            for lpn in out.read_miss_lpns:
+                assert not policy.contains(lpn)
+
+    @given(ops=requests(), capacity=st.integers(2, 32))
+    @settings(max_examples=40, deadline=None)
+    def test_written_pages_present_unless_evicted(self, name, ops, capacity):
+        """Right after a write, each page is cached unless an eviction
+        during the same request removed it again."""
+        policy = create_policy(name, capacity)
+        for req, out in play(policy, ops):
+            if not req.is_write:
+                continue
+            flushed = {lpn for b in out.flushes for lpn in b.lpns}
+            for lpn in req.pages():
+                assert policy.contains(lpn) or lpn in flushed
+
+    @given(ops=requests(max_lpn=20), capacity=st.integers(8, 32))
+    @settings(max_examples=40, deadline=None)
+    def test_model_equivalence_of_contents(self, name, ops, capacity):
+        """Contents evolve as (previous - flushed) + written.
+
+        Exact set equality per page-op is not observable from outside
+        (a page may be flushed and then rewritten within one request),
+        so assert the three order-insensitive inclusions that pin the
+        contents from both sides.
+        """
+        policy = create_policy(name, capacity)
+        prev: set[int] = set()
+        for req, out in play(policy, ops):
+            written = set(req.pages()) if req.is_write else set()
+            flushed = {lpn for b in out.flushes for lpn in b.lpns}
+            contents = set(policy.cached_lpns())
+            # Nothing appears from thin air...
+            assert contents <= prev | written
+            # ...unflushed old pages survive...
+            assert prev - flushed <= contents
+            # ...and every page is either cached or was flushed.
+            assert prev | written <= contents | flushed
+            prev = contents
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ALL_POLICIES)
+    def test_same_input_same_output(self, name, tiny_trace):
+        a = create_policy(name, 64)
+        b = create_policy(name, 64)
+        for req in list(tiny_trace)[:800]:
+            oa = a.access(req)
+            ob = b.access(req)
+            assert oa.page_hits == ob.page_hits
+            assert [x.lpns for x in oa.flushes] == [x.lpns for x in ob.flushes]
+        assert set(a.cached_lpns()) == set(b.cached_lpns())

@@ -1,0 +1,74 @@
+"""Tests for PUD-LRU (predicted-update-distance block buffer)."""
+
+from __future__ import annotations
+
+from repro.cache.pudlru import PUDLRUCache
+from tests.conftest import R, W
+
+
+def make(capacity=12, ppb=4):
+    return PUDLRUCache(capacity, pages_per_block=ppb)
+
+
+class TestPUDLRU:
+    def test_groups_by_block(self):
+        c = make()
+        c.access(W(0, 2))
+        c.access(W(2, 1))  # same flash block 0
+        assert c.metadata_nodes() == 1
+        assert c.occupancy() == 3
+
+    def test_evicts_cold_infrequent_block(self):
+        c = make(capacity=6)
+        c.access(W(0, 2))  # block 0
+        c.access(W(4, 2))  # block 1
+        for _ in range(4):
+            c.access(W(0, 2))  # block 0 updated often
+        out = c.access(W(8, 4))  # force eviction: block 1 is cold
+        assert out.flushes[0].lpns == [4, 5]
+        assert c.contains(0)
+
+    def test_recency_matters_at_equal_frequency(self):
+        c = make(capacity=4)
+        c.access(W(0, 2))  # block 0, older
+        c.access(W(4, 2))  # block 1, newer
+        out = c.access(W(8, 2))
+        assert out.flushes[0].lpns == [0, 1]
+
+    def test_flush_is_block_pinned(self):
+        c = make(capacity=2)
+        c.access(W(0, 2))
+        out = c.access(W(8, 1))
+        assert out.flushes[0].pin_key == 0
+
+    def test_capacity_bound_under_churn(self):
+        c = make(capacity=10)
+        for i in range(120):
+            c.access(W((i * 7) % 48, 2))
+            assert c.occupancy() <= 10
+            c.validate()
+
+    def test_hits_refresh_blocks(self):
+        c = make(capacity=6)
+        c.access(W(0, 2))
+        c.access(W(4, 2))
+        c.access(R(0, 1))  # read hit refreshes block 0
+        c.access(R(0, 1))
+        out = c.access(W(8, 4))
+        assert out.flushes[0].lpns == [4, 5]
+
+    def test_flush_all(self):
+        c = make()
+        c.access(W(0, 3))
+        c.access(W(8, 2))
+        batch = c.flush_all()
+        assert sorted(batch.lpns) == [0, 1, 2, 8, 9]
+        assert c.occupancy() == 0
+        assert c.metadata_nodes() == 0
+
+    def test_registered(self):
+        from repro.cache.registry import create_policy
+
+        p = create_policy("pudlru", 16, pages_per_block=8)
+        assert isinstance(p, PUDLRUCache)
+        assert p.pages_per_block == 8

@@ -1,0 +1,127 @@
+"""Tests for VBBMS (two-region virtual-block buffer)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.vbbms import VBBMSCache
+from tests.conftest import R, W
+
+
+def make(capacity=20, **kw):
+    kw.setdefault("seq_threshold_pages", 16)
+    return VBBMSCache(capacity, **kw)
+
+
+class TestClassification:
+    def test_small_write_is_random(self):
+        c = make()
+        c.access(W(0, 2))
+        assert c.random.occupancy == 2
+        assert c.seq.occupancy == 0
+
+    def test_huge_write_is_sequential(self):
+        c = make(capacity=60)  # seq region holds 24 pages
+        c.access(W(0, 16))
+        assert c.seq.occupancy == 16
+        assert c.random.occupancy == 0
+
+    def test_stream_continuation_is_sequential(self):
+        c = make(capacity=60)
+        c.access(W(0, 16))  # starts a stream, itself sequential (size)
+        c.access(W(16, 8))  # continues it -> sequential despite size 8
+        assert c.seq.occupancy == 24
+
+    def test_extent_rewrite_is_random(self):
+        c = make(capacity=60)
+        c.access(W(100, 8))  # below threshold, no stream -> random
+        c.access(W(100, 8))  # rewrite of the same extent: still random
+        assert c.seq.occupancy == 0
+        assert c.random.occupancy == 8
+
+    def test_stream_table_bounded(self):
+        c = make(stream_table_size=4)
+        for i in range(20):
+            c.access(W(i * 1000, 1))
+        assert len(c._stream_ends) <= 4
+
+
+class TestRegions:
+    def test_split_three_to_two(self):
+        c = VBBMSCache(100)
+        assert c.random.capacity == 60
+        assert c.seq.capacity == 40
+
+    def test_virtual_block_sizes(self):
+        c = make()
+        assert c.random.vb_pages == 3
+        assert c.seq.vb_pages == 4
+
+    def test_random_region_lru(self):
+        c = VBBMSCache(10, random_fraction=0.6)  # random cap = 6
+        c.access(W(0, 3))  # vb 0
+        c.access(W(30, 3))  # vb 10 (disjoint: not a stream continuation)
+        c.access(R(0, 1))  # hit vb 0 -> MRU
+        out = c.access(W(60, 3))  # evict vb 10 (LRU)
+        assert out.flushes[0].lpns == [30, 31, 32]
+        assert c.contains(0)
+
+    def test_seq_region_fifo_ignores_hits(self):
+        c = VBBMSCache(40, random_fraction=0.5, seq_threshold_pages=16)
+        c.access(W(0, 16))
+        c.access(R(0, 4))  # hits do not reorder FIFO
+        c.access(W(100, 16))  # 32 > 20-page seq capacity: evicts oldest
+        assert not c.contains(0)
+
+    def test_regions_do_not_steal_capacity(self):
+        # Filling the sequential region never evicts random pages.
+        c = VBBMSCache(20, random_fraction=0.6, seq_threshold_pages=8)
+        c.access(W(0, 3))  # random
+        for i in range(10):
+            c.access(W(1000 + i * 8, 8))  # sequential churn
+        assert c.contains(0)
+
+    def test_eviction_batches_unpinned(self):
+        c = VBBMSCache(10)
+        c.access(W(0, 3))
+        c.access(W(3, 3))
+        out = c.access(W(30, 3))
+        assert all(b.pin_key is None for b in out.flushes)
+
+
+class TestInvariants:
+    def test_page_in_exactly_one_region(self):
+        c = make(capacity=60)
+        c.access(W(0, 16))  # sequential
+        c.access(W(0, 2))  # rewrite first pages: hit in seq region
+        # The hit must not duplicate pages into the random region.
+        assert c.occupancy() == 16
+        c.validate()
+
+    def test_capacity_bound_under_churn(self):
+        c = VBBMSCache(15, seq_threshold_pages=8)
+        import random as _r
+
+        rng = _r.Random(3)
+        for i in range(200):
+            if rng.random() < 0.5:
+                c.access(W(rng.randrange(50), rng.randint(1, 4)))
+            else:
+                c.access(W(1000 + i * 10, rng.randint(8, 12)))
+            assert c.occupancy() <= 15
+            c.validate()
+
+    def test_flush_all(self):
+        c = make(capacity=60)
+        c.access(W(0, 2))
+        c.access(W(100, 16))
+        batch = c.flush_all()
+        assert len(batch.lpns) == 18
+        assert c.occupancy() == 0
+        c.validate()
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            VBBMSCache(10, random_fraction=0.95)
+        with pytest.raises(ValueError):
+            VBBMSCache(10, seq_vb_pages=0)

@@ -1,0 +1,81 @@
+"""Tests for the adaptive-δ extension policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adaptive import AdaptiveReqBlockCache
+from tests.conftest import R, W
+
+
+def make(capacity=64, epoch=200, **kw):
+    return AdaptiveReqBlockCache(capacity, epoch_pages=epoch, **kw)
+
+
+class TestConstruction:
+    def test_defaults(self):
+        c = make()
+        assert c.delta == 5
+        assert c.name == "reqblock-adaptive"
+        assert c.delta_history == [(0, 5)]
+
+    def test_delta_above_max_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            AdaptiveReqBlockCache(64, delta=20, delta_max=16)
+
+    def test_bad_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveReqBlockCache(64, epoch_pages=0)
+
+
+class TestAdaptation:
+    def _drive(self, cache, n, seed=0):
+        import random
+
+        rng = random.Random(seed)
+        for _ in range(n):
+            if rng.random() < 0.7:
+                cache.access(W(rng.randrange(150), rng.randint(1, 6)))
+            else:
+                cache.access(R(rng.randrange(150), 1))
+
+    def test_delta_moves_over_time(self):
+        c = make(epoch=100)
+        self._drive(c, 5000)
+        assert len(c.delta_history) > 1
+
+    def test_delta_stays_in_bounds(self):
+        c = make(epoch=50, delta_max=8)
+        self._drive(c, 8000, seed=3)
+        for _clock, d in c.delta_history:
+            assert 1 <= d <= 8
+        assert 1 <= c.delta <= 8
+
+    def test_no_adaptation_before_first_epoch(self):
+        c = make(epoch=10_000)
+        self._drive(c, 50)
+        assert c.delta_history == [(0, 5)]
+
+    def test_invariants_hold_through_adaptation(self):
+        c = make(capacity=32, epoch=64)
+        self._drive(c, 3000, seed=7)
+        c.validate()
+        assert c.occupancy() <= 32
+
+    def test_registered(self):
+        from repro.cache.registry import create_policy
+
+        c = create_policy("reqblock-adaptive", 16, delta=3)
+        assert isinstance(c, AdaptiveReqBlockCache)
+        assert c.delta == 3
+
+    def test_behaves_like_reqblock_within_first_epoch(self, tiny_trace):
+        from repro.core.policy import ReqBlockCache
+
+        fixed = ReqBlockCache(64)
+        adaptive = AdaptiveReqBlockCache(64, epoch_pages=10**9)
+        for req in list(tiny_trace)[:500]:
+            a = fixed.access(req)
+            b = adaptive.access(req)
+            assert a.page_hits == b.page_hits
+            assert [x.lpns for x in a.flushes] == [x.lpns for x in b.flushes]

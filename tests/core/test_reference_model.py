@@ -1,0 +1,163 @@
+"""Differential test: ReqBlockCache vs a naive reference implementation.
+
+The production policy uses intrusive lists, an LPN index and incremental
+page counters.  This module re-implements Algorithm 1 in the most
+obvious way possible — plain Python lists scanned linearly, no caching
+of derived state — and checks, request by request on random workloads,
+that both produce identical hits, flush batches and cache contents.
+A divergence means the optimised bookkeeping broke the semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policy import ReqBlockCache
+from repro.traces.model import IORequest, OpType
+
+
+@dataclass
+class _Blk:
+    req_id: int
+    t_insert: int
+    pages: Set[int] = field(default_factory=set)
+    access_cnt: int = 1
+    origin: Optional["_Blk"] = None
+
+
+class ReferenceReqBlock:
+    """Deliberately naive Req-block (same semantics, O(n) everything)."""
+
+    def __init__(self, capacity: int, delta: int) -> None:
+        self.capacity = capacity
+        self.delta = delta
+        self.irl: List[_Blk] = []  # index 0 = head
+        self.srl: List[_Blk] = []
+        self.drl: List[_Blk] = []
+        self.clock = 0
+        self.req_seq = 0
+
+    # -- helpers ---------------------------------------------------------
+    def _find(self, lpn: int) -> Optional[_Blk]:
+        for lst in (self.irl, self.srl, self.drl):
+            for blk in lst:
+                if lpn in blk.pages:
+                    return blk
+        return None
+
+    def _remove_from_lists(self, blk: _Blk) -> None:
+        for lst in (self.irl, self.srl, self.drl):
+            if blk in lst:
+                lst.remove(blk)
+                return
+
+    def _occupancy(self) -> int:
+        return sum(
+            len(b.pages) for lst in (self.irl, self.srl, self.drl) for b in lst
+        )
+
+    def _in_irl(self, blk: _Blk) -> bool:
+        return blk in self.irl
+
+    # -- Algorithm 1 -------------------------------------------------------
+    def access(self, request: IORequest):
+        hits = 0
+        flushes: List[List[int]] = []
+        req_id = self.req_seq
+        self.req_seq += 1
+        for lpn in request.pages():
+            self.clock += 1
+            blk = self._find(lpn)
+            if blk is not None:
+                hits += 1
+                blk.access_cnt += 1
+                if len(blk.pages) <= self.delta:
+                    blk.t_insert = self.clock  # refresh-on-promote
+                    self._remove_from_lists(blk)
+                    self.srl.insert(0, blk)
+                else:
+                    blk.pages.discard(lpn)
+                    if not blk.pages:
+                        self._remove_from_lists(blk)
+                    head = self.drl[0] if self.drl else None
+                    if head is None or head.req_id != req_id:
+                        head = _Blk(req_id, self.clock)
+                        head.origin = blk if blk.pages else blk.origin
+                        self.drl.insert(0, head)
+                    else:
+                        head.access_cnt += 1
+                    head.pages.add(lpn)
+            elif request.is_write:
+                while self._occupancy() >= self.capacity:
+                    flushes.append(self._evict())
+                head = self.irl[0] if self.irl else None
+                if head is None or head.req_id != req_id:
+                    head = _Blk(req_id, self.clock)
+                    self.irl.insert(0, head)
+                head.pages.add(lpn)
+        return hits, flushes
+
+    def _freq(self, blk: _Blk) -> float:
+        age = max(1, self.clock - blk.t_insert)
+        return blk.access_cnt / (len(blk.pages) * age)
+
+    def _evict(self) -> List[int]:
+        tails = [lst[-1] for lst in (self.irl, self.srl, self.drl) if lst]
+        victim = min(tails, key=self._freq)
+        lpns = set(victim.pages)
+        if (
+            victim.origin is not None
+            and self._in_irl(victim.origin)
+            and victim.origin.pages
+        ):
+            lpns |= victim.origin.pages
+            self.irl.remove(victim.origin)
+        self._remove_from_lists(victim)
+        return sorted(lpns)
+
+    def contents(self) -> Set[int]:
+        return {
+            lpn
+            for lst in (self.irl, self.srl, self.drl)
+            for b in lst
+            for lpn in b.pages
+        }
+
+
+request_lists = st.lists(
+    st.tuples(
+        st.booleans(),
+        st.integers(0, 40),
+        st.integers(1, 10),
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+class TestDifferential:
+    @given(ops=request_lists, capacity=st.integers(4, 24), delta=st.integers(1, 6))
+    @settings(max_examples=120, deadline=None)
+    def test_matches_reference(self, ops, capacity, delta):
+        fast = ReqBlockCache(capacity, delta=delta)
+        ref = ReferenceReqBlock(capacity, delta)
+        for i, (is_write, lpn, npages) in enumerate(ops):
+            req = IORequest(
+                time=float(i),
+                op=OpType.WRITE if is_write else OpType.READ,
+                lpn=lpn,
+                npages=npages,
+            )
+            out = fast.access(req)
+            ref_hits, ref_flushes = ref.access(req)
+            assert out.page_hits == ref_hits, f"hits diverged at op {i}"
+            got_flushes = [b.lpns for b in out.flushes]
+            assert got_flushes == ref_flushes, f"flushes diverged at op {i}"
+            assert set(fast.cached_lpns()) == ref.contents(), (
+                f"contents diverged at op {i}"
+            )
+        fast.validate()

@@ -1,0 +1,66 @@
+"""Tests for the RequestBlock data structure and Eq. 1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.request_block import RequestBlock
+
+
+class TestRequestBlock:
+    def test_initial_state(self):
+        b = RequestBlock(req_id=7, t_insert=100)
+        assert b.req_id == 7
+        assert b.access_cnt == 1  # "initialized to 1"
+        assert b.t_insert == 100
+        assert b.page_num == 0
+        assert not b.is_split
+        assert b.origin is None
+
+    def test_page_num_tracks_set(self):
+        b = RequestBlock(0, 0)
+        b.pages.update({1, 2, 3})
+        assert b.page_num == 3
+        b.pages.discard(2)
+        assert b.page_num == 2
+
+    def test_is_split(self):
+        origin = RequestBlock(0, 0)
+        b = RequestBlock(1, 5)
+        b.origin = origin
+        assert b.is_split
+
+
+class TestFrequency:
+    def test_eq1_formula(self):
+        b = RequestBlock(0, t_insert=100)
+        b.pages.update({1, 2})
+        b.access_cnt = 6
+        # Freq = 6 / (2 * (150 - 100)) = 0.06
+        assert b.frequency(150) == pytest.approx(0.06)
+
+    def test_age_clamped_to_one(self):
+        b = RequestBlock(0, t_insert=100)
+        b.pages.add(1)
+        assert b.frequency(100) == pytest.approx(1.0)
+        assert b.frequency(99) == pytest.approx(1.0)
+
+    def test_empty_block_ranks_last(self):
+        b = RequestBlock(0, 0)
+        assert b.frequency(10) == float("inf")
+
+    def test_small_hot_beats_large_cold(self):
+        """The paper's intent: SRL-style blocks (small, accessed) score
+        above IRL-style blocks (large, accessed once)."""
+        small = RequestBlock(0, t_insert=0)
+        small.pages.update({1, 2})
+        small.access_cnt = 5
+        large = RequestBlock(1, t_insert=0)
+        large.pages.update(range(10, 30))
+        large.access_cnt = 1
+        assert small.frequency(100) > large.frequency(100)
+
+    def test_aging_decays_priority(self):
+        b = RequestBlock(0, t_insert=0)
+        b.pages.add(1)
+        assert b.frequency(10) > b.frequency(1000)

@@ -1,0 +1,60 @@
+"""Tests for δ tuning (Fig. 7 machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tuning import DeltaPoint, recommend_delta, sweep_delta
+
+
+class TestRecommendDelta:
+    def test_best_hit_wins(self):
+        points = [
+            DeltaPoint(1, 0.30, 1.0),
+            DeltaPoint(3, 0.40, 1.0),
+            DeltaPoint(5, 0.35, 1.0),
+        ]
+        assert recommend_delta(points) == 3
+
+    def test_response_breaks_near_ties(self):
+        points = [
+            DeltaPoint(3, 0.400, 1.0),
+            DeltaPoint(5, 0.399, 0.8),  # within 1% of best, faster
+        ]
+        assert recommend_delta(points) == 5
+
+    def test_cache_only_uses_hits(self):
+        points = [
+            DeltaPoint(1, 0.30, 0.0),
+            DeltaPoint(5, 0.31, 0.0),
+        ]
+        assert recommend_delta(points) == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            recommend_delta([])
+
+
+class TestSweepDelta:
+    def test_sweep_shape(self):
+        points = sweep_delta(
+            "ts_0",
+            cache_bytes=64 * 4096,
+            deltas=(1, 3, 5),
+            scale=1 / 256,
+            cache_only=True,
+            processes=1,
+        )
+        assert [p.delta for p in points] == [1, 3, 5]
+        assert all(0.0 <= p.hit_ratio <= 1.0 for p in points)
+
+    def test_delta_changes_behaviour(self):
+        points = sweep_delta(
+            "src1_2",
+            cache_bytes=64 * 4096,
+            deltas=(1, 7),
+            scale=1 / 256,
+            cache_only=True,
+            processes=1,
+        )
+        assert points[0].hit_ratio != points[1].hit_ratio

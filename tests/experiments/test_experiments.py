@@ -1,0 +1,217 @@
+"""Smoke + shape tests for every experiment module at tiny scale.
+
+Each paper table/figure module must run end to end, print something,
+and return data of the right shape.  (Full-fidelity numbers live in the
+benchmarks; EXPERIMENTS.md records the paper-vs-measured comparison.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentSettings
+from repro.experiments import (
+    ablation_lists,
+    ablation_policies,
+    fig2_cdf,
+    fig3_large_hits,
+    fig7_delta,
+    fig8_response_time,
+    fig9_hit_ratio,
+    fig10_eviction_batch,
+    fig11_write_count,
+    fig12_space_overhead,
+    fig13_list_occupancy,
+    table1_config,
+    table2_traces,
+)
+
+TINY = 1 / 512
+
+
+@pytest.fixture
+def settings():
+    lines: list[str] = []
+    s = ExperimentSettings(
+        scale=TINY,
+        workloads=["hm_1", "src1_2"],
+        cache_sizes_mb=[16, 32],
+        processes=1,
+        out=lines.append,
+    )
+    s.captured = lines  # type: ignore[attr-defined]
+    return s
+
+
+class TestTable1:
+    def test_matches_paper(self, settings):
+        result = table1_config.run(settings)
+        assert result["mismatches"] == []
+
+
+class TestTable2:
+    def test_specs_returned(self, settings):
+        specs = table2_traces.run(settings)
+        assert set(specs) == {"hm_1", "src1_2"}
+        assert settings.captured
+        assert specs["src1_2"].write_ratio > specs["hm_1"].write_ratio
+
+
+class TestFig2:
+    def test_cdf_shapes(self, settings):
+        results = fig2_cdf.run(settings)
+        for stats in results.values():
+            rows = stats.cdf_rows(list(fig2_cdf.SIZE_LADDER))
+            inserts = [r[1] for r in rows]
+            hits = [r[2] for r in rows]
+            assert inserts == sorted(inserts)  # CDFs are monotone
+            assert hits == sorted(hits)
+            assert inserts[-1] == pytest.approx(1.0)
+
+
+class TestFig3:
+    def test_fractions_in_range(self, settings):
+        results = fig3_large_hits.run(settings)
+        for stats in results.values():
+            assert 0.0 <= stats.large_hit_fraction <= 1.0
+
+
+class TestFig7:
+    def test_delta_sweep(self, settings):
+        results = fig7_delta.run(settings)
+        for points in results.values():
+            assert [p.delta for p in points] == list(fig7_delta.DELTAS)
+
+
+class TestFig8:
+    def test_grid_complete(self, settings):
+        grid = fig8_response_time.run(settings)
+        assert len(grid) == 2 * 2 * 4  # workloads x sizes x policies
+        for m in grid.values():
+            assert m.total_response_ms > 0
+
+    def test_average_reduction_helper(self, settings):
+        grid = fig8_response_time.run(settings)
+        r = fig8_response_time.average_reduction_vs(grid, "lru")
+        assert -1.0 < r < 1.0
+
+
+class TestFig9:
+    def test_grid_and_normalisation(self, settings):
+        grid = fig9_hit_ratio.run(settings)
+        assert len(grid) == 16
+        for m in grid.values():
+            assert 0.0 <= m.hit_ratio <= 1.0
+
+
+class TestFig10:
+    def test_ordering_fields(self, settings):
+        grid = fig10_eviction_batch.run(settings)
+        for (w, mb, p), m in grid.items():
+            assert p in fig10_eviction_batch.BATCH_POLICIES
+            assert m.mean_eviction_pages >= 1.0
+
+
+class TestFig11:
+    def test_write_counts_positive(self, settings):
+        grid = fig11_write_count.run(settings)
+        for m in grid.values():
+            assert m.flash_total_writes > 0
+
+
+class TestFig12:
+    def test_overhead_fractions_small(self, settings):
+        grid = fig12_space_overhead.run(settings)
+        for p in ("lru", "bplru", "vbbms", "reqblock"):
+            frac = fig12_space_overhead.mean_overhead_fraction(grid, p)
+            assert 0.0 < frac < 0.05  # well under 5% of cache space
+
+
+class TestFig13:
+    def test_summaries(self, settings):
+        summaries = fig13_list_occupancy.run(settings)
+        for s in summaries.values():
+            assert set(s.mean_pages) == {"IRL", "SRL", "DRL"}
+
+
+class TestAblations:
+    def test_lists_variants(self, settings):
+        results = ablation_lists.run(settings)
+        labels = {label for (_w, label) in results}
+        assert labels == {lab for lab, _ in ablation_lists.VARIANTS}
+
+    def test_all_policies(self, settings):
+        grid = ablation_policies.run(settings)
+        policies = {p for (_w, _mb, p) in grid}
+        assert {"lru", "fifo", "lfu", "cflru", "fab", "bplru", "vbbms",
+                "reqblock"} <= policies
+
+
+class TestSeedSensitivity:
+    def test_cis_returned(self, settings):
+        from repro.experiments import seed_sensitivity
+
+        results = seed_sensitivity.run(settings, n_seeds=2)
+        assert set(results) == {
+            (w, b)
+            for w in settings.workloads
+            for b in seed_sensitivity.BASELINES
+        }
+        for ci in results.values():
+            assert ci.low <= ci.estimate <= ci.high
+            assert ci.n_samples == 2
+
+
+class TestDeviceAblation:
+    def test_variants_run(self, settings):
+        from repro.experiments import ablation_device
+
+        results = ablation_device.run(settings)
+        labels = {label for (_w, label) in results}
+        assert labels == {lab for lab, _ in ablation_device.VARIANTS}
+        # A starved mapping cache must cost response time.
+        for w in settings.workloads:
+            resident = results[(w, "paper (resident, greedy)")]
+            starved = results[(w, "dftl-5pct")]
+            assert starved.mean_response_ms >= resident.mean_response_ms
+
+
+class TestWearStudy:
+    def test_reports_for_all_policies(self, settings):
+        from repro.experiments import wear_study
+
+        results = wear_study.run(settings)
+        policies = {p for (_w, p) in results}
+        assert policies == {"lru", "bplru", "vbbms", "reqblock"}
+        for report in results.values():
+            assert report.write_amplification >= 1.0
+            assert report.cov >= 0.0
+
+
+class TestCacheScaling:
+    def test_curves_monotone_and_mattson_exact(self, settings):
+        from repro.experiments import cache_scaling
+
+        curves = cache_scaling.run(settings)
+        for (w, p), curve in curves.items():
+            assert len(curve) == len(cache_scaling.CACHE_LADDER_MB)
+            # Hit ratio never decreases much as the cache grows.
+            for a, b in zip(curve, curve[1:]):
+                assert b >= a - 0.02, (w, p, curve)
+        replayed, analytic = cache_scaling.lru_curve_matches_mattson(
+            settings.workloads[0], settings.scale, 64
+        )
+        assert replayed == analytic
+
+
+class TestMDTSSensitivity:
+    def test_grid_and_robustness(self, settings):
+        from repro.experiments import mdts_sensitivity
+
+        results = mdts_sensitivity.run(settings)
+        for (w, mdts), hit in results.items():
+            assert set(hit) == {"lru", "reqblock"}
+            assert 0.0 <= hit["reqblock"] <= 1.0
+        # Unlimited MDTS cells exist for every workload.
+        for w in settings.workloads:
+            assert (w, None) in results

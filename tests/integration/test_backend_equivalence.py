@@ -1,0 +1,67 @@
+"""Cross-implementation equivalence checks at the integration level.
+
+Beyond the unit-level differential tests (Req-block vs its naive
+reference, ResourceTimelines vs the DES), these pin equivalences that
+span modules:
+
+* cache-only vs full-device replay agree on every cache-side metric;
+* the npz round-trip preserves replay results bit-for-bit;
+* the Mattson analytic LRU equals the replayed LRU on real workloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.replay import ReplayConfig, replay_cache_only, replay_trace
+from repro.traces.workloads import get_workload
+
+SCALE = 1 / 256
+CACHE = 64 * 4096
+
+
+class TestCacheSideEquivalence:
+    @pytest.mark.parametrize("policy", ["lru", "bplru", "vbbms", "reqblock"])
+    def test_cache_metrics_identical_across_backends(self, policy):
+        trace = get_workload("usr_0", SCALE)
+        cfg = ReplayConfig(policy=policy, cache_bytes=CACHE)
+        fast = replay_cache_only(trace, cfg)
+        full = replay_trace(trace, cfg)
+        assert fast.hit_ratio == full.hit_ratio
+        assert fast.read_pages.ratio == full.read_pages.ratio
+        assert fast.write_pages.ratio == full.write_pages.ratio
+        assert fast.eviction_count == full.eviction_count
+        assert fast.mean_eviction_pages == full.mean_eviction_pages
+        assert fast.host_flush_pages == full.host_flush_pages
+        assert fast.mean_metadata_kb == full.mean_metadata_kb
+
+
+class TestTraceStorageEquivalence:
+    def test_npz_roundtrip_preserves_replay(self, tmp_path):
+        from repro.traces.io import load_trace, save_trace
+
+        trace = get_workload("ts_0", SCALE)
+        path = tmp_path / "t.npz"
+        save_trace(trace, path)
+        reloaded = load_trace(path)
+        cfg = ReplayConfig(policy="reqblock", cache_bytes=CACHE)
+        a = replay_trace(trace, cfg)
+        b = replay_trace(reloaded, cfg)
+        assert a.hit_ratio == b.hit_ratio
+        assert a.total_response_ms == b.total_response_ms
+        assert a.flash_total_writes == b.flash_total_writes
+
+
+class TestAnalyticEquivalence:
+    @pytest.mark.parametrize("workload", ["hm_1", "src1_2", "ts_0"])
+    def test_mattson_equals_replayed_lru(self, workload):
+        from repro.experiments.cache_scaling import lru_curve_matches_mattson
+
+        for pages in (32, 128, 512):
+            replayed, analytic = lru_curve_matches_mattson(
+                workload, SCALE, pages
+            )
+            assert replayed == pytest.approx(analytic, abs=1e-12), (
+                workload,
+                pages,
+            )

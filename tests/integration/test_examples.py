@@ -1,0 +1,72 @@
+"""Smoke-run the example scripts (the fast ones) as subprocesses.
+
+Examples are the first code a new user runs; they must not rot.  Each
+is executed with arguments that keep runtime to a few seconds; the slow
+full-report script (`reproduce_paper.py`) is exercised on a tiny slice.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 600) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, (
+        f"{name} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    return result.stdout
+
+
+class TestExamples:
+    def test_delta_tuning(self):
+        out = run_example(
+            "delta_tuning.py", "--workload", "ts_0", "--scale", "0.00390625"
+        )
+        assert "Recommended delta" in out
+
+    def test_policy_shootout(self):
+        out = run_example("policy_shootout.py", "--scale", "0.001953125")
+        assert "Hit ratio" in out
+        assert "reqblock" in out
+
+    def test_locality_analysis(self):
+        out = run_example(
+            "locality_analysis.py",
+            "--scale", "0.00390625",
+            "--workloads", "ts_0",
+        )
+        assert "LRU miss ratio" in out
+
+    def test_msr_replay_demo_mode(self):
+        out = run_example("msr_replay.py")
+        assert "HitRatio" in out
+
+    def test_ssd_internals(self):
+        out = run_example("ssd_internals.py")
+        assert "write amplification" in out
+        assert "striped over 8 channels" in out
+
+    def test_reproduce_paper_slice(self, tmp_path):
+        out_file = tmp_path / "report.txt"
+        out = run_example(
+            "reproduce_paper.py",
+            "--scale", "0.001953125",
+            "--workloads", "ts_0",
+            "--out", str(out_file),
+            "--skip", "Figure 7", "Figure 8", "Cache scaling",
+            "MDTS sensitivity", "Wear study", "Ablation (device)",
+        )
+        assert out_file.exists()
+        assert "Table 2" in out_file.read_text()

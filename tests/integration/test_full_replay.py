@@ -1,0 +1,80 @@
+"""Integration tests: every policy through the full device stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.registry import available_policies, create_policy
+from repro.sim.replay import ReplayConfig, replay_trace, sized_ssd_for
+from repro.ssd.controller import SSDController
+from repro.traces.workloads import get_workload
+
+SCALE = 1 / 256
+CACHE_BYTES = 64 * 4096
+
+
+@pytest.mark.parametrize("policy", available_policies())
+class TestEveryPolicyFullStack:
+    def test_replay_completes_with_consistent_state(self, policy, tiny_trace):
+        ssd_config = sized_ssd_for(tiny_trace)
+        controller = SSDController(ssd_config, create_policy(policy, 64))
+        hits = misses = 0
+        for req in tiny_trace:
+            rec = controller.submit(req)
+            hits += rec.outcome.page_hits
+            misses += rec.outcome.page_misses
+            assert rec.response_ms >= 0.0
+        assert hits + misses == sum(r.npages for r in tiny_trace)
+        controller.validate()
+
+    def test_flushed_data_is_durable(self, policy, tiny_trace):
+        """After drain, every written LPN must be mapped on flash."""
+        ssd_config = sized_ssd_for(tiny_trace)
+        controller = SSDController(ssd_config, create_policy(policy, 64))
+        written: set[int] = set()
+        last_t = 0.0
+        for req in tiny_trace:
+            controller.submit(req)
+            if req.is_write:
+                written.update(req.pages())
+            last_t = req.time
+        controller.drain(last_t)
+        missing = [lpn for lpn in written if not controller.ftl.is_mapped(lpn)]
+        assert not missing, f"{policy} lost {len(missing)} written pages"
+        controller.validate()
+
+
+class TestCrossPolicyConsistency:
+    def test_flash_writes_equal_flush_plus_gc(self):
+        trace = get_workload("src1_2", SCALE)
+        m = replay_trace(trace, ReplayConfig(policy="reqblock", cache_bytes=CACHE_BYTES))
+        assert m.flash_total_writes == m.host_flush_pages + m.gc_migrated_pages
+
+    def test_bigger_cache_never_hurts_hits_much(self):
+        trace = get_workload("usr_0", SCALE)
+        small = replay_trace(trace, ReplayConfig(policy="reqblock", cache_bytes=32 * 4096))
+        big = replay_trace(trace, ReplayConfig(policy="reqblock", cache_bytes=256 * 4096))
+        assert big.hit_ratio >= small.hit_ratio
+
+    def test_gc_exercised_on_write_heavy_trace(self):
+        trace = get_workload("proj_0", SCALE)
+        m = replay_trace(trace, ReplayConfig(policy="lru", cache_bytes=CACHE_BYTES))
+        assert m.gc_erases > 0, "scaled device should trigger GC"
+
+    def test_response_time_scales_with_load(self):
+        """A trace compressed in time (2x arrival rate) must not respond
+        faster on average."""
+        from repro.traces.model import IORequest, Trace
+
+        trace = get_workload("src1_2", SCALE)
+        squeezed = Trace(
+            "squeezed",
+            [
+                IORequest(r.time / 2.0, r.op, r.lpn, r.npages)
+                for r in trace
+            ],
+        )
+        cfg = ReplayConfig(policy="lru", cache_bytes=CACHE_BYTES)
+        normal = replay_trace(trace, cfg)
+        loaded = replay_trace(squeezed, cfg)
+        assert loaded.mean_response_ms >= normal.mean_response_ms * 0.9

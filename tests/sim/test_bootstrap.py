@@ -1,0 +1,72 @@
+"""Tests for bootstrap confidence intervals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.bootstrap import bootstrap_ci, paired_improvement
+
+
+class TestBootstrapCI:
+    def test_point_estimate_is_statistic(self):
+        ci = bootstrap_ci([1.0, 2.0, 3.0])
+        assert ci.estimate == pytest.approx(2.0)
+        assert ci.low <= ci.estimate <= ci.high
+        assert ci.n_samples == 3
+
+    def test_single_sample_degenerates(self):
+        ci = bootstrap_ci([5.0])
+        assert ci.low == ci.high == ci.estimate == 5.0
+
+    def test_deterministic(self):
+        xs = [0.1, 0.5, 0.3, 0.9, 0.2]
+        a = bootstrap_ci(xs, seed=1)
+        b = bootstrap_ci(xs, seed=1)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_tight_data_tight_interval(self):
+        tight = bootstrap_ci([1.0, 1.01, 0.99, 1.0, 1.0])
+        wide = bootstrap_ci([0.1, 2.0, 0.5, 1.8, 1.0])
+        assert (tight.high - tight.low) < (wide.high - wide.low)
+
+    def test_coverage_on_gaussian(self):
+        """~95% of CIs over N(0,1) samples should contain the true mean."""
+        rng = np.random.default_rng(0)
+        covered = 0
+        trials = 120
+        for k in range(trials):
+            xs = rng.normal(0.0, 1.0, size=20)
+            ci = bootstrap_ci(xs, n_boot=500, seed=k)
+            if ci.low <= 0.0 <= ci.high:
+                covered += 1
+        assert covered / trials > 0.85  # loose, but catches gross errors
+
+    def test_excludes_zero(self):
+        pos = bootstrap_ci([0.5, 0.6, 0.55, 0.62, 0.58])
+        assert pos.excludes_zero
+        mixed = bootstrap_ci([-1.0, 1.0, -0.5, 0.5, 0.1])
+        assert not mixed.excludes_zero
+
+    def test_custom_statistic(self):
+        ci = bootstrap_ci([1.0, 2.0, 9.0], statistic=lambda a: float(np.median(a)))
+        assert ci.estimate == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=0.3)
+
+
+class TestPairedImprovement:
+    def test_ratios(self):
+        gains = paired_improvement([1.2, 0.9], [1.0, 1.0])
+        assert gains == pytest.approx([0.2, -0.1])
+
+    def test_zero_baseline_skipped(self):
+        assert paired_improvement([1.0, 2.0], [0.0, 1.0]) == pytest.approx([1.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            paired_improvement([1.0], [1.0, 2.0])

@@ -1,0 +1,58 @@
+"""Tests for CSV/JSON metric export."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.sim.export import metrics_to_rows, write_csv, write_json
+from repro.sim.replay import ReplayConfig, replay_cache_only
+
+
+@pytest.fixture
+def two_metrics(tiny_trace):
+    return [
+        replay_cache_only(tiny_trace, ReplayConfig(policy=p, cache_bytes=64 * 4096))
+        for p in ("lru", "reqblock")
+    ]
+
+
+class TestExport:
+    def test_rows(self, two_metrics):
+        rows = metrics_to_rows(two_metrics)
+        assert len(rows) == 2
+        assert rows[0]["policy"] == "lru"
+        assert rows[1]["policy"] == "reqblock"
+        assert set(rows[0]) == set(rows[1])
+
+    def test_csv_roundtrip(self, two_metrics, tmp_path):
+        path = tmp_path / "out" / "metrics.csv"
+        assert write_csv(two_metrics, path) == 2
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 2
+        assert float(rows[0]["hit_ratio"]) == pytest.approx(
+            two_metrics[0].hit_ratio
+        )
+
+    def test_csv_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        assert write_csv([], path) == 0
+        assert path.read_text() == ""
+
+    def test_json(self, two_metrics, tmp_path):
+        path = tmp_path / "metrics.json"
+        n = write_json(two_metrics, path, extra={"scale": 0.25})
+        assert n == 2
+        doc = json.loads(path.read_text())
+        assert doc["meta"]["scale"] == 0.25
+        assert len(doc["runs"]) == 2
+        assert doc["runs"][0]["policy"] == "lru"
+
+    def test_json_without_meta(self, two_metrics, tmp_path):
+        path = tmp_path / "metrics.json"
+        write_json(two_metrics, path)
+        doc = json.loads(path.read_text())
+        assert "meta" not in doc

@@ -1,0 +1,88 @@
+"""Tests for table/series formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.report import banner, format_series, format_table, normalize
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        out = format_table(("Name", "X"), [("a", 1.5), ("bb", 20.25)])
+        lines = out.splitlines()
+        assert lines[0].startswith("Name")
+        assert "1.500" in out and "20.250" in out
+        # All rows equal width.
+        assert len({len(l) for l in lines}) == 1
+
+    def test_title(self):
+        out = format_table(("A",), [("x",)], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError, match="columns"):
+            format_table(("A", "B"), [("only-one",)])
+
+    def test_custom_float_fmt(self):
+        out = format_table(("A",), [(0.123456,)], float_fmt="{:.1f}")
+        assert "0.1" in out and "0.123" not in out
+
+    def test_ints_not_float_formatted(self):
+        out = format_table(("A",), [(42,)])
+        assert "42" in out and "42.000" not in out
+
+
+class TestNormalize:
+    def test_divide_by_base(self):
+        vals = {"lru": 10.0, "reqblock": 8.0}
+        n = normalize(vals, "lru")
+        assert n["lru"] == 1.0
+        assert n["reqblock"] == pytest.approx(0.8)
+
+    def test_invert(self):
+        vals = {"reqblock": 0.5, "lru": 0.25}
+        n = normalize(vals, "reqblock", invert=True)
+        assert n["lru"] == pytest.approx(2.0)
+
+    def test_zero_base(self):
+        assert normalize({"a": 0.0, "b": 1.0}, "a")["b"] == 0.0
+
+
+class TestSeriesAndBanner:
+    def test_series(self):
+        s = format_series("hit", [1, 2], [0.5, 0.75])
+        assert s == "hit: 1=0.500, 2=0.750"
+
+    def test_banner(self):
+        b = banner("Hello", width=10)
+        lines = b.splitlines()
+        assert lines[0] == "=" * 10
+        assert lines[1] == "Hello"
+
+
+class TestSparkline:
+    def test_empty(self):
+        from repro.sim.report import sparkline
+
+        assert sparkline([]) == ""
+
+    def test_flat_series(self):
+        from repro.sim.report import sparkline
+
+        s = sparkline([3.0, 3.0, 3.0])
+        assert len(s) == 3
+        assert len(set(s)) == 1
+
+    def test_monotone_series_monotone_chars(self):
+        from repro.sim.report import _SPARK_CHARS, sparkline
+
+        s = sparkline([0, 1, 2, 3, 4, 5])
+        ranks = [_SPARK_CHARS.index(ch) for ch in s]
+        assert ranks == sorted(ranks)
+        assert ranks[0] == 0 and ranks[-1] == len(_SPARK_CHARS) - 1
+
+    def test_downsamples_to_width(self):
+        from repro.sim.report import sparkline
+
+        assert len(sparkline(list(range(1000)), width=25)) == 25

@@ -1,0 +1,82 @@
+"""Tests for the resumable cached sweep runner."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sim.runner import CachedSweepRunner, job_key
+from repro.sim.sweep import SweepJob
+
+SCALE = 1 / 512
+
+
+def job(policy="lru", workload="ts_0", **kw):
+    return SweepJob(
+        workload=workload,
+        policy=policy,
+        cache_bytes=64 * 4096,
+        scale=SCALE,
+        cache_only=True,
+        **kw,
+    )
+
+
+class TestJobKey:
+    def test_stable(self):
+        assert job_key(job()) == job_key(job())
+
+    def test_sensitive_to_every_field(self):
+        base = job_key(job())
+        assert job_key(job(policy="reqblock")) != base
+        assert job_key(job(workload="hm_1")) != base
+        assert job_key(job(policy_kwargs=(("delta", 3),))) != base
+        assert job_key(job(replay_kwargs=(("gc_victim_policy", "cost_benefit"),))) != base
+
+
+class TestCachedRunner:
+    def test_first_run_executes_and_persists(self, tmp_path):
+        store = tmp_path / "sweep.json"
+        runner = CachedSweepRunner(store)
+        rows = runner.run([job("lru"), job("reqblock")], processes=1)
+        assert len(rows) == 2
+        assert rows[0]["policy"] == "lru"
+        assert store.exists()
+        assert len(json.loads(store.read_text())) == 2
+
+    def test_second_run_uses_cache(self, tmp_path):
+        store = tmp_path / "sweep.json"
+        CachedSweepRunner(store).run([job("lru")], processes=1)
+        # Poison the store: if the runner re-ran the job, the poison
+        # would be overwritten with real numbers.
+        data = json.loads(store.read_text())
+        key = next(iter(data))
+        data[key]["hit_ratio"] = -123.0
+        store.write_text(json.dumps(data))
+        rows = CachedSweepRunner(store).run([job("lru")], processes=1)
+        assert rows[0]["hit_ratio"] == -123.0
+
+    def test_partial_resume(self, tmp_path):
+        store = tmp_path / "sweep.json"
+        runner = CachedSweepRunner(store)
+        runner.run([job("lru")], processes=1)
+        rows = runner.run([job("lru"), job("vbbms")], processes=1)
+        assert [r["policy"] for r in rows] == ["lru", "vbbms"]
+        assert len(runner) == 2
+
+    def test_invalidate(self, tmp_path):
+        store = tmp_path / "sweep.json"
+        runner = CachedSweepRunner(store)
+        runner.run([job("lru"), job("vbbms")], processes=1)
+        assert runner.invalidate([job("lru")]) == 1
+        assert runner.invalidate([job("lru")]) == 0
+        assert len(runner) == 1
+        assert runner.cached(job("lru")) is None
+        assert runner.cached(job("vbbms")) is not None
+
+    def test_order_preserved(self, tmp_path):
+        runner = CachedSweepRunner(tmp_path / "s.json")
+        jobs = [job("vbbms"), job("lru"), job("reqblock")]
+        rows = runner.run(jobs, processes=1)
+        assert [r["policy"] for r in rows] == ["vbbms", "lru", "reqblock"]

@@ -1,0 +1,75 @@
+"""Tests for parallel sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.sweep import SweepJob, grid_jobs, run_jobs
+
+SCALE = 1 / 256
+CACHE = 64 * 4096
+
+
+def job(policy="lru", workload="ts_0", **kw):
+    return SweepJob(
+        workload=workload,
+        policy=policy,
+        cache_bytes=CACHE,
+        scale=SCALE,
+        cache_only=True,
+        **kw,
+    )
+
+
+class TestRunJobs:
+    def test_inline_execution(self):
+        results = run_jobs([job("lru"), job("reqblock")], processes=1)
+        assert len(results) == 2
+        assert results[0].policy_name == "lru"
+        assert results[1].policy_name == "reqblock"
+
+    def test_parallel_matches_inline(self):
+        jobs = [job("lru"), job("reqblock"), job("vbbms"), job("bplru")]
+        inline = run_jobs(jobs, processes=1)
+        parallel = run_jobs(jobs, processes=2)
+        for a, b in zip(inline, parallel):
+            assert a.hit_ratio == b.hit_ratio
+            assert a.host_flush_pages == b.host_flush_pages
+
+    def test_empty(self):
+        assert run_jobs([], processes=1) == []
+
+    def test_policy_kwargs_applied(self):
+        a, b = run_jobs(
+            [
+                job("reqblock", workload="src1_2", policy_kwargs=(("delta", 1),)),
+                job("reqblock", workload="src1_2", policy_kwargs=(("delta", 7),)),
+            ],
+            processes=1,
+        )
+        assert a.hit_ratio != b.hit_ratio
+
+
+class TestGridJobs:
+    def test_cross_product_order(self):
+        jobs = grid_jobs(["a", "b"], ["lru", "reqblock"], [100, 200])
+        assert len(jobs) == 8
+        # Workload-major ordering.
+        assert [j.workload for j in jobs[:4]] == ["a"] * 4
+        assert jobs[0].cache_bytes == 100
+        assert jobs[0].policy == "lru"
+        assert jobs[1].policy == "reqblock"
+
+    def test_kwargs_routed_by_policy(self):
+        jobs = grid_jobs(
+            ["w"], ["lru", "reqblock"], [100],
+            policy_kwargs={"reqblock": {"delta": 3}},
+        )
+        by_policy = {j.policy: j for j in jobs}
+        assert by_policy["reqblock"].policy_kwargs == (("delta", 3),)
+        assert by_policy["lru"].policy_kwargs == ()
+
+    def test_jobs_hashable_and_keyed(self):
+        j = job()
+        assert j.key() == ("ts_0", "lru", CACHE)
+        assert hash(j)  # frozen dataclass

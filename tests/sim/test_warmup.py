@@ -1,0 +1,42 @@
+"""Tests for replay warmup (metrics exclude the warmup prefix)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.replay import ReplayConfig, replay_cache_only, replay_trace
+
+
+def cfg(warmup=0, **kw):
+    return ReplayConfig(
+        policy="lru", cache_bytes=64 * 4096, warmup_requests=warmup, **kw
+    )
+
+
+class TestWarmup:
+    def test_request_count_excludes_warmup(self, tiny_trace):
+        m = replay_cache_only(tiny_trace, cfg(warmup=500))
+        assert m.n_requests == len(tiny_trace) - 500
+
+    def test_warm_metrics_cover_exactly_the_suffix(self, tiny_trace):
+        cold = replay_cache_only(tiny_trace, cfg())
+        warm = replay_cache_only(tiny_trace, cfg(warmup=1000))
+        prefix_pages = sum(r.npages for r in list(tiny_trace)[:1000])
+        assert warm.pages.total == cold.pages.total - prefix_pages
+
+    def test_full_replay_flash_counters_exclude_warmup(self, tiny_trace):
+        full = replay_trace(tiny_trace, cfg())
+        warm = replay_trace(tiny_trace, cfg(warmup=1000))
+        assert warm.flash_total_writes < full.flash_total_writes
+        assert warm.host_flush_pages <= full.host_flush_pages
+
+    def test_zero_warmup_is_default(self, tiny_trace):
+        a = replay_cache_only(tiny_trace, cfg())
+        b = replay_cache_only(tiny_trace, cfg(warmup=0))
+        assert a.n_requests == b.n_requests == len(tiny_trace)
+        assert a.hit_ratio == b.hit_ratio
+
+    def test_warmup_longer_than_trace(self, tiny_trace):
+        m = replay_cache_only(tiny_trace, cfg(warmup=10 ** 9))
+        assert m.n_requests == 0
+        assert m.hit_ratio == 0.0

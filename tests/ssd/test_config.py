@@ -1,0 +1,75 @@
+"""Tests for SSD configuration (Table 1)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.ssd.config import PAPER_SSD, SSDConfig
+
+
+class TestPaperDefaults:
+    def test_table1_values(self):
+        c = PAPER_SSD
+        assert c.n_channels == 8
+        assert c.chips_per_channel == 2
+        assert c.pages_per_block == 64
+        assert c.page_size_bytes == 4096
+        assert c.read_latency_ms == 0.075
+        assert c.program_latency_ms == 2.0
+        assert c.erase_latency_ms == 15.0
+        assert c.bus_ns_per_byte == 10.0
+        assert c.gc_threshold == 0.10
+
+    def test_capacity_is_128gb(self):
+        assert PAPER_SSD.capacity_bytes == 128 * 2**30
+
+    def test_derived_counts(self):
+        c = PAPER_SSD
+        assert c.n_chips == 16
+        assert c.n_planes == 32
+        assert c.total_pages == c.n_blocks * 64
+
+    def test_page_transfer_time(self):
+        # 4096 B x 10 ns = 40.96 us = 0.04096 ms.
+        assert PAPER_SSD.page_transfer_ms == pytest.approx(0.04096)
+
+
+class TestValidation:
+    def test_rejects_zero_channels(self):
+        with pytest.raises(ValueError):
+            SSDConfig(n_channels=0)
+
+    def test_rejects_bad_gc_watermark(self):
+        with pytest.raises(ValueError, match="gc_low_watermark"):
+            SSDConfig(gc_threshold=0.2, gc_low_watermark=0.1)
+
+    def test_rejects_tiny_planes(self):
+        with pytest.raises(ValueError, match="blocks_per_plane"):
+            SSDConfig(blocks_per_plane=2)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            PAPER_SSD.n_channels = 4  # type: ignore[misc]
+
+
+class TestSizedFor:
+    def test_covers_footprint_with_op(self):
+        c = SSDConfig().sized_for(100_000, over_provisioning=0.5)
+        assert c.total_pages >= 150_000
+
+    def test_preserves_geometry_and_timing(self):
+        c = SSDConfig().sized_for(100_000)
+        assert c.n_channels == 8
+        assert c.program_latency_ms == 2.0
+
+    def test_floor_blocks_per_plane(self):
+        c = SSDConfig().sized_for(10)
+        assert c.blocks_per_plane >= 32
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            SSDConfig().sized_for(0)
+        with pytest.raises(ValueError):
+            SSDConfig().sized_for(100, over_provisioning=0.0)

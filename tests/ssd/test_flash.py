@@ -1,0 +1,153 @@
+"""Tests for the physical flash array state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ssd.config import SSDConfig
+from repro.ssd.flash import FlashArray, FlashOutOfSpace, PageState
+from repro.ssd.geometry import Geometry
+
+
+def small_flash() -> FlashArray:
+    cfg = SSDConfig(
+        n_channels=2,
+        chips_per_channel=1,
+        planes_per_chip=1,
+        blocks_per_plane=4,
+        pages_per_block=4,
+    )
+    return FlashArray(cfg, Geometry(cfg))
+
+
+class TestAllocation:
+    def test_sequential_within_block(self):
+        f = small_flash()
+        ppns = [f.allocate_page(0) for _ in range(4)]
+        assert ppns == [0, 1, 2, 3]
+
+    def test_rolls_to_next_block(self):
+        f = small_flash()
+        for _ in range(4):
+            f.allocate_page(0)
+        nxt = f.allocate_page(0)
+        assert nxt == 4  # first page of the next block
+        assert f.free_block_count(0) == 2
+
+    def test_planes_independent(self):
+        f = small_flash()
+        a = f.allocate_page(0)
+        b = f.allocate_page(1)
+        assert f.geometry.plane_of_ppn(a) == 0
+        assert f.geometry.plane_of_ppn(b) == 1
+
+    def test_out_of_space(self):
+        f = small_flash()
+        for _ in range(16):
+            ppn = f.allocate_page(0)
+            f.program(ppn)
+        with pytest.raises(FlashOutOfSpace):
+            f.allocate_page(0)
+
+
+class TestProgramInvalidate:
+    def test_program_marks_valid(self):
+        f = small_flash()
+        ppn = f.allocate_page(0)
+        f.program(ppn)
+        assert f.page_state[ppn] == PageState.VALID
+        assert f.valid_count[0] == 1
+        assert f.total_programs == 1
+
+    def test_program_unallocated_rejected(self):
+        f = small_flash()
+        with pytest.raises(ValueError, match="before allocation"):
+            f.program(0)
+
+    def test_double_program_rejected(self):
+        f = small_flash()
+        ppn = f.allocate_page(0)
+        f.program(ppn)
+        with pytest.raises(ValueError, match="twice"):
+            f.program(ppn)
+
+    def test_invalidate(self):
+        f = small_flash()
+        ppn = f.allocate_page(0)
+        f.program(ppn)
+        f.invalidate(ppn)
+        assert f.page_state[ppn] == PageState.INVALID
+        assert f.valid_count[0] == 0
+
+    def test_invalidate_non_valid_rejected(self):
+        f = small_flash()
+        with pytest.raises(ValueError):
+            f.invalidate(0)
+
+
+class TestErase:
+    def _fill_block0(self, f):
+        for _ in range(4):
+            f.program(f.allocate_page(0))
+        # Roll active to block 1 so block 0 becomes erasable.
+        f.allocate_page(0)
+
+    def test_erase_returns_to_free_list(self):
+        f = small_flash()
+        self._fill_block0(f)
+        for ppn in range(4):
+            f.invalidate(ppn)
+        before = f.free_block_count(0)
+        f.erase(0)
+        assert f.free_block_count(0) == before + 1
+        assert f.erase_count[0] == 1
+        assert f.write_ptr[0] == 0
+        assert all(f.page_state[p] == PageState.FREE for p in range(4))
+
+    def test_erase_with_valid_pages_rejected(self):
+        f = small_flash()
+        self._fill_block0(f)
+        with pytest.raises(ValueError, match="valid pages remain"):
+            f.erase(0)
+
+    def test_erase_active_block_rejected(self):
+        f = small_flash()
+        with pytest.raises(ValueError, match="active"):
+            f.erase(0)
+
+    def test_erased_block_reusable(self):
+        f = small_flash()
+        self._fill_block0(f)
+        for ppn in range(4):
+            f.invalidate(ppn)
+        f.erase(0)
+        # Drain remaining free blocks; eventually block 0 comes back.
+        allocated = [f.allocate_page(0) for _ in range(11)]
+        assert 0 in [f.geometry.block_of_ppn(p) for p in allocated]
+
+
+class TestQueries:
+    def test_valid_pages_of_block(self):
+        f = small_flash()
+        for _ in range(3):
+            f.program(f.allocate_page(0))
+        f.invalidate(1)
+        assert f.valid_pages_of_block(0) == [0, 2]
+
+    def test_free_ratio(self):
+        f = small_flash()
+        assert f.free_ratio(0) == pytest.approx(3 / 4)
+
+    def test_block_is_active(self):
+        f = small_flash()
+        assert f.block_is_active(0)
+        assert not f.block_is_active(1)
+
+    def test_validate_passes_through_lifecycle(self):
+        f = small_flash()
+        f.validate()
+        for _ in range(6):
+            f.program(f.allocate_page(0))
+        f.validate()
+        f.invalidate(0)
+        f.validate()

@@ -1,0 +1,119 @@
+"""Property-based stress tests for the FTL + GC + flash stack.
+
+Random write/rewrite/read workloads against a dict reference model:
+whatever GC does internally, the externally visible mapping must track
+exactly the set of written LPNs, with every mapped PPN valid on flash.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ssd.config import SSDConfig
+from repro.ssd.flash import FlashArray, PageState
+from repro.ssd.ftl import PageFTL
+from repro.ssd.gc import GarbageCollector
+from repro.ssd.geometry import Geometry
+from repro.ssd.resources import ResourceTimelines
+
+
+def make_stack(blocks_per_plane=24):
+    cfg = SSDConfig(
+        n_channels=2,
+        chips_per_channel=1,
+        planes_per_chip=2,
+        blocks_per_plane=blocks_per_plane,
+        pages_per_block=4,
+    )
+    geo = Geometry(cfg)
+    flash = FlashArray(cfg, geo)
+    res = ResourceTimelines(cfg, geo)
+    gc = GarbageCollector(cfg, geo, flash, res)
+    return cfg, flash, PageFTL(cfg, geo, flash, res, gc)
+
+
+# Physical capacity of the stack above: 2*2*24*4 = 384 pages.  Keep the
+# logical space well below it so GC always has headroom.
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["write", "read"]),
+        st.integers(0, 150),
+    ),
+    min_size=1,
+    max_size=400,
+)
+
+
+class TestFTLModelEquivalence:
+    @given(ops=ops_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_mapping_tracks_written_set(self, ops):
+        cfg, flash, ftl = make_stack()
+        written: set[int] = set()
+        t = 0.0
+        for op, lpn in ops:
+            t += 1.0
+            if op == "write":
+                ftl.write_page(lpn, t)
+                written.add(lpn)
+            else:
+                ftl.read_page(lpn, t)
+        assert ftl.mapped_count() == len(written)
+        for lpn in written:
+            ppn = ftl.lookup(lpn)
+            assert ppn is not None
+            assert flash.page_state[ppn] == PageState.VALID
+        ftl.validate()
+        flash.validate()
+
+    @given(ops=ops_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_valid_page_count_equals_live_lpns(self, ops):
+        cfg, flash, ftl = make_stack()
+        written: set[int] = set()
+        t = 0.0
+        for op, lpn in ops:
+            t += 1.0
+            if op == "write":
+                ftl.write_page(lpn, t)
+                written.add(lpn)
+        assert sum(flash.valid_count) == len(written)
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_sustained_hot_rewrites_survive_heavy_gc(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        cfg, flash, ftl = make_stack(blocks_per_plane=16)
+        hot = list(range(60))
+        t = 0.0
+        for _ in range(800):
+            t += 1.0
+            ftl.write_page(rng.choice(hot), t)
+        erased_before = flash.total_erases
+        assert erased_before > 0, "workload should have triggered GC"
+        for lpn in set(hot) & set(ftl._map):
+            ppn = ftl.lookup(lpn)
+            assert flash.page_state[ppn] == PageState.VALID
+        ftl.validate()
+
+
+class TestTimingMonotonicity:
+    @given(ops=ops_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_operation_times_respect_issue_order(self, ops):
+        """Ops issued at later times never *start* before their issue time,
+        and each op's end is after its start."""
+        cfg, flash, ftl = make_stack()
+        t = 0.0
+        for op, lpn in ops:
+            t += 0.5
+            result = (
+                ftl.write_page(lpn, t) if op == "write" else ftl.read_page(lpn, t)
+            )
+            assert result.start >= t
+            assert result.end > result.start
+            assert result.start <= result.xfer_end <= result.end

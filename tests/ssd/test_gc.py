@@ -1,0 +1,209 @@
+"""Tests for the greedy garbage collector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ssd.config import SSDConfig
+from repro.ssd.flash import FlashArray, FlashOutOfSpace
+from repro.ssd.ftl import PageFTL
+from repro.ssd.gc import GarbageCollector
+from repro.ssd.geometry import Geometry
+from repro.ssd.resources import ResourceTimelines
+
+
+def make_stack(blocks_per_plane=16, wear_aware=False):
+    cfg = SSDConfig(
+        n_channels=1,
+        chips_per_channel=1,
+        planes_per_chip=1,
+        blocks_per_plane=blocks_per_plane,
+        pages_per_block=4,
+    )
+    geo = Geometry(cfg)
+    flash = FlashArray(cfg, geo)
+    res = ResourceTimelines(cfg, geo)
+    gc = GarbageCollector(cfg, geo, flash, res, wear_aware=wear_aware)
+    ftl = PageFTL(cfg, geo, flash, res, gc)
+    return cfg, geo, flash, res, gc, ftl
+
+
+class TestVictimSelection:
+    def test_prefers_most_invalid(self):
+        cfg, geo, flash, res, gc, ftl = make_stack()
+        # Fill block 0 with lpns 0-3, block 1 with 4-7 (single plane).
+        for lpn in range(8):
+            ftl.write_page(lpn, 0.0)
+        # Invalidate more of block 0 than block 1.
+        ftl.write_page(0, 1.0)
+        ftl.write_page(1, 1.0)
+        ftl.write_page(4, 1.0)
+        assert gc.select_victim(0) == 0
+
+    def test_skips_fully_valid_blocks(self):
+        cfg, geo, flash, res, gc, ftl = make_stack()
+        for lpn in range(4):
+            ftl.write_page(lpn, 0.0)
+        ftl.write_page(10, 0.0)  # make block 1 active-ish
+        # Block 0 fully valid: nothing reclaimable there.
+        assert gc.select_victim(0) is None or flash.valid_count[
+            gc.select_victim(0)
+        ] < flash.write_ptr[gc.select_victim(0)]
+
+    def test_skips_active_and_free_blocks(self):
+        cfg, geo, flash, res, gc, ftl = make_stack()
+        assert gc.select_victim(0) is None  # only the active block exists
+
+
+class TestCollection:
+    def test_collect_reclaims_space_and_preserves_data(self):
+        cfg, geo, flash, res, gc, ftl = make_stack(blocks_per_plane=8)
+        # Hot rewrite of 6 lpns until GC has clearly fired.
+        for i in range(200):
+            ftl.write_page(i % 6, float(i))
+        assert gc.stats.blocks_erased > 0
+        assert gc.stats.invocations > 0
+        # All 6 lpns still mapped and consistent.
+        for lpn in range(6):
+            assert ftl.is_mapped(lpn)
+        ftl.validate()
+        flash.validate()
+
+    def test_migrations_counted(self):
+        cfg, geo, flash, res, gc, ftl = make_stack(blocks_per_plane=32)
+        # Interleave hot churn with write-once cold pages: victim blocks
+        # then contain live cold data that GC must migrate.
+        cold = 0
+        for i in range(600):
+            if i % 8 == 0:
+                ftl.write_page(1000 + cold, float(i))
+                cold += 1
+            ftl.write_page(i % 3, float(i))
+        assert gc.stats.pages_migrated > 0
+        for lpn in range(1000, 1000 + cold):
+            assert ftl.is_mapped(lpn), f"GC lost cold lpn {lpn}"
+        ftl.validate()
+
+    def test_gc_charges_time(self):
+        cfg, geo, flash, res, gc, ftl = make_stack(blocks_per_plane=8)
+        for i in range(200):
+            ftl.write_page(i % 6, float(i))
+        assert gc.stats.busy_ms > 0.0
+        # Erases occupy the plane: its timeline advanced past "now".
+        assert res.plane_free[0] > 200.0
+
+    def test_out_of_space_raises(self):
+        cfg, geo, flash, res, gc, ftl = make_stack(blocks_per_plane=8)
+        # 8 blocks x 4 pages = 32 physical pages; writing 40 distinct
+        # lpns (all valid, nothing reclaimable) must fail loudly.
+        with pytest.raises(FlashOutOfSpace):
+            for lpn in range(40):
+                ftl.write_page(lpn, 0.0)
+
+    def test_maybe_collect_noop_above_threshold(self):
+        cfg, geo, flash, res, gc, ftl = make_stack()
+        t = gc.maybe_collect(ftl, 0, 5.0)
+        assert t == 5.0
+        assert gc.stats.invocations == 0
+
+
+class TestWearAware:
+    def test_tie_breaks_toward_young_blocks(self):
+        cfg, geo, flash, res, gc, ftl = make_stack(wear_aware=True)
+        # Two equally-invalid blocks with different erase counts.
+        for lpn in range(8):
+            ftl.write_page(lpn, 0.0)
+        ftl.write_page(0, 1.0)  # one invalid page in block 0
+        ftl.write_page(4, 1.0)  # one invalid page in block 1
+        flash.erase_count[0] = 5  # pretend block 0 is older
+        assert gc.select_victim(0) == 1
+
+    def test_stats_merge(self):
+        from repro.ssd.gc import GCStats
+
+        a = GCStats(1, 2, 3, 4.0)
+        a.merge(GCStats(10, 20, 30, 40.0))
+        assert (a.invocations, a.blocks_erased, a.pages_migrated, a.busy_ms) == (
+            11,
+            22,
+            33,
+            44.0,
+        )
+
+
+class TestCostBenefit:
+    def _stack(self, blocks_per_plane=16):
+        from repro.ssd.config import SSDConfig
+        from repro.ssd.flash import FlashArray
+        from repro.ssd.ftl import PageFTL
+        from repro.ssd.gc import GarbageCollector
+        from repro.ssd.geometry import Geometry
+        from repro.ssd.resources import ResourceTimelines
+
+        cfg = SSDConfig(
+            n_channels=1,
+            chips_per_channel=1,
+            planes_per_chip=1,
+            blocks_per_plane=blocks_per_plane,
+            pages_per_block=4,
+        )
+        geo = Geometry(cfg)
+        flash = FlashArray(cfg, geo)
+        res = ResourceTimelines(cfg, geo)
+        gc = GarbageCollector(cfg, geo, flash, res, victim_policy="cost_benefit")
+        return cfg, flash, gc, PageFTL(cfg, geo, flash, res, gc)
+
+    def test_unknown_policy_rejected(self):
+        from repro.ssd.config import SSDConfig
+        from repro.ssd.flash import FlashArray
+        from repro.ssd.gc import GarbageCollector
+        from repro.ssd.geometry import Geometry
+        from repro.ssd.resources import ResourceTimelines
+
+        cfg = SSDConfig(blocks_per_plane=8)
+        geo = Geometry(cfg)
+        with pytest.raises(ValueError, match="victim_policy"):
+            GarbageCollector(
+                cfg, geo, FlashArray(cfg, geo), ResourceTimelines(cfg, geo),
+                victim_policy="nope",
+            )
+
+    def test_fully_invalid_block_always_preferred(self):
+        cfg, flash, gc, ftl = self._stack()
+        for lpn in range(8):
+            ftl.write_page(lpn, 0.0)  # blocks 0 and 1
+        # Fully invalidate block 0; leave block 1 mostly valid.
+        for lpn in range(4):
+            ftl.write_page(lpn, 1.0)
+        assert gc.select_victim(0) == 0
+
+    def test_age_prefers_cold_blocks_over_equally_dirty_hot(self):
+        cfg, flash, gc, ftl = self._stack()
+        # Block 0 written early (cold), block 1 written later (hot);
+        # both end up with the same valid count.
+        for lpn in range(4):
+            ftl.write_page(lpn, 0.0)  # block 0
+        for lpn in range(4, 8):
+            ftl.write_page(lpn, 1.0)  # block 1
+        ftl.write_page(0, 2.0)  # one invalid page in block 0
+        ftl.write_page(4, 2.0)  # one invalid page in block 1
+        # Many more programs age both, but block 1's stamp is fresher.
+        for lpn in range(20, 26):
+            ftl.write_page(lpn, 3.0)
+        victim = gc.select_victim(0)
+        assert victim == 0  # the older block wins at equal utilisation
+
+    def test_full_replay_with_cost_benefit(self, tmp_path):
+        from repro.sim.replay import ReplayConfig, replay_trace
+        from repro.traces.workloads import get_workload
+
+        trace = get_workload("ts_0", 1 / 256)
+        m = replay_trace(
+            trace,
+            ReplayConfig(
+                policy="lru",
+                cache_bytes=64 * 4096,
+                gc_victim_policy="cost_benefit",
+            ),
+        )
+        assert m.n_requests == len(trace)

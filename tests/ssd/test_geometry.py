@@ -1,0 +1,84 @@
+"""Tests for physical page addressing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ssd.config import SSDConfig
+from repro.ssd.geometry import Geometry, PPA
+
+
+@pytest.fixture
+def geo() -> Geometry:
+    return Geometry(SSDConfig(blocks_per_plane=8))
+
+
+class TestPackUnpack:
+    def test_zero(self, geo):
+        assert geo.unpack(0) == PPA(0, 0, 0, 0, 0)
+        assert geo.pack(PPA(0, 0, 0, 0, 0)) == 0
+
+    def test_consecutive_ppns_same_block(self, geo):
+        a, b = geo.unpack(10), geo.unpack(11)
+        assert (a.channel, a.chip, a.plane, a.block) == (
+            b.channel,
+            b.chip,
+            b.plane,
+            b.block,
+        )
+        assert b.page == a.page + 1
+
+    def test_last_page(self, geo):
+        last = geo.total_pages - 1
+        ppa = geo.unpack(last)
+        c = geo.config
+        assert ppa.channel == c.n_channels - 1
+        assert ppa.page == c.pages_per_block - 1
+        assert geo.pack(ppa) == last
+
+    def test_out_of_range(self, geo):
+        with pytest.raises(ValueError):
+            geo.unpack(-1)
+        with pytest.raises(ValueError):
+            geo.unpack(geo.total_pages)
+        with pytest.raises(ValueError):
+            geo.pack(PPA(99, 0, 0, 0, 0))
+
+    @given(ppn=st.integers(min_value=0, max_value=8 * 2 * 2 * 8 * 64 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip(self, ppn):
+        geo = Geometry(SSDConfig(blocks_per_plane=8))
+        assert geo.pack(geo.unpack(ppn)) == ppn
+
+
+class TestIndexHelpers:
+    def test_chip_and_plane_of_ppn_consistent(self, geo):
+        for ppn in range(0, geo.total_pages, 1237):
+            ppa = geo.unpack(ppn)
+            chip_index = ppa.channel * geo.config.chips_per_channel + ppa.chip
+            plane_index = chip_index * geo.config.planes_per_chip + ppa.plane
+            assert geo.chip_of_ppn(ppn) == chip_index
+            assert geo.plane_of_ppn(ppn) == plane_index
+            assert geo.chip_of_plane(plane_index) == chip_index
+            assert geo.channel_of_chip(chip_index) == ppa.channel
+
+    def test_block_of_ppn_and_first_ppn(self, geo):
+        block = geo.block_of_ppn(777)
+        first = geo.first_ppn_of_block(block)
+        assert first <= 777 < first + geo.config.pages_per_block
+        assert geo.page_offset(777) == 777 - first
+
+    def test_blocks_of_plane_partition(self, geo):
+        seen = set()
+        for plane in geo.planes():
+            blocks = geo.blocks_of_plane(plane)
+            assert len(blocks) == geo.config.blocks_per_plane
+            for b in blocks:
+                assert geo.plane_of_block(b) == plane
+                seen.add(b)
+        assert len(seen) == geo.config.n_blocks
+
+    def test_total_pages(self, geo):
+        assert geo.total_pages == geo.config.total_pages

@@ -1,0 +1,112 @@
+"""Tests for the channel/plane resource timelines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ssd.config import SSDConfig
+from repro.ssd.geometry import Geometry
+from repro.ssd.resources import ResourceTimelines
+
+
+@pytest.fixture
+def res() -> ResourceTimelines:
+    cfg = SSDConfig(blocks_per_plane=8)
+    return ResourceTimelines(cfg, Geometry(cfg))
+
+
+XFER = SSDConfig().page_transfer_ms
+PROG = 2.0
+READ = 0.075
+ERASE = 15.0
+
+
+class TestProgram:
+    def test_single_program_timing(self, res):
+        op = res.schedule_program(0, now=10.0)
+        assert op.start == 10.0
+        assert op.xfer_end == pytest.approx(10.0 + XFER)
+        assert op.end == pytest.approx(10.0 + XFER + PROG)
+
+    def test_same_plane_programs_serialise_on_cell(self, res):
+        a = res.schedule_program(0, 0.0)
+        b = res.schedule_program(0, 0.0)
+        # Second transfer streams over the bus immediately (cache
+        # register), but its cell program waits for the first.
+        assert b.start == pytest.approx(a.xfer_end)
+        assert b.end == pytest.approx(a.end + PROG)
+
+    def test_same_channel_different_plane_overlap_cells(self, res):
+        a = res.schedule_program(0, 0.0)
+        b = res.schedule_program(1, 0.0)
+        # Transfers serialise on the shared bus; programs overlap.
+        assert b.start == pytest.approx(a.xfer_end)
+        assert b.end == pytest.approx(b.xfer_end + PROG)
+        assert b.end < a.end + PROG
+
+    def test_different_channels_fully_parallel(self, res):
+        planes_per_channel = (
+            res.config.chips_per_channel * res.config.planes_per_chip
+        )
+        a = res.schedule_program(0, 0.0)
+        b = res.schedule_program(planes_per_channel, 0.0)  # channel 1
+        assert a.start == b.start == 0.0
+        assert a.end == b.end
+
+
+class TestRead:
+    def test_single_read_timing(self, res):
+        op = res.schedule_read(0, 5.0)
+        assert op.start == 5.0
+        assert op.end == pytest.approx(5.0 + READ + XFER)
+        assert op.xfer_end == op.end
+
+    def test_read_waits_for_busy_plane(self, res):
+        w = res.schedule_program(0, 0.0)
+        r = res.schedule_read(0, 0.0)
+        assert r.start == pytest.approx(w.end)
+
+    def test_read_on_other_plane_not_blocked(self, res):
+        res.schedule_program(0, 0.0)
+        r = res.schedule_read(1, 0.0)
+        assert r.start == 0.0
+
+
+class TestErase:
+    def test_erase_timing(self, res):
+        op = res.schedule_erase(3, 1.0)
+        assert op.duration == pytest.approx(ERASE)
+
+    def test_erase_blocks_plane(self, res):
+        e = res.schedule_erase(0, 0.0)
+        r = res.schedule_read(0, 0.0)
+        assert r.start == pytest.approx(e.end)
+
+    def test_erase_does_not_touch_bus(self, res):
+        res.schedule_erase(0, 0.0)
+        r = res.schedule_read(1, 0.0)  # same channel, other plane
+        assert r.start == 0.0
+
+
+class TestHelpers:
+    def test_earliest_free_plane(self, res):
+        res.schedule_erase(0, 0.0)
+        assert res.earliest_free_plane([0, 1, 2], 0.0) == 1
+
+    def test_utilisation(self, res):
+        res.schedule_erase(0, 0.0)
+        u = res.utilisation(30.0)
+        assert u[0] == pytest.approx(0.5)
+        assert u[1] == 0.0
+        assert res.utilisation(0.0) == [0.0] * res.config.n_planes
+
+    def test_reset(self, res):
+        res.schedule_program(0, 0.0)
+        res.reset()
+        assert all(t == 0.0 for t in res.plane_free)
+        assert all(t == 0.0 for t in res.bus_free)
+
+    def test_channel_of_plane(self, res):
+        per_channel = res.config.chips_per_channel * res.config.planes_per_chip
+        assert res.channel_of_plane(0) == 0
+        assert res.channel_of_plane(per_channel) == 1

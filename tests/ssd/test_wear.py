@@ -1,0 +1,61 @@
+"""Tests for wear accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ssd.config import SSDConfig
+from repro.ssd.flash import FlashArray
+from repro.ssd.wear import wear_report
+
+
+def make_flash():
+    cfg = SSDConfig(
+        n_channels=1,
+        chips_per_channel=1,
+        planes_per_chip=1,
+        blocks_per_plane=4,
+        pages_per_block=4,
+        pe_cycle_limit=100,
+    )
+    return cfg, FlashArray(cfg)
+
+
+class TestWearReport:
+    def test_pristine_device(self):
+        cfg, flash = make_flash()
+        r = wear_report(cfg, flash, host_programs=0, gc_programs=0)
+        assert r.total_erases == 0
+        assert r.mean_erases == 0.0
+        assert r.cov == 0.0
+        assert r.budget_used == 0.0
+        assert r.write_amplification == 1.0
+        assert r.remaining_lifetime_fraction() == 1.0
+
+    def test_even_wear_zero_cov(self):
+        cfg, flash = make_flash()
+        flash.erase_count = [3, 3, 3, 3]
+        r = wear_report(cfg, flash, 10, 0)
+        assert r.cov == pytest.approx(0.0)
+        assert r.mean_erases == 3.0
+        assert r.max_erases == r.min_erases == 3
+
+    def test_uneven_wear_positive_cov(self):
+        cfg, flash = make_flash()
+        flash.erase_count = [0, 0, 0, 8]
+        r = wear_report(cfg, flash, 10, 0)
+        assert r.cov > 1.0
+        assert r.max_erases == 8
+        assert r.budget_used == pytest.approx(0.08)
+
+    def test_write_amplification(self):
+        cfg, flash = make_flash()
+        r = wear_report(cfg, flash, host_programs=100, gc_programs=50)
+        assert r.write_amplification == pytest.approx(1.5)
+
+    def test_lifetime_clips_at_zero(self):
+        cfg, flash = make_flash()
+        flash.erase_count = [0, 0, 0, 200]  # beyond the 100-cycle budget
+        r = wear_report(cfg, flash, 1, 0)
+        assert r.budget_used == pytest.approx(2.0)
+        assert r.remaining_lifetime_fraction() == 0.0

@@ -1,0 +1,103 @@
+"""Tests for the reqblock-sim command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SCALE = "0.00390625"  # 1/256
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_replay_defaults(self):
+        args = build_parser().parse_args(["replay", "ts_0"])
+        assert args.policy == "reqblock"
+        assert args.cache_mb == 16
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replay", "ts_0", "--policy", "nope"])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_policies(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        assert "reqblock (paper comparison)" in out
+        assert "lru" in out
+
+    def test_replay_workload(self, capsys):
+        rc = main(["replay", "ts_0", "--scale", SCALE, "--policy", "lru"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "hit_ratio" in out
+
+    def test_replay_msr_file(self, tmp_path, capsys):
+        p = tmp_path / "trace.csv"
+        rows = [
+            f"{128166372003061629 + i * 10_000},host,0,"
+            f"{'Write' if i % 2 else 'Read'},{i * 4096},4096,0"
+            for i in range(200)
+        ]
+        p.write_text("\n".join(rows) + "\n")
+        assert main(["replay", str(p), "--policy", "lru"]) == 0
+        assert "hit_ratio" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        rc = main(
+            ["compare", "ts_0", "--scale", SCALE, "--policies", "lru", "reqblock"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "lru" in out and "reqblock" in out
+        assert "HitRatio" in out
+
+    def test_experiment_dispatch(self, capsys):
+        rc = main(
+            [
+                "experiment",
+                "fig10",
+                "--scale",
+                SCALE,
+                "--workloads",
+                "ts_0",
+                "--processes",
+                "1",
+            ]
+        )
+        assert rc == 0
+        assert "Figure 10" in capsys.readouterr().out
+
+    def test_workloads(self, capsys):
+        assert main(["workloads", "--scale", SCALE]) == 0
+        out = capsys.readouterr().out
+        for name in ("hm_1", "proj_0"):
+            assert name in out
+
+
+class TestAnalyze:
+    def test_analyze_workload(self, capsys):
+        rc = main(["analyze", "ts_0", "--scale", SCALE])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "LRU miss ratio" in out
+        assert "median reuse distance" in out
+
+
+class TestClosedLoopReplay:
+    def test_queue_depth_flag(self, capsys):
+        rc = main(
+            ["replay", "ts_0", "--scale", SCALE, "--policy", "lru",
+             "--queue-depth", "4"]
+        )
+        assert rc == 0
+        assert "hit_ratio" in capsys.readouterr().out

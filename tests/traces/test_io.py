@@ -1,0 +1,65 @@
+"""Tests for npz trace storage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces.io import cached_workload, load_trace, save_trace
+from tests.conftest import R, W, make_trace
+
+
+class TestRoundTrip:
+    def test_exact_roundtrip(self, tiny_trace, tmp_path):
+        path = tmp_path / "t.npz"
+        save_trace(tiny_trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == tiny_trace.name
+        assert len(loaded) == len(tiny_trace)
+        for a, b in zip(tiny_trace, loaded):
+            assert a == b
+
+    def test_empty_trace(self, tmp_path):
+        from repro.traces.model import Trace
+
+        path = tmp_path / "e.npz"
+        save_trace(Trace("empty", []), path)
+        assert len(load_trace(path)) == 0
+
+    def test_mixed_ops_preserved(self, tmp_path):
+        t = make_trace([W(0, 3), R(10, 1), W(5, 2)])
+        path = tmp_path / "m.npz"
+        save_trace(t, path)
+        loaded = load_trace(path)
+        assert [r.is_write for r in loaded] == [True, False, True]
+
+    def test_creates_parent_dirs(self, tiny_trace, tmp_path):
+        path = tmp_path / "deep" / "nested" / "t.npz"
+        save_trace(tiny_trace, path)
+        assert path.exists()
+
+    def test_version_check(self, tiny_trace, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "bad.npz"
+        np.savez(path, version=np.int32(99), name="x")
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)
+
+
+class TestCachedWorkload:
+    def test_generates_then_loads(self, tmp_path):
+        a = cached_workload("ts_0", 1 / 512, cache_dir=tmp_path)
+        files = list(tmp_path.glob("*.npz"))
+        assert len(files) == 1
+        b = cached_workload("ts_0", 1 / 512, cache_dir=tmp_path)
+        assert len(a) == len(b)
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_matches_direct_generation(self, tmp_path):
+        from repro.traces.workloads import get_workload
+
+        cached = cached_workload("ts_0", 1 / 512, cache_dir=tmp_path)
+        direct = get_workload("ts_0", 1 / 512)
+        assert len(cached) == len(direct)
+        for a, b in zip(cached, direct):
+            assert a == b

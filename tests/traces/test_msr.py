@@ -1,0 +1,107 @@
+"""Tests for the MSR-Cambridge trace parser."""
+
+from __future__ import annotations
+
+import gzip
+import io
+
+import pytest
+
+from repro.traces.msr import MSRParseError, dump_msr_csv, load_msr_trace, parse_msr_csv
+from repro.traces.model import OpType
+
+LINES = [
+    "128166372003061629,hm,1,Read,383496192,32768,1331",
+    "128166372016853251,hm,1,Write,2822144,4096,56",
+    "128166372026895596,hm,1,Read,3221266432,4096,121",
+]
+
+
+class TestParse:
+    def test_basic_parse(self):
+        reqs = list(parse_msr_csv(LINES))
+        assert len(reqs) == 3
+        assert reqs[0].op is OpType.READ
+        assert reqs[1].op is OpType.WRITE
+        # Times rebased to the first record, in ms (10k ticks/ms).
+        assert reqs[0].time == 0.0
+        assert reqs[1].time == pytest.approx(
+            (128166372016853251 - 128166372003061629) / 10_000
+        )
+
+    def test_offsets_converted_to_pages(self):
+        reqs = list(parse_msr_csv(LINES))
+        assert reqs[0].lpn == 383496192 // 4096
+        assert reqs[0].npages == 8  # 32768 bytes
+
+    def test_header_row_skipped(self):
+        lines = ["Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime"] + LINES
+        assert len(list(parse_msr_csv(lines))) == 3
+
+    def test_disk_filter(self):
+        lines = LINES + ["128166372026895600,hm,2,Read,0,4096,1"]
+        assert len(list(parse_msr_csv(lines, disk_filter=1))) == 3
+        assert len(list(parse_msr_csv(lines, disk_filter=2))) == 1
+
+    def test_limit(self):
+        assert len(list(parse_msr_csv(LINES, limit=2))) == 2
+
+    def test_zero_size_skipped(self):
+        lines = ["128166372003061629,hm,1,Read,0,0,1"] + LINES
+        assert len(list(parse_msr_csv(lines))) == 3
+
+    def test_blank_and_comment_lines(self):
+        lines = ["", "# comment"] + LINES
+        assert len(list(parse_msr_csv(lines))) == 3
+
+    def test_malformed_mid_file_raises(self):
+        lines = [LINES[0], "garbage,line"]
+        with pytest.raises(MSRParseError):
+            list(parse_msr_csv(lines))
+
+    def test_unknown_type_raises(self):
+        lines = [LINES[0], "128166372016853251,hm,1,Flurb,0,4096,1"]
+        with pytest.raises(MSRParseError):
+            list(parse_msr_csv(lines))
+
+    @pytest.mark.parametrize("token,op", [("Read", OpType.READ), ("w", OpType.WRITE),
+                                          ("WS", OpType.WRITE), ("r", OpType.READ)])
+    def test_type_spellings(self, token, op):
+        line = f"1,host,0,{token},0,4096,0"
+        (req,) = parse_msr_csv([line])
+        assert req.op is op
+
+
+class TestLoad:
+    def test_load_plain(self, tmp_path):
+        p = tmp_path / "t.csv"
+        p.write_text("\n".join(LINES) + "\n")
+        trace = load_msr_trace(p)
+        assert trace.name == "t"
+        assert len(trace) == 3
+
+    def test_load_gzip(self, tmp_path):
+        p = tmp_path / "t.csv.gz"
+        with gzip.open(p, "wt") as fh:
+            fh.write("\n".join(LINES) + "\n")
+        assert len(load_msr_trace(p)) == 3
+
+    def test_out_of_order_sorted(self, tmp_path):
+        p = tmp_path / "t.csv"
+        p.write_text("\n".join([LINES[1], LINES[0], LINES[2]]) + "\n")
+        trace = load_msr_trace(p)
+        times = [r.time for r in trace]
+        assert times == sorted(times)
+
+
+class TestRoundTrip:
+    def test_dump_and_reload(self, tmp_path, tiny_trace):
+        buf = io.StringIO()
+        n = dump_msr_csv(tiny_trace, buf)
+        assert n == len(tiny_trace)
+        reloaded = list(parse_msr_csv(io.StringIO(buf.getvalue())))
+        assert len(reloaded) == len(tiny_trace)
+        for a, b in zip(tiny_trace, reloaded):
+            assert a.lpn == b.lpn
+            assert a.npages == b.npages
+            assert a.op is b.op

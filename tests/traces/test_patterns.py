@@ -1,0 +1,91 @@
+"""Tests for the micro-pattern workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces.patterns import (
+    mixed_pattern,
+    random_writes,
+    sequential_writes,
+    zipf_writes,
+)
+
+
+class TestSequential:
+    def test_addresses_contiguous(self):
+        t = sequential_writes(10, req_pages=4, start_lpn=100)
+        lpns = [r.lpn for r in t]
+        assert lpns == [100 + 4 * i for i in range(10)]
+        assert all(r.is_write and r.npages == 4 for r in t)
+
+    def test_times_increase(self):
+        t = sequential_writes(5)
+        times = [r.time for r in t]
+        assert times == sorted(times)
+        assert len(set(times)) == 5
+
+
+class TestRandom:
+    def test_within_span(self):
+        t = random_writes(200, span_pages=50, req_pages=2, seed=1)
+        assert all(0 <= r.lpn <= 48 for r in t)
+
+    def test_seeded(self):
+        a = random_writes(50, 100, seed=5)
+        b = random_writes(50, 100, seed=5)
+        assert [r.lpn for r in a] == [r.lpn for r in b]
+        c = random_writes(50, 100, seed=6)
+        assert [r.lpn for r in a] != [r.lpn for r in c]
+
+
+class TestZipf:
+    def test_skew_concentrates_accesses(self):
+        from collections import Counter
+
+        t = zipf_writes(3000, n_objects=100, theta=1.2, seed=2)
+        counts = Counter(r.lpn for r in t)
+        top10 = sum(c for _l, c in counts.most_common(10))
+        assert top10 / 3000 > 0.4  # heavy concentration
+
+    def test_uniform_when_theta_zero(self):
+        from collections import Counter
+
+        t = zipf_writes(5000, n_objects=10, theta=0.0, seed=2)
+        counts = Counter(r.lpn for r in t)
+        assert max(counts.values()) < 2.0 * min(counts.values())
+
+    def test_extent_alignment(self):
+        t = zipf_writes(100, n_objects=20, req_pages=4, seed=0)
+        assert all(r.lpn % 4 == 0 and r.npages == 4 for r in t)
+
+
+class TestMixed:
+    def test_composition(self):
+        t = mixed_pattern(2000, seed=3)
+        writes = [r for r in t if r.is_write]
+        reads = [r for r in t if r.is_read]
+        assert writes and reads
+        small = [r for r in writes if r.npages == 2]
+        streams = [r for r in writes if r.npages == 32]
+        assert small and streams
+        assert len(small) + len(streams) == len(writes)
+
+    def test_reads_target_hot_region(self):
+        t = mixed_pattern(2000, hot_objects=64, hot_pages=2, seed=3)
+        hot_span = 64 * 2
+        for r in t:
+            if r.is_read:
+                assert r.lpn < hot_span
+
+    def test_favours_batching_policies(self):
+        """Sanity: on the mixed motif, Req-block should beat LRU."""
+        from repro.sim.replay import ReplayConfig, replay_cache_only
+
+        t = mixed_pattern(12_000, seed=11)
+        hit = {}
+        for p in ("lru", "reqblock"):
+            hit[p] = replay_cache_only(
+                t, ReplayConfig(policy=p, cache_bytes=96 * 4096)
+            ).hit_ratio
+        assert hit["reqblock"] > hit["lru"]

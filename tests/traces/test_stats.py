@@ -1,0 +1,87 @@
+"""Tests for trace characterisation (Table 2 statistics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces.stats import (
+    FREQUENT_THRESHOLD,
+    characterize,
+    mean_request_pages,
+    request_size_histogram,
+)
+from tests.conftest import R, W, make_trace
+
+
+class TestCharacterize:
+    def test_write_ratio(self):
+        t = make_trace([W(0), W(1), R(2), R(3)])
+        spec = characterize(t)
+        assert spec.write_ratio == 0.5
+        assert spec.n_requests == 4
+
+    def test_mean_write_size_kb(self):
+        t = make_trace([W(0, 1), W(10, 3)])  # 4 KB and 12 KB
+        assert characterize(t).mean_write_size_kb == pytest.approx(8.0)
+
+    def test_frequent_threshold_is_three(self):
+        assert FREQUENT_THRESHOLD == 3
+        # Page 0 accessed 3x, page 1 once -> 1 of 2 addresses frequent.
+        t = make_trace([W(0), W(0), R(0), W(1)])
+        assert characterize(t).frequent_ratio == pytest.approx(0.5)
+
+    def test_two_accesses_not_frequent(self):
+        t = make_trace([W(0), R(0)])
+        assert characterize(t).frequent_ratio == 0.0
+
+    def test_frequent_write_ratio(self):
+        # Page 0: 3 writes (write address); page 1: 3 reads (read address).
+        t = make_trace([W(0), W(0), W(0), R(1), R(1), R(1)])
+        spec = characterize(t)
+        assert spec.frequent_ratio == 1.0
+        assert spec.frequent_write_ratio == pytest.approx(0.5)
+
+    def test_multi_page_requests_count_per_page(self):
+        # One 3-page write + 2 single reads of its middle page.
+        t = make_trace([W(0, 3), R(1), R(1)])
+        spec = characterize(t)
+        # Page 1 hit 3 times, pages 0/2 once -> 1/3 frequent.
+        assert spec.frequent_ratio == pytest.approx(1 / 3)
+        assert spec.footprint_pages == 3
+
+    def test_empty_trace(self):
+        from repro.traces.model import Trace
+
+        spec = characterize(Trace("empty", []))
+        assert spec.write_ratio == 0.0
+        assert spec.frequent_ratio == 0.0
+
+    def test_row_formatting(self):
+        t = make_trace([W(0, 5)])
+        row = characterize(t).row()
+        assert row[0] == "test"
+        assert row[2] == "100.0%"
+        assert row[3] == "20.0KB"
+
+
+class TestMeanRequestPages:
+    def test_writes_only_default(self):
+        t = make_trace([W(0, 2), W(0, 4), R(0, 100)])
+        assert mean_request_pages(t) == pytest.approx(3.0)
+
+    def test_all_requests(self):
+        t = make_trace([W(0, 2), R(0, 4)])
+        assert mean_request_pages(t, writes_only=False) == pytest.approx(3.0)
+
+    def test_empty(self):
+        t = make_trace([R(0, 4)])
+        assert mean_request_pages(t) == 0.0
+
+
+class TestRequestSizeHistogram:
+    def test_counts(self):
+        t = make_trace([W(0, 2), W(10, 2), W(20, 5), R(0, 9)])
+        h = request_size_histogram(t)
+        assert h == {2: 2, 5: 1}
+        h_all = request_size_histogram(t, writes_only=False)
+        assert h_all == {2: 2, 5: 1, 9: 1}

@@ -1,0 +1,67 @@
+"""Property-based tests for the synthetic generator's invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.traces.synthetic import SyntheticConfig, generate_trace
+
+
+@st.composite
+def configs(draw):
+    small_max = draw(st.integers(1, 6))
+    return SyntheticConfig(
+        name="prop",
+        n_requests=draw(st.integers(50, 600)),
+        seed=draw(st.integers(0, 2**16)),
+        write_ratio=draw(st.floats(0.05, 0.95)),
+        small_write_fraction=draw(st.floats(0.0, 1.0)),
+        small_size_mean=draw(st.floats(1.0, float(small_max))),
+        small_size_max=small_max,
+        large_size_mean=draw(st.floats(small_max + 1.0, 40.0)),
+        large_size_max=draw(st.integers(41, 128)),
+        n_hot_slots=draw(st.integers(8, 256)),
+        zipf_theta=draw(st.floats(0.0, 2.0)),
+        large_span_pages=draw(st.integers(2000, 50_000)),
+    )
+
+
+class TestGeneratorProperties:
+    @given(cfg=configs())
+    @settings(max_examples=60, deadline=None)
+    def test_structural_invariants(self, cfg):
+        trace = generate_trace(cfg)
+        assert len(trace) == cfg.n_requests
+        times = [r.time for r in trace]
+        assert times == sorted(times)
+        bound = cfg.hot_span_pages + cfg.large_span_pages + cfg.large_size_max
+        for r in trace:
+            assert r.npages >= 1
+            assert 0 <= r.lpn
+            assert r.end_lpn <= bound + 1
+
+    @given(cfg=configs())
+    @settings(max_examples=40, deadline=None)
+    def test_write_sizes_bounded(self, cfg):
+        trace = generate_trace(cfg)
+        for r in trace.writes():
+            assert r.npages <= cfg.large_size_max
+
+    @given(cfg=configs())
+    @settings(max_examples=30, deadline=None)
+    def test_determinism(self, cfg):
+        a = generate_trace(cfg)
+        b = generate_trace(cfg)
+        assert all(x == y for x, y in zip(a, b))
+
+    @given(cfg=configs(), factor=st.sampled_from([0.25, 0.5, 2.0]))
+    @settings(max_examples=30, deadline=None)
+    def test_scaled_config_valid_and_proportional(self, cfg, factor):
+        scaled = cfg.scaled(factor)
+        assert scaled.n_requests == max(1, round(cfg.n_requests * factor))
+        assert scaled.write_ratio == cfg.write_ratio
+        # Scaled configs must still generate cleanly.
+        trace = generate_trace(scaled.scaled(0.1) if factor > 1 else scaled)
+        assert len(trace) >= 1

@@ -1,0 +1,138 @@
+"""Tests for trace transforms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces.transform import (
+    filter_ops,
+    merge_traces,
+    remap_addresses,
+    slice_time,
+    time_scale,
+    truncate_requests,
+)
+from tests.conftest import R, W, make_trace
+
+
+class TestTimeScale:
+    def test_compress(self):
+        t = make_trace([W(0), W(1), W(2)])  # times 0,1,2
+        s = time_scale(t, 0.5)
+        assert [r.time for r in s] == [0.0, 0.5, 1.0]
+        assert [r.lpn for r in s] == [0, 1, 2]
+
+    def test_original_untouched(self):
+        t = make_trace([W(0), W(1)])
+        time_scale(t, 2.0)
+        assert [r.time for r in t] == [0.0, 1.0]
+
+    def test_bad_factor(self):
+        with pytest.raises(ValueError):
+            time_scale(make_trace([W(0)]), 0.0)
+
+
+class TestSliceTime:
+    def test_window_and_rebase(self):
+        t = make_trace([W(i) for i in range(10)])  # times 0..9
+        s = slice_time(t, 3.0, 7.0)
+        assert [r.lpn for r in s] == [3, 4, 5, 6]
+        assert s[0].time == 0.0
+
+    def test_no_rebase(self):
+        t = make_trace([W(i) for i in range(5)])
+        s = slice_time(t, 2.0, 4.0, rebase=False)
+        assert [r.time for r in s] == [2.0, 3.0]
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            slice_time(make_trace([W(0)]), 5.0, 5.0)
+
+
+class TestFilterOps:
+    def test_writes_only(self):
+        t = make_trace([W(0), R(1), W(2)])
+        s = filter_ops(t, lambda r: r.is_write)
+        assert [r.lpn for r in s] == [0, 2]
+
+    def test_size_filter(self):
+        t = make_trace([W(0, 1), W(10, 8)])
+        s = filter_ops(t, lambda r: r.npages <= 4, name="small")
+        assert len(s) == 1 and s.name == "small"
+
+
+class TestRemap:
+    def test_offset(self):
+        t = make_trace([W(5, 2)])
+        s = remap_addresses(t, 100)
+        assert s[0].lpn == 105
+
+    def test_negative_result_rejected(self):
+        with pytest.raises(ValueError, match="below zero"):
+            remap_addresses(make_trace([W(5)]), -10)
+
+
+class TestMerge:
+    def test_time_interleaving(self):
+        a = make_trace([W(0), W(1)], name="a")  # times 0, 1
+        b = make_trace([W(100), W(101)], name="b")  # times 0, 1
+        m = merge_traces([a, b], disjoint_addresses=False)
+        times = [r.time for r in m]
+        assert times == sorted(times)
+        assert len(m) == 4
+
+    def test_disjoint_addresses(self):
+        a = make_trace([W(0, 4)])
+        b = make_trace([W(0, 4)])
+        m = merge_traces([a, b])
+        lpns = sorted({r.lpn for r in m})
+        assert len(lpns) == 2
+        assert lpns[1] >= 4  # shifted past a's footprint
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_traces([])
+
+
+class TestTruncate:
+    def test_head(self):
+        t = make_trace([W(i) for i in range(10)])
+        assert len(truncate_requests(t, 3)) == 3
+
+    def test_bad_n(self):
+        with pytest.raises(ValueError):
+            truncate_requests(make_trace([W(0)]), 0)
+
+
+class TestSplitLargeRequests:
+    def test_small_requests_untouched(self):
+        from repro.traces.transform import split_large_requests
+
+        t = make_trace([W(0, 4), R(10, 2)])
+        s = split_large_requests(t, max_pages=8)
+        assert len(s) == 2
+        assert s[0].npages == 4
+
+    def test_large_request_chunked(self):
+        from repro.traces.transform import split_large_requests
+
+        t = make_trace([W(0, 10)])
+        s = split_large_requests(t, max_pages=4)
+        assert [(r.lpn, r.npages) for r in s] == [(0, 4), (4, 4), (8, 2)]
+        assert all(r.time == t[0].time for r in s)
+        assert all(r.is_write for r in s)
+
+    def test_page_stream_preserved(self):
+        from repro.traces.transform import split_large_requests
+
+        t = make_trace([W(0, 7), W(100, 13)])
+        s = split_large_requests(t, max_pages=5)
+        orig = [lpn for r in t for lpn in r.pages()]
+        new = [lpn for r in s for lpn in r.pages()]
+        assert orig == new
+
+    def test_bad_max(self):
+        from repro.traces.transform import split_large_requests
+
+        with pytest.raises(ValueError):
+            split_large_requests(make_trace([W(0, 2)]), 0)

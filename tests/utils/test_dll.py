@@ -1,0 +1,229 @@
+"""Unit and property-based tests for the intrusive doubly-linked list."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.dll import DLLNode, DoublyLinkedList
+
+
+class Node(DLLNode):
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        super().__init__()
+        self.value = value
+
+
+def values(dll):
+    return [n.value for n in dll]
+
+
+class TestBasicOps:
+    def test_empty(self):
+        dll = DoublyLinkedList("t")
+        assert len(dll) == 0
+        assert not dll
+        assert dll.head is None and dll.tail is None
+        assert dll.pop_head() is None and dll.pop_tail() is None
+        dll.validate()
+
+    def test_push_head_order(self):
+        dll = DoublyLinkedList()
+        for v in (1, 2, 3):
+            dll.push_head(Node(v))
+        assert values(dll) == [3, 2, 1]
+        assert dll.head.value == 3 and dll.tail.value == 1
+        dll.validate()
+
+    def test_push_tail_order(self):
+        dll = DoublyLinkedList()
+        for v in (1, 2, 3):
+            dll.push_tail(Node(v))
+        assert values(dll) == [1, 2, 3]
+        dll.validate()
+
+    def test_remove_middle(self):
+        dll = DoublyLinkedList()
+        nodes = [Node(v) for v in range(5)]
+        for n in nodes:
+            dll.push_tail(n)
+        dll.remove(nodes[2])
+        assert values(dll) == [0, 1, 3, 4]
+        assert not nodes[2].in_list
+        dll.validate()
+
+    def test_remove_head_and_tail(self):
+        dll = DoublyLinkedList()
+        nodes = [Node(v) for v in range(3)]
+        for n in nodes:
+            dll.push_tail(n)
+        dll.remove(nodes[0])
+        dll.remove(nodes[2])
+        assert values(dll) == [1]
+        assert dll.head is dll.tail is nodes[1]
+        dll.validate()
+
+    def test_move_to_head(self):
+        dll = DoublyLinkedList()
+        nodes = [Node(v) for v in range(4)]
+        for n in nodes:
+            dll.push_tail(n)
+        dll.move_to_head(nodes[3])
+        assert values(dll) == [3, 0, 1, 2]
+        dll.move_to_head(nodes[3])  # already head: no-op
+        assert values(dll) == [3, 0, 1, 2]
+        dll.validate()
+
+    def test_move_to_tail(self):
+        dll = DoublyLinkedList()
+        nodes = [Node(v) for v in range(4)]
+        for n in nodes:
+            dll.push_tail(n)
+        dll.move_to_tail(nodes[0])
+        assert values(dll) == [1, 2, 3, 0]
+        dll.validate()
+
+    def test_insert_after(self):
+        dll = DoublyLinkedList()
+        a, b, c = Node("a"), Node("b"), Node("c")
+        dll.push_tail(a)
+        dll.push_tail(c)
+        dll.insert_after(a, b)
+        assert values(dll) == ["a", "b", "c"]
+        tail = Node("d")
+        dll.insert_after(c, tail)
+        assert dll.tail is tail
+        dll.validate()
+
+    def test_pop(self):
+        dll = DoublyLinkedList()
+        for v in range(3):
+            dll.push_tail(Node(v))
+        assert dll.pop_head().value == 0
+        assert dll.pop_tail().value == 2
+        assert dll.pop_head().value == 1
+        assert len(dll) == 0
+        dll.validate()
+
+    def test_clear(self):
+        dll = DoublyLinkedList()
+        nodes = [Node(v) for v in range(10)]
+        for n in nodes:
+            dll.push_head(n)
+        dll.clear()
+        assert len(dll) == 0
+        assert all(not n.in_list for n in nodes)
+        dll.validate()
+
+    def test_contains(self):
+        dll1, dll2 = DoublyLinkedList("a"), DoublyLinkedList("b")
+        n = Node(1)
+        assert n not in dll1
+        dll1.push_head(n)
+        assert n in dll1 and n not in dll2
+
+
+class TestErrorHandling:
+    def test_double_insert_rejected(self):
+        dll = DoublyLinkedList("x")
+        n = Node(1)
+        dll.push_head(n)
+        with pytest.raises(ValueError, match="already belongs"):
+            dll.push_head(n)
+        with pytest.raises(ValueError, match="already belongs"):
+            dll.push_tail(n)
+
+    def test_cross_list_insert_rejected(self):
+        dll1, dll2 = DoublyLinkedList("one"), DoublyLinkedList("two")
+        n = Node(1)
+        dll1.push_head(n)
+        with pytest.raises(ValueError):
+            dll2.push_head(n)
+
+    def test_remove_foreign_node_rejected(self):
+        dll1, dll2 = DoublyLinkedList(), DoublyLinkedList()
+        n = Node(1)
+        dll1.push_head(n)
+        with pytest.raises(ValueError):
+            dll2.remove(n)
+
+    def test_remove_unlinked_node_rejected(self):
+        dll = DoublyLinkedList()
+        with pytest.raises(ValueError):
+            dll.remove(Node(1))
+
+    def test_insert_after_foreign_anchor_rejected(self):
+        dll1, dll2 = DoublyLinkedList(), DoublyLinkedList()
+        anchor = Node(1)
+        dll1.push_head(anchor)
+        with pytest.raises(ValueError, match="anchor"):
+            dll2.insert_after(anchor, Node(2))
+
+    def test_move_foreign_rejected(self):
+        dll = DoublyLinkedList()
+        with pytest.raises(ValueError):
+            dll.move_to_head(Node(1))
+        with pytest.raises(ValueError):
+            dll.move_to_tail(Node(1))
+
+
+@st.composite
+def dll_operations(draw):
+    """A random sequence of (op, arg) to replay against dict model."""
+    n_ops = draw(st.integers(1, 60))
+    return [
+        draw(
+            st.tuples(
+                st.sampled_from(
+                    ["push_head", "push_tail", "pop_head", "pop_tail", "remove", "move_head"]
+                ),
+                st.integers(0, 9),
+            )
+        )
+        for _ in range(n_ops)
+    ]
+
+
+class TestProperties:
+    @given(ops=dll_operations())
+    @settings(max_examples=200, deadline=None)
+    def test_matches_list_model(self, ops):
+        """The DLL must behave exactly like a Python list reference model."""
+        dll: DoublyLinkedList[Node] = DoublyLinkedList("model")
+        model: list[Node] = []
+        pool = {}
+        counter = 0
+        for op, arg in ops:
+            if op == "push_head":
+                n = Node(counter)
+                counter += 1
+                dll.push_head(n)
+                model.insert(0, n)
+            elif op == "push_tail":
+                n = Node(counter)
+                counter += 1
+                dll.push_tail(n)
+                model.append(n)
+            elif op == "pop_head":
+                got = dll.pop_head()
+                want = model.pop(0) if model else None
+                assert got is want
+            elif op == "pop_tail":
+                got = dll.pop_tail()
+                want = model.pop() if model else None
+                assert got is want
+            elif op == "remove" and model:
+                n = model[arg % len(model)]
+                dll.remove(n)
+                model.remove(n)
+            elif op == "move_head" and model:
+                n = model[arg % len(model)]
+                dll.move_to_head(n)
+                model.remove(n)
+                model.insert(0, n)
+            dll.validate()
+            assert [x.value for x in dll] == [x.value for x in model]
+            assert len(dll) == len(model)

@@ -1,0 +1,68 @@
+"""Tests for reservoir-based quantile estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.stats import ReservoirQuantiles
+
+
+class TestReservoirQuantiles:
+    def test_empty(self):
+        r = ReservoirQuantiles()
+        assert r.quantile(0.5) == 0.0
+        assert r.count == 0
+
+    def test_exact_below_capacity(self):
+        r = ReservoirQuantiles(capacity=100)
+        for x in range(10):
+            r.add(float(x))
+        assert r.quantile(0.0) == 0.0
+        assert r.quantile(0.5) == 5.0
+        assert r.quantile(1.0) == 9.0
+
+    def test_bad_quantile(self):
+        r = ReservoirQuantiles()
+        with pytest.raises(ValueError):
+            r.quantile(1.5)
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            ReservoirQuantiles(capacity=0)
+
+    def test_deterministic(self):
+        a, b = ReservoirQuantiles(capacity=64), ReservoirQuantiles(capacity=64)
+        for x in range(1000):
+            a.add(float(x % 97))
+            b.add(float(x % 97))
+        assert a.quantile(0.9) == b.quantile(0.9)
+
+    def test_approximates_large_stream(self):
+        rng = np.random.default_rng(3)
+        xs = rng.exponential(scale=2.0, size=50_000)
+        r = ReservoirQuantiles(capacity=4096)
+        for x in xs:
+            r.add(float(x))
+        true_p99 = float(np.quantile(xs, 0.99))
+        est = r.quantile(0.99)
+        assert est == pytest.approx(true_p99, rel=0.15)
+        assert r.count == 50_000
+
+    def test_merge(self):
+        a, b = ReservoirQuantiles(capacity=100), ReservoirQuantiles(capacity=100)
+        for x in range(50):
+            a.add(float(x))
+        for x in range(50, 100):
+            b.add(float(x))
+        a.merge(b)
+        assert a.count == 100
+        assert 40 <= a.quantile(0.5) <= 60
+
+    def test_merge_trims_to_capacity(self):
+        a, b = ReservoirQuantiles(capacity=10), ReservoirQuantiles(capacity=10)
+        for x in range(10):
+            a.add(float(x))
+            b.add(float(x + 100))
+        a.merge(b)
+        assert len(a._samples) <= 10

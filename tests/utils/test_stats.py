@@ -1,0 +1,172 @@
+"""Tests for streaming statistics (Welford, histogram, CDF)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.stats import CDFBuilder, Histogram, RatioCounter, RunningStats
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+class TestRunningStats:
+    def test_empty(self):
+        s = RunningStats()
+        assert s.count == 0
+        assert s.mean == 0.0
+        assert s.variance == 0.0
+        assert s.total == 0.0
+
+    def test_single(self):
+        s = RunningStats()
+        s.add(5.0)
+        assert s.mean == 5.0
+        assert s.variance == 0.0
+        assert s.min == s.max == 5.0
+
+    def test_known_values(self):
+        s = RunningStats()
+        for x in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            s.add(x)
+        assert s.mean == pytest.approx(5.0)
+        assert s.variance == pytest.approx(4.0)
+        assert s.stddev == pytest.approx(2.0)
+        assert s.min == 2.0 and s.max == 9.0
+        assert s.total == pytest.approx(40.0)
+
+    @given(xs=st.lists(finite_floats, min_size=1, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_numpy(self, xs):
+        s = RunningStats()
+        for x in xs:
+            s.add(x)
+        arr = np.asarray(xs)
+        scale = max(1.0, float(np.abs(arr).max()))
+        assert s.mean == pytest.approx(float(arr.mean()), abs=1e-6 * scale)
+        assert s.variance == pytest.approx(
+            float(arr.var()), rel=1e-6, abs=1e-6 * scale * scale
+        )
+        assert s.min == float(arr.min())
+        assert s.max == float(arr.max())
+
+    @given(
+        xs=st.lists(finite_floats, min_size=0, max_size=50),
+        ys=st.lists(finite_floats, min_size=0, max_size=50),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_merge_equals_sequential(self, xs, ys):
+        a, b, ref = RunningStats(), RunningStats(), RunningStats()
+        for x in xs:
+            a.add(x)
+            ref.add(x)
+        for y in ys:
+            b.add(y)
+            ref.add(y)
+        a.merge(b)
+        assert a.count == ref.count
+        scale = max(1.0, abs(ref.mean))
+        assert a.mean == pytest.approx(ref.mean, abs=1e-6 * scale)
+        assert a.variance == pytest.approx(
+            ref.variance, rel=1e-5, abs=1e-5 * scale * scale
+        )
+
+
+class TestHistogram:
+    def test_empty(self):
+        h = Histogram()
+        assert h.total == 0
+        assert h.mean() == 0.0
+        assert h.cdf() == []
+        assert len(h) == 0
+
+    def test_counts_and_mean(self):
+        h = Histogram()
+        for k in (1, 1, 2, 3, 3, 3):
+            h.add(k)
+        assert h[1] == 2 and h[2] == 1 and h[3] == 3
+        assert h[99] == 0.0
+        assert h.total == 6
+        assert h.mean() == pytest.approx((1 * 2 + 2 + 3 * 3) / 6)
+
+    def test_weighted(self):
+        h = Histogram()
+        h.add(10, weight=2.5)
+        h.add(20, weight=7.5)
+        assert h.total == 10.0
+        assert h.mean() == pytest.approx(17.5)
+
+    def test_cdf_monotone_and_normalised(self):
+        h = Histogram()
+        for k in (5, 1, 3, 3, 9):
+            h.add(k)
+        cdf = h.cdf()
+        assert [k for k, _ in cdf] == [1, 3, 5, 9]
+        vals = [v for _, v in cdf]
+        assert vals == sorted(vals)
+        assert vals[-1] == pytest.approx(1.0)
+
+    def test_percentile(self):
+        h = Histogram()
+        for k in range(1, 11):
+            h.add(k)
+        assert h.percentile(0.0) == 1
+        assert h.percentile(0.5) == 5
+        assert h.percentile(1.0) == 10
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+        with pytest.raises(ValueError):
+            Histogram().percentile(0.5)
+
+    def test_merge(self):
+        a, b = Histogram(), Histogram()
+        a.add(1)
+        b.add(1)
+        b.add(2)
+        a.merge(b)
+        assert a[1] == 2 and a[2] == 1
+
+
+class TestCDFBuilder:
+    def test_evaluate_between_points(self):
+        c = CDFBuilder()
+        c.add(2, weight=1)
+        c.add(8, weight=3)
+        assert c.evaluate([1, 2, 5, 8, 100]) == pytest.approx(
+            [0.0, 0.25, 0.25, 1.0, 1.0]
+        )
+
+    def test_empty(self):
+        c = CDFBuilder()
+        assert c.evaluate([1, 2]) == [0.0, 0.0]
+        assert c.total_weight == 0
+
+    def test_support(self):
+        c = CDFBuilder()
+        c.add(5)
+        c.add(1)
+        c.add(5)
+        assert c.support() == [1, 5]
+
+
+class TestRatioCounter:
+    def test_empty_ratio(self):
+        assert RatioCounter().ratio == 0.0
+
+    def test_record(self):
+        r = RatioCounter()
+        r.record(True, weight=3)
+        r.record(False, weight=1)
+        assert r.hits == 3 and r.total == 4
+        assert r.ratio == pytest.approx(0.75)
+
+    def test_merge(self):
+        a, b = RatioCounter(2, 4), RatioCounter(1, 6)
+        a.merge(b)
+        assert a.hits == 3 and a.total == 10

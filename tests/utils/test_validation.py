@@ -1,0 +1,77 @@
+"""Tests for the argument-validation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.validation import (
+    require_divides,
+    require_in_range,
+    require_non_negative,
+    require_positive,
+    require_power_of_two,
+    require_type,
+)
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        require_positive(1, "x")
+        require_positive(0.001, "x")
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="x must be positive"):
+            require_positive(bad, "x")
+
+
+class TestRequireNonNegative:
+    def test_accepts(self):
+        require_non_negative(0, "x")
+        require_non_negative(5, "x")
+
+    def test_rejects(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            require_non_negative(-1, "x")
+
+
+class TestRequirePowerOfTwo:
+    @pytest.mark.parametrize("ok", [1, 2, 4, 1024, 1 << 30])
+    def test_accepts(self, ok):
+        require_power_of_two(ok, "x")
+
+    @pytest.mark.parametrize("bad", [0, -2, 3, 6, 1023])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="power of two"):
+            require_power_of_two(bad, "x")
+
+
+class TestRequireInRange:
+    def test_accepts_bounds(self):
+        require_in_range(0.0, "x", 0.0, 1.0)
+        require_in_range(1.0, "x", 0.0, 1.0)
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="must be in"):
+            require_in_range(bad, "x", 0.0, 1.0)
+
+
+class TestRequireDivides:
+    def test_accepts(self):
+        require_divides(4, 64, "pages")
+
+    @pytest.mark.parametrize("divisor,dividend", [(3, 64), (0, 64), (-4, 64)])
+    def test_rejects(self, divisor, dividend):
+        with pytest.raises(ValueError):
+            require_divides(divisor, dividend, "pages")
+
+
+class TestRequireType:
+    def test_accepts(self):
+        require_type(5, "x", int)
+        require_type("s", "x", int, str)
+
+    def test_rejects_with_names(self):
+        with pytest.raises(TypeError, match="int | float"):
+            require_type("s", "x", int, float)

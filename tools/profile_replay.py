@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Profile a replay run (the guides' rule: no optimisation without measuring).
+
+Runs one (workload, policy) replay under cProfile and prints the top
+functions by cumulative time, so hot-path regressions are visible before
+they eat a full-scale benchmark run.
+
+Usage:
+    python tools/profile_replay.py [--workload src1_2] [--policy reqblock]
+                                   [--scale 0.03125] [--cache-mb 16]
+                                   [--cache-only] [--sort tottime]
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+
+from repro.sim.replay import ReplayConfig, replay_cache_only, replay_trace
+from repro.traces.workloads import WORKLOAD_ORDER, get_workload, scaled_cache_bytes
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="src1_2", choices=WORKLOAD_ORDER)
+    parser.add_argument("--policy", default="reqblock")
+    parser.add_argument("--scale", type=float, default=1 / 32)
+    parser.add_argument("--cache-mb", type=int, default=16)
+    parser.add_argument("--cache-only", action="store_true")
+    parser.add_argument("--sort", default="cumulative",
+                        choices=["cumulative", "tottime", "ncalls"])
+    parser.add_argument("--top", type=int, default=25)
+    args = parser.parse_args()
+
+    trace = get_workload(args.workload, args.scale)
+    config = ReplayConfig(
+        policy=args.policy,
+        cache_bytes=scaled_cache_bytes(args.cache_mb, args.scale),
+    )
+    runner = replay_cache_only if args.cache_only else replay_trace
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    metrics = runner(trace, config)
+    profiler.disable()
+
+    print(
+        f"{args.workload}/{args.policy}: {metrics.n_requests} requests, "
+        f"hit {metrics.hit_ratio:.3f}\n"
+    )
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full examples figures clean
+.PHONY: install test coverage bench bench-full examples figures clean
 
 install:
 	pip install -e .[dev]
@@ -12,6 +12,10 @@ test:
 
 test-fast:
 	$(PYTHON) -m pytest tests/ -x -q
+
+# Line-coverage gate (needs pytest-cov: pip install -e .[dev]).
+coverage:
+	$(PYTHON) -m pytest tests/ -q --cov=repro --cov-report=term-missing --cov-fail-under=75
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, Iterable
 
 from repro.cache.base import AccessOutcome, CachePolicy, FlushBatch
+from repro.obs.events import CacheHit, CacheMiss, Evict, Insert
 from repro.traces.model import IORequest
 from repro.utils.dll import DLLNode, DoublyLinkedList
 from repro.utils.validation import require_in_range
@@ -67,7 +68,14 @@ class CFLRUCache(CachePolicy):
 
     # ------------------------------------------------------------------
     def access(self, request: IORequest) -> AccessOutcome:
-        """Serve one request through the cache (see CachePolicy)."""
+        """Serve one request through the cache (see CachePolicy).
+
+        Tracing runs in ``_access_traced`` (mirror loop) so the common
+        disabled path pays one branch per request.
+        """
+        if self.tracer.enabled:
+            return self._access_traced(request)
+        self._req_seq += 1
         outcome = AccessOutcome()
         for lpn in request.pages():
             node = self._index.get(lpn)
@@ -85,6 +93,46 @@ class CFLRUCache(CachePolicy):
             self._insert(lpn, dirty=request.is_write)
             if request.is_write:
                 outcome.inserted_pages += 1
+        return outcome
+
+    def _access_traced(self, request: IORequest) -> AccessOutcome:
+        """The access loop with event emission; mirrors ``access``."""
+        outcome = AccessOutcome()
+        tracer = self.tracer
+        req_id = self._req_seq
+        self._req_seq += 1
+        for lpn in request.pages():
+            self._event_clock += 1
+            node = self._index.get(lpn)
+            if node is not None:
+                outcome.page_hits += 1
+                tracer.emit(CacheHit(self._event_clock, req_id, lpn, self.name))
+                if request.is_write:
+                    node.dirty = True  # clean page overwritten in place
+                self._list.move_to_head(node)
+                continue
+            outcome.page_misses += 1
+            tracer.emit(CacheMiss(self._event_clock, req_id, lpn, request.is_write))
+            if request.is_read:
+                outcome.read_miss_lpns.append(lpn)
+            while len(self._index) >= self.capacity_pages:
+                n_flushes = len(outcome.flushes)
+                self._evict_one(outcome)
+                # Clean drops produce no FlushBatch, hence no Evict
+                # event — only flushed batches reach flash.
+                for batch in outcome.flushes[n_flushes:]:
+                    tracer.emit(
+                        Evict(
+                            self._event_clock,
+                            req_id,
+                            tuple(batch.lpns),
+                            self.name,
+                        )
+                    )
+            self._insert(lpn, dirty=request.is_write)
+            if request.is_write:
+                outcome.inserted_pages += 1
+            tracer.emit(Insert(self._event_clock, req_id, lpn, self.name))
         return outcome
 
     def _insert(self, lpn: int, dirty: bool) -> None:

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Set
 
 from repro.cache.base import AccessOutcome, CachePolicy, FlushBatch
+from repro.obs.events import CacheHit, CacheMiss, Evict, Insert
 from repro.traces.model import IORequest
 from repro.utils.dll import DLLNode, DoublyLinkedList
 from repro.utils.validation import require_in_range, require_positive
@@ -142,7 +143,14 @@ class VBBMSCache(CachePolicy):
             del self._stream_ends[oldest]
 
     def access(self, request: IORequest) -> AccessOutcome:
-        """Serve one request through the cache (see CachePolicy)."""
+        """Serve one request through the cache (see CachePolicy).
+
+        Tracing runs in ``_access_traced`` (mirror loop) so the common
+        disabled path pays one branch per request.
+        """
+        if self.tracer.enabled:
+            return self._access_traced(request)
+        self._req_seq += 1
         outcome = AccessOutcome()
         target = self.classify(request) if request.is_write else None
         for lpn in request.pages():
@@ -164,6 +172,46 @@ class VBBMSCache(CachePolicy):
                 self._evict_from(target, outcome)
             self._insert_into(target, lpn)
             outcome.inserted_pages += 1
+        return outcome
+
+    def _access_traced(self, request: IORequest) -> AccessOutcome:
+        """The access loop with event emission; mirrors ``access``."""
+        outcome = AccessOutcome()
+        tracer = self.tracer
+        req_id = self._req_seq
+        self._req_seq += 1
+        target = self.classify(request) if request.is_write else None
+        for lpn in request.pages():
+            self._event_clock += 1
+            region = self._page_region.get(lpn)
+            if region is not None:
+                outcome.page_hits += 1
+                tracer.emit(CacheHit(self._event_clock, req_id, lpn, region.name))
+                if region.use_lru:
+                    vb = region.vbs[lpn // region.vb_pages]
+                    region.list.move_to_head(vb)
+                continue
+            outcome.page_misses += 1
+            tracer.emit(CacheMiss(self._event_clock, req_id, lpn, request.is_write))
+            if request.is_read:
+                outcome.read_miss_lpns.append(lpn)
+                continue
+            assert target is not None
+            while target.occupancy >= target.capacity:
+                n_flushes = len(outcome.flushes)
+                self._evict_from(target, outcome)
+                for batch in outcome.flushes[n_flushes:]:
+                    tracer.emit(
+                        Evict(
+                            self._event_clock,
+                            req_id,
+                            tuple(batch.lpns),
+                            target.name,
+                        )
+                    )
+            self._insert_into(target, lpn)
+            outcome.inserted_pages += 1
+            tracer.emit(Insert(self._event_clock, req_id, lpn, target.name))
         return outcome
 
     # ------------------------------------------------------------------

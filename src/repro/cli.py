@@ -68,15 +68,31 @@ def _load_trace(args: argparse.Namespace) -> Trace:
 def _cmd_replay(args: argparse.Namespace) -> int:
     trace = _load_trace(args)
     cache_bytes = scaled_cache_bytes(args.cache_mb, args.scale)
-    config = ReplayConfig(policy=args.policy, cache_bytes=cache_bytes)
-    if args.queue_depth is not None:
-        from repro.sim.closed_loop import replay_closed_loop
+    tracer = None
+    if args.trace_out is not None:
+        from repro.obs.tracer import JsonlTracer
 
-        metrics = replay_closed_loop(trace, config, queue_depth=args.queue_depth)
-    else:
-        metrics = replay_trace(trace, config)
+        tracer = JsonlTracer(args.trace_out)
+    config = ReplayConfig(
+        policy=args.policy,
+        cache_bytes=cache_bytes,
+        tracer=tracer,
+        check_invariants=args.check_invariants,
+    )
+    try:
+        if args.queue_depth is not None:
+            from repro.sim.closed_loop import replay_closed_loop
+
+            metrics = replay_closed_loop(trace, config, queue_depth=args.queue_depth)
+        else:
+            metrics = replay_trace(trace, config)
+    finally:
+        if tracer is not None:
+            tracer.close()
     rows = [(k, v) for k, v in metrics.summary().items()]
     print(format_table(("Metric", "Value"), rows, float_fmt="{:.4f}"))
+    if tracer is not None:
+        print(f"wrote {tracer.n_events} events to {args.trace_out}")
     return 0
 
 
@@ -189,6 +205,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--queue-depth", type=int, default=None,
         help="closed-loop replay with this many outstanding requests "
              "(default: open loop at trace timestamps)",
+    )
+    p.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write every cache/FTL/GC event as JSON lines to PATH "
+             "(see docs/observability.md for the schema)",
+    )
+    p.add_argument(
+        "--check-invariants", action="store_true",
+        help="validate simulator structure after every event "
+             "(orders of magnitude slower; debugging aid)",
     )
     p.set_defaults(func=_cmd_replay)
 

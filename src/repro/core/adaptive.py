@@ -92,5 +92,10 @@ class AdaptiveReqBlockCache(ReqBlockCache):
                 self.delta_history.append((self._clock, new_delta))
         self._prev_ratio = ratio
 
+    def _srl_size_bound(self) -> int:
+        """SRL blocks promoted under an earlier, larger δ legally outlive
+        a downward δ move; the invariant bound is therefore δ_max."""
+        return self.delta_max
+
 
 register_policy(AdaptiveReqBlockCache)

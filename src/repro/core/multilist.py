@@ -14,9 +14,11 @@ plots exactly these), and O(1) cross-level moves.
 from __future__ import annotations
 
 import enum
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.request_block import RequestBlock
+from repro.obs.events import ListMove
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.utils.dll import DoublyLinkedList
 
 __all__ = ["ListLevel", "ThreeLevelLists"]
@@ -33,7 +35,7 @@ class ListLevel(enum.Enum):
 class ThreeLevelLists:
     """IRL/SRL/DRL container with per-level page accounting."""
 
-    __slots__ = ("_lists", "_level_of", "_page_counts")
+    __slots__ = ("_lists", "_level_of", "_page_counts", "_tracer", "_clock_fn")
 
     def __init__(self) -> None:
         self._lists: Dict[ListLevel, DoublyLinkedList[RequestBlock]] = {
@@ -41,6 +43,17 @@ class ThreeLevelLists:
         }
         self._level_of: Dict[int, ListLevel] = {}  # id(block) -> level
         self._page_counts: Dict[ListLevel, int] = {level: 0 for level in ListLevel}
+        self._tracer: Tracer = NULL_TRACER
+        self._clock_fn: Callable[[], int] = lambda: 0
+
+    def set_tracer(
+        self, tracer: Optional[Tracer], clock_fn: Optional[Callable[[], int]] = None
+    ) -> None:
+        """Attach an event tracer; ``clock_fn`` supplies the event time
+        (the owning policy's logical clock)."""
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        if clock_fn is not None:
+            self._clock_fn = clock_fn
 
     # ------------------------------------------------------------------
     # Queries
@@ -104,6 +117,16 @@ class ThreeLevelLists:
     def move_to_head(self, level: ListLevel, block: RequestBlock) -> None:
         """Move ``block`` (possibly across lists) to ``level``'s head."""
         current = self._level_of.get(id(block))
+        if self._tracer.enabled:
+            self._tracer.emit(
+                ListMove(
+                    self._clock_fn(),
+                    block.req_id,
+                    current.value if current is not None else "",
+                    level.value,
+                    block.page_num,
+                )
+            )
         if current == level:
             self._lists[level].move_to_head(block)
             return

@@ -28,6 +28,8 @@ from typing import Dict, Iterable, Optional
 from repro.cache.base import AccessOutcome, CachePolicy, FlushBatch
 from repro.core.multilist import ListLevel, ThreeLevelLists
 from repro.core.request_block import RequestBlock
+from repro.obs.events import CacheHit, CacheMiss, DowngradeMerge, Evict, Insert, Split
+from repro.obs.tracer import Tracer
 from repro.traces.model import IORequest
 from repro.utils.validation import require_positive
 
@@ -85,6 +87,12 @@ class ReqBlockCache(CachePolicy):
         self._clock = 0
         self._req_seq = 0
 
+    def set_tracer(self, tracer: "Tracer | None") -> None:
+        """Attach an event tracer; also wires the IRL/SRL/DRL container
+        so cross-list moves emit ``ListMove`` events."""
+        super().set_tracer(tracer)
+        self.lists.set_tracer(self.tracer, clock_fn=lambda: self._clock)
+
     # ------------------------------------------------------------------
     # CachePolicy protocol
     # ------------------------------------------------------------------
@@ -112,7 +120,15 @@ class ReqBlockCache(CachePolicy):
     # Main routine (Algorithm 1)
     # ------------------------------------------------------------------
     def access(self, request: IORequest) -> AccessOutcome:
-        """Serve one request through the cache (see CachePolicy)."""
+        """Serve one request through the cache (see CachePolicy).
+
+        Tracing runs in its own loop (``_access_traced``) so the common
+        disabled path pays one branch per request; the two loops must
+        stay behaviourally identical (pinned by the fast-path and
+        differential tests in ``tests/obs``/``tests/sim``).
+        """
+        if self.tracer.enabled:
+            return self._access_traced(request)
         outcome = AccessOutcome()
         req_id = self._req_seq
         self._req_seq += 1
@@ -133,6 +149,40 @@ class ReqBlockCache(CachePolicy):
                     outcome.read_miss_lpns.append(lpn)
         return outcome
 
+    def _access_traced(self, request: IORequest) -> AccessOutcome:
+        """The Algorithm-1 loop with event emission; mirrors ``access``."""
+        outcome = AccessOutcome()
+        tracer = self.tracer
+        req_id = self._req_seq
+        self._req_seq += 1
+        for lpn in request.pages():
+            self._clock += 1
+            block = self._index.get(lpn)
+            if block is not None:
+                outcome.page_hits += 1
+                level = self.lists.level_of(block)
+                tracer.emit(
+                    CacheHit(
+                        self._clock,
+                        req_id,
+                        lpn,
+                        level.value if level is not None else "",
+                    )
+                )
+                self._handle_hit(lpn, block, req_id)
+            else:
+                outcome.page_misses += 1
+                tracer.emit(CacheMiss(self._clock, req_id, lpn, request.is_write))
+                if request.is_write:
+                    while len(self._index) >= self.capacity_pages:
+                        self._evict(outcome)
+                    self._insert(lpn, req_id)
+                    outcome.inserted_pages += 1
+                    tracer.emit(Insert(self._clock, req_id, lpn, ListLevel.IRL.value))
+                else:
+                    outcome.read_miss_lpns.append(lpn)
+        return outcome
+
     # ------------------------------------------------------------------
     # Hit handling (§3.2)
     # ------------------------------------------------------------------
@@ -146,6 +196,8 @@ class ReqBlockCache(CachePolicy):
             return
         # Large block: extract the hit page into the DRL head block of
         # the current request (creating it if this request has none yet).
+        if self.tracer.enabled:
+            self.tracer.emit(Split(self._clock, req_id, lpn, block.req_id))
         block.pages.discard(lpn)
         self.lists.note_page_removed(block)
         if block.page_num == 0:
@@ -191,6 +243,8 @@ class ReqBlockCache(CachePolicy):
 
     def _evict(self, outcome: AccessOutcome) -> None:
         victim = self._select_victim()
+        tracer = self.tracer
+        victim_level = self.lists.level_of(victim) if tracer.enabled else None
         lpns = list(victim.pages)
         # Downgraded merging: a split victim drags its origin block out
         # of IRL with it, evicting the spatially related cold pages in
@@ -202,6 +256,15 @@ class ReqBlockCache(CachePolicy):
                 and self.lists.level_of(origin) is ListLevel.IRL
                 and origin.page_num > 0
             ):
+                if tracer.enabled:
+                    tracer.emit(
+                        DowngradeMerge(
+                            self._clock,
+                            victim.req_id,
+                            origin.req_id,
+                            tuple(sorted(origin.pages)),
+                        )
+                    )
                 lpns.extend(origin.pages)
                 self.lists.remove(origin)
                 for lpn in origin.pages:
@@ -211,13 +274,24 @@ class ReqBlockCache(CachePolicy):
         for lpn in victim.pages:
             del self._index[lpn]
         victim.pages.clear()
-        outcome.flushes.append(FlushBatch(sorted(lpns)))
+        batch_lpns = sorted(lpns)
+        outcome.flushes.append(FlushBatch(batch_lpns))
+        if tracer.enabled:
+            tracer.emit(
+                Evict(
+                    self._clock,
+                    victim.req_id,
+                    tuple(batch_lpns),
+                    victim_level.value if victim_level is not None else "",
+                )
+            )
 
     # ------------------------------------------------------------------
     def flush_all(self) -> FlushBatch:
         """Drain the cache; returns one batch of the dirty pages."""
         lpns = sorted(self._index.keys())
         self.lists = ThreeLevelLists()
+        self.lists.set_tracer(self.tracer, clock_fn=lambda: self._clock)
         self._index.clear()
         return FlushBatch(lpns, reason="drain")
 
@@ -241,8 +315,15 @@ class ReqBlockCache(CachePolicy):
         # request, which is never in SRL).  The no-split ablation
         # promotes large blocks to SRL by design, so skip there.
         if self.split_large_hits:
+            bound = self._srl_size_bound()
             for block in self.lists.blocks(ListLevel.SRL):
-                assert block.page_num <= self.delta, (
+                assert block.page_num <= bound, (
                     f"SRL holds a block of {block.page_num} pages "
-                    f"(delta={self.delta})"
+                    f"(bound={bound})"
                 )
+
+    def _srl_size_bound(self) -> int:
+        """Largest block legally resident in SRL.  The adaptive variant
+        overrides this: a block promoted under an earlier, larger δ may
+        outlive a downward δ move."""
+        return self.delta

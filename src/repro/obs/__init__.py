@@ -1,0 +1,60 @@
+"""Simulation observability: structured event tracing + invariant checks.
+
+Attach a tracer to any replay (``ReplayConfig(tracer=...)``, the
+``--trace-out`` / ``--check-invariants`` CLI flags, or a component's
+``set_tracer``) and every cache, FTL and GC state transition is emitted
+as a typed event; an :class:`InvariantChecker` riding the same stream
+re-validates the simulator's structure after each one.  See
+``docs/observability.md`` for the event schema and recipes.
+"""
+
+from repro.obs.events import (
+    EVENT_KINDS,
+    CacheHit,
+    CacheMiss,
+    DowngradeMerge,
+    Event,
+    Evict,
+    FlashWrite,
+    GcErase,
+    GcMigrate,
+    Insert,
+    ListMove,
+    Split,
+    event_to_dict,
+)
+from repro.obs.invariants import InvariantChecker, InvariantViolation
+from repro.obs.shrink import shrink_failing_prefix
+from repro.obs.tracer import (
+    NULL_TRACER,
+    CountingTracer,
+    JsonlTracer,
+    NullTracer,
+    TeeTracer,
+    Tracer,
+)
+
+__all__ = [
+    "CacheHit",
+    "CacheMiss",
+    "Insert",
+    "Split",
+    "DowngradeMerge",
+    "Evict",
+    "FlashWrite",
+    "GcMigrate",
+    "GcErase",
+    "ListMove",
+    "Event",
+    "EVENT_KINDS",
+    "event_to_dict",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "CountingTracer",
+    "JsonlTracer",
+    "TeeTracer",
+    "InvariantChecker",
+    "InvariantViolation",
+    "shrink_failing_prefix",
+]

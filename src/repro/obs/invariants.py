@@ -1,0 +1,205 @@
+"""Runtime invariant checking over the trace-event stream.
+
+:class:`InvariantChecker` is a tracer: attach it to a replay (or tee it
+next to a :class:`~repro.obs.tracer.JsonlTracer`) and after every event
+it re-validates the structural invariants of the attached components:
+
+* **cache policy** — DLL next/prev consistency, occupancy within
+  ``[0, capacity]``, index/list agreement (every policy's
+  ``validate()``), and for Req-block explicitly: IRL/SRL/DRL
+  page-disjointness and every cached LPN belonging to exactly one
+  request block on exactly one list;
+* **FTL/flash** — the logical→physical mapping is a bijection onto
+  exactly the VALID flash pages, and per-block counters match a from-
+  scratch recount (``deep_interval`` rate-limits this O(device) scan);
+* **wear** — per-block erase counts are strictly monotone across
+  ``GcErase`` events.
+
+On failure it raises :class:`InvariantViolation` carrying the offending
+event and the recent event trail, so the report shows *what the
+simulation was doing* when the structure broke — not just that it is
+broken now.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional
+
+from repro.obs.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.cache.base import CachePolicy
+    from repro.ssd.controller import SSDController
+
+__all__ = ["InvariantViolation", "InvariantChecker", "DEFAULT_TRAIL", "DEEP_INTERVAL"]
+
+#: Events retained in the violation report.
+DEFAULT_TRAIL = 32
+#: Default rate limit for the O(device) FTL/flash recount.
+DEEP_INTERVAL = 256
+
+
+class InvariantViolation(AssertionError):
+    """A structural invariant failed during replay.
+
+    Subclasses ``AssertionError`` so existing ``pytest.raises
+    (AssertionError)`` guards and validate-style call sites keep
+    working; carries the offending event and the recent trail.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        event: Optional[Event] = None,
+        trail: Optional[List[Event]] = None,
+    ) -> None:
+        self.event = event
+        self.trail = list(trail or [])
+        lines = [message]
+        if event is not None:
+            lines.append(f"offending event: {event!r}")
+        if self.trail:
+            lines.append(f"last {len(self.trail)} events (oldest first):")
+            lines.extend(f"  {e!r}" for e in self.trail)
+        super().__init__("\n".join(lines))
+
+
+class InvariantChecker:
+    """Tracer that validates simulator structure after every event.
+
+    Parameters
+    ----------
+    policy, controller:
+        Components to validate; either may be attached later via
+        :meth:`attach` (the replay harness does this once both exist).
+    max_trail:
+        Events kept for the violation report.
+    check_interval:
+        Run the (O(cache)) policy validation every N events.
+    deep_interval:
+        Run the (O(device)) FTL + flash recount every N events; it
+        always also runs on ``close()`` so a replay cannot end with a
+        silently inconsistent device.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        policy: "Optional[CachePolicy]" = None,
+        controller: "Optional[SSDController]" = None,
+        max_trail: int = DEFAULT_TRAIL,
+        check_interval: int = 1,
+        deep_interval: int = DEEP_INTERVAL,
+    ) -> None:
+        if check_interval < 1 or deep_interval < 1:
+            raise ValueError("check_interval and deep_interval must be >= 1")
+        self.policy = policy
+        self.controller = controller
+        self.check_interval = check_interval
+        self.deep_interval = deep_interval
+        self.n_events = 0
+        self.checks_run = 0
+        self._trail: Deque[Event] = deque(maxlen=max_trail)
+        self._erase_counts: Dict[int, int] = {}
+
+    def attach(
+        self,
+        policy: "Optional[CachePolicy]" = None,
+        controller: "Optional[SSDController]" = None,
+    ) -> "InvariantChecker":
+        """Late-bind the components to validate; returns self."""
+        if policy is not None:
+            self.policy = policy
+        if controller is not None:
+            self.controller = controller
+        return self
+
+    # ------------------------------------------------------------------
+    def emit(self, event: Event) -> None:
+        self._trail.append(event)
+        self.n_events += 1
+        if event.kind == "gc_erase":
+            self._check_erase_monotone(event)
+        if self.n_events % self.check_interval == 0:
+            self._check_policy(event)
+        if self.n_events % self.deep_interval == 0:
+            self._check_device(event)
+
+    def close(self) -> None:
+        """Final full validation (policy + device)."""
+        self._check_policy(None)
+        self._check_device(None)
+
+    # ------------------------------------------------------------------
+    def _fail(self, message: str, event: Optional[Event]) -> None:
+        raise InvariantViolation(message, event=event, trail=list(self._trail))
+
+    def _check_erase_monotone(self, event: Event) -> None:
+        block = event.block  # type: ignore[union-attr]
+        count = event.erase_count  # type: ignore[union-attr]
+        prev = self._erase_counts.get(block, 0)
+        if count <= prev:
+            self._fail(
+                f"erase count of block {block} went {prev} -> {count} "
+                "(must be strictly monotone)",
+                event,
+            )
+        self._erase_counts[block] = count
+
+    def _check_policy(self, event: Optional[Event]) -> None:
+        policy = self.policy
+        if policy is None:
+            return
+        self.checks_run += 1
+        try:
+            policy.validate()
+        except InvariantViolation:
+            raise
+        except AssertionError as exc:
+            self._fail(f"policy invariant failed: {exc}", event)
+        self._check_reqblock_disjoint(event)
+
+    def _check_reqblock_disjoint(self, event: Optional[Event]) -> None:
+        """Explicit IRL/SRL/DRL disjointness + one-block-per-LPN check."""
+        policy = self.policy
+        lists = getattr(policy, "lists", None)
+        if lists is None or not hasattr(lists, "blocks"):
+            return
+        from repro.core.multilist import ListLevel
+
+        owner: Dict[int, str] = {}
+        for level in ListLevel:
+            for block in lists.blocks(level):
+                for lpn in block.pages:
+                    previous = owner.get(lpn)
+                    if previous is not None:
+                        self._fail(
+                            f"lpn {lpn} cached on both {previous} and "
+                            f"{level.value}: lists are not page-disjoint",
+                            event,
+                        )
+                    owner[lpn] = level.value
+        index = getattr(policy, "_index", None)
+        if index is not None and set(owner) != set(index):
+            missing = set(index) - set(owner)
+            extra = set(owner) - set(index)
+            self._fail(
+                "index/list disagreement: "
+                f"indexed-but-unlisted={sorted(missing)[:8]} "
+                f"listed-but-unindexed={sorted(extra)[:8]}",
+                event,
+            )
+
+    def _check_device(self, event: Optional[Event]) -> None:
+        controller = self.controller
+        if controller is None:
+            return
+        try:
+            controller.ftl.validate()
+            controller.flash.validate()
+        except InvariantViolation:
+            raise
+        except AssertionError as exc:
+            self._fail(f"device invariant failed: {exc}", event)

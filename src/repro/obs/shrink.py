@@ -1,0 +1,70 @@
+"""Shrink a failing request sequence to a minimal reproducer.
+
+The fuzz harness replays random traces with invariant checking enabled;
+when a replay raises, the raw reproducer is the whole prefix up to the
+violation — often hundreds of requests.  :func:`shrink_failing_prefix`
+reduces it with a delta-debugging pass (truncate to the failing prefix,
+then greedily drop chunks, halving the chunk size down to single
+requests) so the report shows the handful of requests that actually
+matter.
+
+The predicate receives a candidate request list and returns True when
+the failure still reproduces; it must be deterministic (rebuild the
+policy/device from scratch each call).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, TypeVar
+
+__all__ = ["shrink_failing_prefix"]
+
+R = TypeVar("R")
+
+
+def shrink_failing_prefix(
+    requests: Sequence[R],
+    fails: Callable[[List[R]], bool],
+    max_probes: int = 2000,
+) -> List[R]:
+    """Smallest found sub-sequence of ``requests`` on which ``fails`` holds.
+
+    ``requests`` itself must fail.  The result preserves relative order
+    (failures in a replay depend on request order) and still fails;
+    minimality is 1-minimal in the ddmin sense, bounded by
+    ``max_probes`` predicate evaluations for pathological inputs.
+    """
+    current = list(requests)
+    if not fails(current):
+        raise ValueError("shrink_failing_prefix: the full sequence does not fail")
+    probes = 0
+
+    # Phase 1: binary-search the shortest failing prefix.
+    lo, hi = 1, len(current)
+    while lo < hi and probes < max_probes:
+        mid = (lo + hi) // 2
+        probes += 1
+        if fails(current[:mid]):
+            hi = mid
+        else:
+            lo = mid + 1
+    current = current[:hi]
+
+    # Phase 2: greedily drop interior chunks, halving the chunk size.
+    chunk = max(1, len(current) // 2)
+    while chunk >= 1 and probes < max_probes:
+        i = 0
+        removed_any = False
+        while i < len(current) and probes < max_probes:
+            candidate = current[:i] + current[i + chunk :]
+            probes += 1
+            if candidate and fails(candidate):
+                current = candidate
+                removed_any = True
+                # Same position now holds the next chunk; don't advance.
+            else:
+                i += chunk
+        if chunk == 1 and not removed_any:
+            break
+        chunk = chunk // 2 if chunk > 1 else (1 if removed_any else 0)
+    return current

@@ -29,6 +29,7 @@ from repro.sim.replay import (
     METADATA_SAMPLE_INTERVAL,
     ReplayConfig,
     _build_policy,
+    resolve_tracer,
     sized_ssd_for,
 )
 from repro.ssd.controller import RequestRecord, SSDController
@@ -52,6 +53,7 @@ def replay_closed_loop(
     if queue_depth is not None:
         require_positive(queue_depth, "queue_depth")
     policy = _build_policy(config)
+    tracer, checker = resolve_tracer(config)
     ssd_config = config.ssd or sized_ssd_for(
         trace, over_provisioning=config.over_provisioning
     )
@@ -60,7 +62,10 @@ def replay_closed_loop(
         policy,
         cache_service_ms_per_page=config.cache_service_ms_per_page,
         gc_victim_policy=config.gc_victim_policy,
+        tracer=tracer,
     )
+    if checker is not None:
+        checker.attach(policy=policy, controller=controller)
     metrics = ReplayMetrics(
         trace_name=trace.name,
         policy_name=config.policy,
@@ -104,4 +109,6 @@ def replay_closed_loop(
     metrics.gc_migrated_pages = controller.gc.stats.pages_migrated
     metrics.gc_erases = controller.gc.stats.blocks_erased
     metrics.flash_total_writes = controller.total_flash_writes
+    if checker is not None:
+        checker.close()
     return metrics

@@ -14,11 +14,13 @@ and the 3-4x speedup buys a denser parameter grid.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.cache.base import CachePolicy
 from repro.cache.registry import create_policy
 from repro.core.policy import ReqBlockCache
+from repro.obs.invariants import InvariantChecker
+from repro.obs.tracer import TeeTracer, Tracer
 from repro.sim.metrics import LIST_LOG_INTERVAL, ReplayMetrics
 from repro.ssd.config import SSDConfig
 from repro.ssd.controller import RequestRecord, SSDController
@@ -29,6 +31,7 @@ __all__ = [
     "ReplayConfig",
     "replay_trace",
     "replay_cache_only",
+    "resolve_tracer",
     "written_footprint",
     "sized_ssd_for",
 ]
@@ -79,6 +82,16 @@ class ReplayConfig:
     #: Requests replayed to warm the cache before metrics start
     #: recording (the device/cache state still evolves during warmup).
     warmup_requests: int = 0
+    #: Observability sink receiving every cache/FTL/GC event of the
+    #: replay (see :mod:`repro.obs`); None keeps tracing disabled.
+    tracer: Optional[Tracer] = None
+    #: Validate simulator structure after every event (tees an
+    #: :class:`~repro.obs.invariants.InvariantChecker` next to
+    #: ``tracer``).  Orders of magnitude slower — tests/debugging only.
+    check_invariants: bool = False
+    #: Policy-structure validation rate for ``check_invariants``
+    #: (1 = after every event).
+    invariant_check_interval: int = 1
 
     @property
     def cache_pages(self) -> int:
@@ -92,9 +105,24 @@ def _build_policy(config: ReplayConfig) -> CachePolicy:
     return create_policy(config.policy, config.cache_pages, **config.policy_kwargs)
 
 
+def resolve_tracer(
+    config: ReplayConfig,
+) -> Tuple[Optional[Tracer], Optional[InvariantChecker]]:
+    """The effective tracer for a replay: the configured one, an
+    invariant checker, both (teed), or None.  The caller attaches the
+    returned checker to the policy/controller once they exist."""
+    tracer = config.tracer
+    checker: Optional[InvariantChecker] = None
+    if config.check_invariants:
+        checker = InvariantChecker(check_interval=config.invariant_check_interval)
+        tracer = checker if tracer is None else TeeTracer(tracer, checker)
+    return tracer, checker
+
+
 def replay_trace(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
     """Replay ``trace`` on the full device model; returns the metrics."""
     policy = _build_policy(config)
+    tracer, checker = resolve_tracer(config)
     ssd_config = config.ssd or sized_ssd_for(
         trace, over_provisioning=config.over_provisioning
     )
@@ -104,7 +132,10 @@ def replay_trace(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
         cache_service_ms_per_page=config.cache_service_ms_per_page,
         gc_victim_policy=config.gc_victim_policy,
         mapping_cache_bytes=config.mapping_cache_bytes,
+        tracer=tracer,
     )
+    if checker is not None:
+        checker.attach(policy=policy, controller=controller)
     metrics = ReplayMetrics(
         trace_name=trace.name,
         policy_name=config.policy,
@@ -148,17 +179,26 @@ def replay_trace(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
             metrics.max_plane_utilisation = max(plane_u)
         if bus_u:
             metrics.mean_bus_utilisation = sum(bus_u) / len(bus_u)
+    if checker is not None:
+        checker.close()
     return metrics
 
 
 def replay_cache_only(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
     """Replay through the cache policy alone (no flash timing/GC).
 
-    Response-time fields stay zero; hit ratios, eviction histogram,
-    metadata samples and list logs are identical to a full replay
-    because the policy never observes the flash backend.
+    Response-time fields stay zero (every request is recorded with
+    ``response_ms=0.0``); hit ratios, eviction histogram, metadata
+    samples and list logs are identical to a full replay because the
+    policy never observes the flash backend —
+    ``tests/sim/test_replay.py::TestFastPathEquivalence`` pins this.
     """
     policy = _build_policy(config)
+    tracer, checker = resolve_tracer(config)
+    if tracer is not None:
+        policy.set_tracer(tracer)
+    if checker is not None:
+        checker.attach(policy=policy)
     metrics = ReplayMetrics(
         trace_name=trace.name,
         policy_name=config.policy,
@@ -180,4 +220,6 @@ def replay_cache_only(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
 
     metrics.host_flush_pages = flushed
     metrics.flash_total_writes = flushed
+    if checker is not None:
+        checker.close()
     return metrics

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cache.base import AccessOutcome, CachePolicy, FlushBatch
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.ssd.config import SSDConfig
 from repro.ssd.flash import FlashArray
 from repro.ssd.ftl import PageFTL
@@ -78,6 +79,7 @@ class SSDController:
         wear_aware_gc: bool = False,
         gc_victim_policy: str = "greedy",
         mapping_cache_bytes: "int | None" = None,
+        tracer: "Tracer | None" = None,
     ) -> None:
         """
         Parameters
@@ -93,10 +95,19 @@ class SSDController:
             When set, the FTL caches its mapping table on demand
             (DFTL-style) with this much DRAM instead of holding it all
             resident — translation misses then delay host operations.
+        tracer:
+            Observability sink (see :mod:`repro.obs`).  Threaded through
+            the cache policy, the FTL and the GC so one tracer sees the
+            whole event stream of a replay.  ``None`` keeps tracing
+            disabled (and leaves any tracer already attached to the
+            policy untouched).
         """
         self.config = config
         self.policy = policy
         self.cache_service_ms = cache_service_ms_per_page
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if tracer is not None:
+            policy.set_tracer(tracer)
         self.geometry = Geometry(config)
         self.flash = FlashArray(config, self.geometry)
         self.resources = ResourceTimelines(config, self.geometry)
@@ -107,10 +118,16 @@ class SSDController:
             self.resources,
             wear_aware=wear_aware_gc,
             victim_policy=gc_victim_policy,
+            tracer=self.tracer,
         )
         if mapping_cache_bytes is None:
             self.ftl: PageFTL = PageFTL(
-                config, self.geometry, self.flash, self.resources, self.gc
+                config,
+                self.geometry,
+                self.flash,
+                self.resources,
+                self.gc,
+                tracer=self.tracer,
             )
         else:
             from repro.ssd.dftl import CachedMappingFTL
@@ -122,6 +139,7 @@ class SSDController:
                 self.resources,
                 self.gc,
                 mapping_cache_bytes=mapping_cache_bytes,
+                tracer=self.tracer,
             )
         # Cost-aware policies (ECR) may ask the device for flush
         # backlog estimates; inject the narrow feedback adapter.

@@ -82,8 +82,9 @@ class CachedMappingFTL(PageFTL):
         resources: ResourceTimelines,
         gc: GarbageCollector,
         mapping_cache_bytes: int = 1 << 20,
+        tracer=None,
     ) -> None:
-        super().__init__(config, geometry, flash, resources, gc)
+        super().__init__(config, geometry, flash, resources, gc, tracer=tracer)
         require_positive(mapping_cache_bytes, "mapping_cache_bytes")
         self.entries_per_tp = config.page_size_bytes // MAPPING_ENTRY_BYTES
         tp_bytes = self.entries_per_tp * MAPPING_ENTRY_BYTES

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.obs.events import FlashWrite, GcMigrate
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.ssd.config import SSDConfig
 from repro.ssd.flash import FlashArray
 from repro.ssd.gc import GarbageCollector
@@ -52,6 +54,7 @@ class PageFTL:
         "resources",
         "gc",
         "stats",
+        "tracer",
         "_map",
         "_rmap",
         "_alloc_order",
@@ -65,12 +68,14 @@ class PageFTL:
         flash: FlashArray,
         resources: ResourceTimelines,
         gc: GarbageCollector,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.config = config
         self.geometry = geometry
         self.flash = flash
         self.resources = resources
         self.gc = gc
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.stats = FTLStats()
         self._map: Dict[int, int] = {}
         self._rmap: Dict[int, int] = {}
@@ -149,6 +154,8 @@ class PageFTL:
         self._map[lpn] = ppn
         self._rmap[ppn] = lpn
         self.stats.host_programs += 1
+        if self.tracer.enabled:
+            self.tracer.emit(FlashWrite(now, lpn, ppn, target_plane))
         self.gc.maybe_collect(self, target_plane, op.end)
         return op
 
@@ -187,6 +194,8 @@ class PageFTL:
         self.flash.program(new_ppn)
         self._map[lpn] = new_ppn
         self._rmap[new_ppn] = lpn
+        if self.tracer.enabled:
+            self.tracer.emit(GcMigrate(now, lpn, ppn, new_ppn, plane))
         return op
 
     # ------------------------------------------------------------------

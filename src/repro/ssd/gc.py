@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
+from repro.obs.events import GcErase
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.ssd.config import SSDConfig
 from repro.ssd.flash import FlashArray, FlashOutOfSpace
 from repro.ssd.geometry import Geometry
@@ -64,6 +66,7 @@ class GarbageCollector:
         "flash",
         "resources",
         "stats",
+        "tracer",
         "_wear_aware",
         "victim_policy",
     )
@@ -76,6 +79,7 @@ class GarbageCollector:
         resources: ResourceTimelines,
         wear_aware: bool = False,
         victim_policy: str = "greedy",
+        tracer: "Tracer | None" = None,
     ) -> None:
         if victim_policy not in VICTIM_POLICIES:
             raise ValueError(
@@ -87,6 +91,7 @@ class GarbageCollector:
         self.flash = flash
         self.resources = resources
         self.stats = GCStats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._wear_aware = wear_aware
         self.victim_policy = victim_policy
 
@@ -191,4 +196,8 @@ class GarbageCollector:
         op = self.resources.schedule_erase(plane, t)
         flash.erase(victim)
         self.stats.blocks_erased += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                GcErase(op.end, plane, victim, flash.erase_count[victim])
+            )
         return op.end

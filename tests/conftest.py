@@ -8,6 +8,22 @@ from repro.traces.model import IORequest, OpType, Trace
 from repro.traces.synthetic import SyntheticConfig, generate_trace
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="Rewrite golden metric fixtures with the current results "
+        "instead of comparing against them.",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    """Whether the run should rewrite golden fixtures (--update-golden)."""
+    return bool(request.config.getoption("--update-golden"))
+
+
 def W(lpn: int, npages: int = 1, t: float = 0.0) -> IORequest:
     """Shorthand write request."""
     return IORequest(time=t, op=OpType.WRITE, lpn=lpn, npages=npages)

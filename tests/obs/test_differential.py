@@ -1,0 +1,140 @@
+"""Differential tests: page-level policies vs a brute-force reference.
+
+The production LRU/FIFO/LFU use intrusive lists, hash indexes and (for
+LFU) frequency buckets.  :class:`RefWriteBuffer` re-implements all three
+with nothing but a Python list and a dict — slow, obvious, and easy to
+audit.  Random workloads are replayed through both; the tracer event
+stream of the production policy must yield exactly the reference's
+per-page hit/miss decisions, and the cache contents must agree after
+every request.
+
+The LFU tie-break relies on a property of the bucket implementation: a
+page enters its bucket when its frequency last changed, so last-touch
+order equals bucket order and ``min()`` over last-touch order by
+frequency picks the same victim as "LRU tail of the lowest bucket".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.registry import create_policy
+from repro.obs.tracer import CountingTracer
+from repro.traces.model import IORequest, OpType
+
+
+class RefWriteBuffer:
+    """Brute-force write buffer: ``order`` is last-touch order (oldest
+    first, except FIFO where it is insertion order); ``freq`` counts
+    accesses.  Mirrors Algorithm 1's write-buffer semantics."""
+
+    def __init__(self, capacity: int, kind: str) -> None:
+        self.capacity = capacity
+        self.kind = kind  # "lru" | "fifo" | "lfu"
+        self.order: List[int] = []
+        self.freq = {}
+
+    def access(self, request: IORequest) -> List[bool]:
+        decisions = []
+        for lpn in request.pages():
+            if lpn in self.freq:
+                decisions.append(True)
+                self.freq[lpn] += 1
+                if self.kind != "fifo":  # FIFO ignores recency
+                    self.order.remove(lpn)
+                    self.order.append(lpn)
+            else:
+                decisions.append(False)
+                if request.is_write:
+                    while len(self.order) >= self.capacity:
+                        self._evict()
+                    self.order.append(lpn)
+                    self.freq[lpn] = 1
+        return decisions
+
+    def _evict(self) -> None:
+        if self.kind == "lfu":
+            victim = min(self.order, key=self.freq.__getitem__)
+        else:
+            victim = self.order[0]
+        self.order.remove(victim)
+        del self.freq[victim]
+
+
+def _decisions_from_events(tracer: CountingTracer, req_id: int) -> List[bool]:
+    """Per-page hit/miss decisions of one request, from the event stream."""
+    out = []
+    for event in tracer.events:
+        if event.kind == "cache_hit" and event.req_id == req_id:
+            out.append((event.time, True))
+        elif event.kind == "cache_miss" and event.req_id == req_id:
+            out.append((event.time, False))
+    return [hit for _t, hit in sorted(out)]
+
+
+request_lists = st.lists(
+    st.tuples(
+        st.booleans(),  # is_write
+        st.integers(0, 50),  # lpn
+        st.integers(1, 8),  # npages
+    ),
+    min_size=1,
+    max_size=100,
+)
+
+
+class TestDifferential:
+    @given(ops=request_lists, capacity=st.integers(2, 24))
+    @settings(max_examples=60, deadline=None)
+    def test_lru_matches_reference(self, ops, capacity):
+        self._run("lru", ops, capacity)
+
+    @given(ops=request_lists, capacity=st.integers(2, 24))
+    @settings(max_examples=60, deadline=None)
+    def test_fifo_matches_reference(self, ops, capacity):
+        self._run("fifo", ops, capacity)
+
+    @given(ops=request_lists, capacity=st.integers(2, 24))
+    @settings(max_examples=60, deadline=None)
+    def test_lfu_matches_reference(self, ops, capacity):
+        self._run("lfu", ops, capacity)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _run(kind: str, ops, capacity: int) -> None:
+        policy = create_policy(kind, capacity)
+        tracer = CountingTracer(keep_events=True)
+        policy.set_tracer(tracer)
+        reference = RefWriteBuffer(capacity, kind)
+        for i, (is_write, lpn, npages) in enumerate(ops):
+            request = IORequest(
+                time=float(i),
+                op=OpType.WRITE if is_write else OpType.READ,
+                lpn=lpn,
+                npages=npages,
+            )
+            outcome = policy.access(request)
+            expected = reference.access(request)
+            got = _decisions_from_events(tracer, req_id=i)
+            assert got == expected, (
+                f"{kind}: per-page decisions diverged at request {i} "
+                f"({request!r}): policy={got} reference={expected}"
+            )
+            # The outcome totals must agree with the event stream too.
+            assert outcome.page_hits == sum(got)
+            assert outcome.page_misses == len(got) - sum(got)
+            assert set(policy.cached_lpns()) == set(reference.order), (
+                f"{kind}: contents diverged at request {i}"
+            )
+        policy.validate()
+
+    def test_reference_is_actually_naive(self):
+        """Guard the premise of the docstring: the reference stays a
+        ~40-line dict+list model with no clever data structures."""
+        import inspect
+
+        source = inspect.getsource(RefWriteBuffer)
+        assert len(source.splitlines()) < 50

@@ -1,0 +1,159 @@
+"""Fuzz every registered policy under the invariant checker.
+
+Seeded random traces — overlapping LBA ranges, mixed request sizes,
+reads interleaved with writes — run through every policy the registry
+knows, with :class:`InvariantChecker` validating structure after every
+event.  Any violation is shrunk with :func:`shrink_failing_prefix` to a
+minimal reproducing request sequence before the test fails, so the
+report is actionable instead of a 400-request dump.
+
+The shrinker itself is exercised against a deliberately buggy policy
+(an LRU whose eviction leaks index entries on every 5th eviction) to
+prove the shrink-and-report path works end to end.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+import pytest
+
+from repro.cache.base import AccessOutcome
+from repro.cache.lru import LRUCache
+from repro.cache.registry import available_policies, create_policy
+from repro.obs.invariants import InvariantChecker, InvariantViolation
+from repro.obs.shrink import shrink_failing_prefix
+from repro.traces.model import IORequest, OpType
+
+SEEDS = (0, 1, 2)
+N_REQUESTS = 250
+CAPACITY_PAGES = 48
+
+
+def random_requests(seed: int, n: int = N_REQUESTS) -> List[IORequest]:
+    """A random workload stressing the cache structures: hot rewrites,
+    large overlapping extents, and reads mixed in."""
+    rng = random.Random(seed)
+    requests = []
+    for i in range(n):
+        roll = rng.random()
+        if roll < 0.5:  # small hot write
+            lpn, npages = rng.randrange(40), rng.randint(1, 4)
+        elif roll < 0.8:  # large extent, overlaps the hot set
+            lpn, npages = rng.randrange(80), rng.randint(5, 24)
+        else:  # read, possibly of cached data
+            lpn, npages = rng.randrange(80), rng.randint(1, 8)
+        op = OpType.READ if roll >= 0.8 else OpType.WRITE
+        requests.append(IORequest(time=float(i), op=op, lpn=lpn, npages=npages))
+    return requests
+
+
+def replay_checked(policy_name: str, requests: List[IORequest]) -> None:
+    """Run ``requests`` through a fresh policy with invariants on."""
+    policy = create_policy(policy_name, CAPACITY_PAGES)
+    checker = InvariantChecker(policy=policy)
+    policy.set_tracer(checker)
+    for request in requests:
+        policy.access(request)
+    checker.close()
+
+
+def _violates(policy_name: str, requests: List[IORequest]) -> bool:
+    try:
+        replay_checked(policy_name, requests)
+    except InvariantViolation:
+        return True
+    return False
+
+
+@pytest.mark.parametrize("policy_name", available_policies())
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fuzz_policy_invariants(policy_name: str, seed: int) -> None:
+    requests = random_requests(seed)
+    try:
+        replay_checked(policy_name, requests)
+    except InvariantViolation as violation:
+        minimal = shrink_failing_prefix(
+            requests, lambda prefix: _violates(policy_name, prefix)
+        )
+        pytest.fail(
+            f"{policy_name} (seed {seed}) violated an invariant; "
+            f"minimal reproducer ({len(minimal)} of {len(requests)} "
+            f"requests):\n"
+            + "\n".join(f"  {r!r}" for r in minimal)
+            + f"\noriginal violation:\n{violation}"
+        )
+
+
+class _LeakyLRU(LRUCache):
+    """LRU with a seeded bug: every 5th eviction forgets the index entry
+    (the page leaves the list but stays 'cached' in the index)."""
+
+    name = "leaky-lru"
+
+    def __init__(self, capacity_pages: int) -> None:
+        super().__init__(capacity_pages)
+        self._evictions = 0
+
+    def _evict_one(self, outcome: AccessOutcome) -> None:
+        self._evictions += 1
+        if self._evictions % 5 == 0:
+            victim = self._list.pop_tail()
+            self._occupancy -= 1
+            # Bug: victim.lpn stays in self._index.
+            from repro.cache.base import FlushBatch
+
+            outcome.flushes.append(FlushBatch([victim.lpn]))
+        else:
+            super()._evict_one(outcome)
+
+
+class TestShrinkAndReport:
+    def _leaky_fails(self, requests: List[IORequest]) -> bool:
+        policy = _LeakyLRU(8)
+        checker = InvariantChecker(policy=policy)
+        policy.set_tracer(checker)
+        try:
+            for request in requests:
+                policy.access(request)
+            checker.close()
+        except (InvariantViolation, RuntimeError):
+            # The leak eventually also trips the evict-freed-nothing
+            # guard; both count as reproducing the failure.
+            return True
+        return False
+
+    def test_fuzz_catches_seeded_leak_and_shrinks_it(self):
+        requests = random_requests(seed=7)
+        assert self._leaky_fails(requests), "seeded bug must trip the checker"
+        minimal = shrink_failing_prefix(requests, self._leaky_fails)
+        assert self._leaky_fails(minimal)
+        # 5 evictions are needed to trigger the leak; with capacity 8 the
+        # shrinker cannot get below a handful of requests, but it must
+        # get far below the full workload.
+        assert len(minimal) < len(requests) / 4
+        # The reproducer preserves order: it is a subsequence of the
+        # original workload (failures depend on request order).
+        it = iter(requests)
+        assert all(r in it for r in minimal)
+
+
+class TestShrinker:
+    def test_rejects_passing_sequence(self):
+        with pytest.raises(ValueError):
+            shrink_failing_prefix([1, 2, 3], lambda seq: False)
+
+    def test_shrinks_to_single_culprit(self):
+        data = list(range(100))
+        minimal = shrink_failing_prefix(data, lambda seq: 42 in seq)
+        assert minimal == [42]
+
+    def test_shrinks_order_dependent_failure(self):
+        data = list(range(50))
+        # Fails only when 7 appears before 31 — order must be preserved.
+        def fails(seq):
+            return 7 in seq and 31 in seq and seq.index(7) < seq.index(31)
+
+        minimal = shrink_failing_prefix(data, fails)
+        assert minimal == [7, 31]

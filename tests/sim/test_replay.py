@@ -127,6 +127,47 @@ class TestCacheOnlyReplay:
         assert m.list_log == []
 
 
+class TestFastPathEquivalence:
+    """The fast path must agree with the timed path on everything the
+    cache controls (``replay_cache_only``'s docstring points here)."""
+
+    @pytest.mark.parametrize("policy", ["lru", "bplru", "vbbms", "reqblock"])
+    def test_hit_counts_agree(self, tiny_trace, policy):
+        cfg = ReplayConfig(policy=policy, cache_bytes=64 * 4096)
+        fast = replay_cache_only(tiny_trace, cfg)
+        full = replay_trace(tiny_trace, cfg)
+        assert fast.pages.hits == full.pages.hits
+        assert fast.pages.total == full.pages.total
+        assert fast.read_pages.hits == full.read_pages.hits
+        assert fast.write_pages.hits == full.write_pages.hits
+        assert fast.eviction_count == full.eviction_count
+
+    def test_fast_path_response_fields_stay_zero(self, tiny_trace):
+        m = replay_cache_only(
+            tiny_trace, ReplayConfig(policy="reqblock", cache_bytes=64 * 4096)
+        )
+        assert m.total_response_ms == 0.0
+        assert m.mean_response_ms == 0.0
+        assert m.response_percentile(0.99) == 0.0
+
+    @pytest.mark.parametrize("policy", ["lru", "reqblock"])
+    def test_traced_loop_matches_untraced_loop(self, tiny_trace, policy):
+        """Policies run separate traced/untraced access loops; both must
+        make identical decisions (guards the dual-path optimisation)."""
+        from repro.obs.tracer import CountingTracer
+
+        cfg = ReplayConfig(policy=policy, cache_bytes=64 * 4096)
+        plain = replay_cache_only(tiny_trace, cfg)
+        tracer = CountingTracer()
+        traced = replay_cache_only(
+            tiny_trace,
+            ReplayConfig(policy=policy, cache_bytes=64 * 4096, tracer=tracer),
+        )
+        assert traced.pages.hits == plain.pages.hits == tracer.hits
+        assert traced.eviction_count == plain.eviction_count == tracer.evictions
+        assert traced.host_flush_pages == plain.host_flush_pages
+
+
 class TestUtilisationReporting:
     def test_full_replay_reports_utilisation(self, tiny_trace):
         m = replay_trace(tiny_trace, ReplayConfig(policy="lru", cache_bytes=64 * 4096))

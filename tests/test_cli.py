@@ -41,6 +41,29 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "hit_ratio" in out
 
+    def test_replay_trace_out(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "events.jsonl"
+        rc = main(
+            ["replay", "ts_0", "--scale", SCALE, "--policy", "reqblock",
+             "--trace-out", str(out_path)]
+        )
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().out
+        events = [json.loads(line) for line in out_path.read_text().splitlines()]
+        assert events, "expected a non-empty event stream"
+        kinds = {e["kind"] for e in events}
+        assert {"cache_miss", "insert", "flash_write"} <= kinds
+
+    def test_replay_check_invariants(self, capsys):
+        rc = main(
+            ["replay", "ts_0", "--scale", SCALE, "--policy", "reqblock",
+             "--check-invariants"]
+        )
+        assert rc == 0
+        assert "hit_ratio" in capsys.readouterr().out
+
     def test_replay_msr_file(self, tmp_path, capsys):
         p = tmp_path / "trace.csv"
         rows = [

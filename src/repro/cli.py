@@ -24,6 +24,7 @@ from typing import Dict, List, Optional
 
 from repro.cache.registry import PAPER_COMPARISON, available_policies
 from repro.experiments.common import ExperimentSettings
+from repro.faults.profile import FAULT_PROFILES
 from repro.sim.replay import ReplayConfig, replay_trace
 from repro.sim.report import format_table
 from repro.traces.model import Trace
@@ -56,7 +57,12 @@ _EXPERIMENTS: Dict[str, str] = {
     "wear-study": "repro.experiments.wear_study",
     "cache-scaling": "repro.experiments.cache_scaling",
     "mdts-sensitivity": "repro.experiments.mdts_sensitivity",
+    "reliability-study": "repro.experiments.reliability_study",
 }
+
+#: Exit code for a replay cut short by a device-fatal error (distinct
+#: from argparse's 2 and the generic 1).
+EXIT_ABORTED = 3
 
 
 def _load_trace(args: argparse.Namespace) -> Trace:
@@ -78,6 +84,10 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         cache_bytes=cache_bytes,
         tracer=tracer,
         check_invariants=args.check_invariants,
+        fault_profile=args.fault_profile,
+        fault_seed=args.fault_seed,
+        power_loss_at=args.power_loss_at,
+        capacitor_pages=args.capacitor_pages,
     )
     try:
         if args.queue_depth is not None:
@@ -91,8 +101,24 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             tracer.close()
     rows = [(k, v) for k, v in metrics.summary().items()]
     print(format_table(("Metric", "Value"), rows, float_fmt="{:.4f}"))
+    if metrics.durability is not None:
+        print()
+        print(
+            format_table(
+                ("Durability", "Value"),
+                metrics.durability.rows(),
+                float_fmt="{:.4f}",
+            )
+        )
     if tracer is not None:
         print(f"wrote {tracer.n_events} events to {args.trace_out}")
+    if metrics.aborted:
+        print(
+            f"replay aborted at request {metrics.aborted_at_request}: "
+            f"{metrics.aborted_reason}",
+            file=sys.stderr,
+        )
+        return EXIT_ABORTED
     return 0
 
 
@@ -215,6 +241,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--check-invariants", action="store_true",
         help="validate simulator structure after every event "
              "(orders of magnitude slower; debugging aid)",
+    )
+    p.add_argument(
+        "--fault-profile", default=None, metavar="NAME",
+        choices=("none", *sorted(FAULT_PROFILES)),
+        help="inject NAND faults using this profile "
+             f"({', '.join(sorted(FAULT_PROFILES))}; default: none)",
+    )
+    p.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for the fault model's RNG (default: 0)",
+    )
+    p.add_argument(
+        "--power-loss-at", type=int, default=None, metavar="N",
+        help="cut power right after request N, losing the dirty cache, "
+             "then remount and continue (default: never)",
+    )
+    p.add_argument(
+        "--capacitor-pages", type=int, default=0, metavar="PAGES",
+        help="power-loss-protection budget: dirty pages the hold-up "
+             "capacitors can still flush (default: 0)",
     )
     p.set_defaults(func=_cmd_replay)
 

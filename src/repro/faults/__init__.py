@@ -1,0 +1,48 @@
+"""Fault injection & recovery: NAND error model, bad-block management,
+power-loss/crash recovery, and graceful degraded mode.
+
+The subsystem turns the reproduction's perfect device into a
+durability-vs-hit-ratio testbed (see ``docs/fault_injection.md``):
+
+* :class:`FaultProfile` / :data:`FAULT_PROFILES` — named parameter sets
+  (``--fault-profile`` on the CLI);
+* :class:`NandErrorModel` — seeded, wear-coupled per-operation failure
+  decisions (all randomness flows through one explicit
+  ``numpy.random.Generator``);
+* :class:`FaultInjector` / :data:`NULL_FAULTS` — the façade the FTL and
+  GC consult; handles page burns, valid-data rescue and block
+  retirement via :class:`BadBlockManager`;
+* :func:`inject_power_loss` — dirty-cache loss (minus a capacitor
+  budget) plus the OOB-scan mount that rebuilds the FTL mapping;
+* :class:`DegradedMode` — the read-only latch replacing the old
+  ``FlashOutOfSpace`` crash, with backpressure counters;
+* :class:`DurabilityReport` — per-replay accounting surfaced by the CLI
+  and ``experiments/reliability_study.py``.
+"""
+
+from repro.faults.badblocks import BadBlockManager
+from repro.faults.degraded import DegradedMode
+from repro.faults.injector import (
+    NULL_FAULTS,
+    FaultInjector,
+    NullFaultInjector,
+)
+from repro.faults.model import NandErrorModel
+from repro.faults.powerloss import inject_power_loss
+from repro.faults.profile import FAULT_PROFILES, FaultProfile, get_profile
+from repro.faults.report import DurabilityReport, PowerLossReport
+
+__all__ = [
+    "BadBlockManager",
+    "DegradedMode",
+    "DurabilityReport",
+    "FAULT_PROFILES",
+    "FaultInjector",
+    "FaultProfile",
+    "NULL_FAULTS",
+    "NandErrorModel",
+    "NullFaultInjector",
+    "PowerLossReport",
+    "get_profile",
+    "inject_power_loss",
+]

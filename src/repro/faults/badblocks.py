@@ -1,0 +1,82 @@
+"""Grown-bad-block management over the flash array's spare pools.
+
+NAND blocks die in two ways the error model injects: a *program
+failure* (a page refuses to program; JEDEC says retire the block once
+its live data is rescued) and an *erase failure* (the block won't
+erase; retire immediately — it holds only stale data by then).  The
+:class:`BadBlockManager` centralises the bookkeeping both paths share:
+
+* move the block to the :attr:`FlashArray.retired` set (never
+  allocated, collected or erased again);
+* draw a factory spare into the plane's free list while spares last —
+  after that, every retirement permanently shrinks over-provisioning,
+  which is what eventually drives the device into degraded mode;
+* emit :class:`~repro.obs.events.BlockRetired` for the tracer and keep
+  the per-plane grown-bad-block ledger the invariant checker audits.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.obs.events import BlockRetired
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ssd.flash import FlashArray
+
+__all__ = ["BadBlockManager"]
+
+
+class BadBlockManager:
+    """Retirement bookkeeping for one flash array."""
+
+    __slots__ = (
+        "flash",
+        "tracer",
+        "grown",
+        "blocks_retired",
+        "spares_consumed",
+    )
+
+    def __init__(self, flash: "FlashArray", tracer: "Tracer | None" = None) -> None:
+        self.flash = flash
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: plane -> retired block indices, in retirement order.
+        self.grown: Dict[int, List[int]] = {}
+        self.blocks_retired = 0
+        self.spares_consumed = 0
+
+    # ------------------------------------------------------------------
+    def reserve_spares(self, per_plane: int) -> None:
+        """Carve the factory spare pools out of the free lists (once)."""
+        self.flash.reserve_spares(per_plane)
+
+    def spares_remaining(self, plane: int) -> int:
+        """Unused factory spares left in ``plane``."""
+        return len(self.flash.spare_blocks[plane])
+
+    def total_spares_remaining(self) -> int:
+        """Unused factory spares left device-wide."""
+        return sum(len(s) for s in self.flash.spare_blocks)
+
+    # ------------------------------------------------------------------
+    def retire(self, block: int, now: float, reason: str) -> None:
+        """Retire ``block`` and backfill from the plane's spare pool.
+
+        The caller guarantees the block holds no valid pages and is not
+        a write point (the injector's retirement path arranges both).
+        """
+        flash = self.flash
+        plane = flash.geometry.plane_of_block(block)
+        flash.retire_block(block)
+        if flash.draw_spare(plane):
+            self.spares_consumed += 1
+        self.grown.setdefault(plane, []).append(block)
+        self.blocks_retired += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                BlockRetired(
+                    now, plane, block, reason, self.spares_remaining(plane)
+                )
+            )

@@ -1,0 +1,49 @@
+"""Graceful degradation state: read-only mode with backpressure counters.
+
+When garbage collection cannot reclaim space and the spare pool is dry,
+a real SSD does not crash the host — it fails writes (or throttles them
+to a trickle) while still serving reads.  :class:`DegradedMode` is the
+controller-owned flag + accounting for that terminal state, replacing
+the pre-fault-subsystem behaviour of propagating
+:class:`~repro.ssd.flash.FlashOutOfSpace` out of the replay loop and
+losing every accumulated metric.
+
+The state machine is one-way: once entered, the device stays degraded
+for the rest of the replay (mirroring real devices, which need a secure
+erase to leave read-only mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DegradedMode"]
+
+
+@dataclass
+class DegradedMode:
+    """Read-only / write-rejecting device state (one-way latch)."""
+
+    active: bool = False
+    reason: str = ""
+    entered_at_ms: float = 0.0
+    #: Plane whose allocation failure tripped the latch (-1 = unknown).
+    plane: int = -1
+
+    # Backpressure accounting.
+    writes_rejected_requests: int = 0
+    writes_rejected_pages: int = 0
+    #: Cache-eviction pages that could not be programmed (data dropped).
+    flush_pages_dropped: int = 0
+    #: Read requests served while degraded (the mode keeps them alive).
+    reads_served: int = 0
+
+    def enter(self, reason: str, now: float, plane: int = -1) -> bool:
+        """Latch degraded mode; returns True on the first entry only."""
+        if self.active:
+            return False
+        self.active = True
+        self.reason = reason
+        self.entered_at_ms = now
+        self.plane = plane
+        return True

@@ -1,0 +1,82 @@
+"""NAND error model: seeded per-operation failure decisions.
+
+:class:`NandErrorModel` is the only component that consumes randomness
+in the fault subsystem.  Every decision draws from one explicit
+``numpy.random.Generator`` in a fixed per-operation order, so a replay
+with the same seed, trace and policy produces the *same fault sequence*
+— the reproducibility contract the CI check pins (see
+``docs/fault_injection.md`` and CONTRIBUTING.md's seeding convention).
+
+Wear coupling: probabilities scale linearly with the target block's
+consumed endurance (``erases / pe_cycle_limit``), so a wear-dominated
+profile ("wearout") behaves like a young device until GC churn ages
+blocks, then starts growing bad blocks — exactly the over-provisioning
+death spiral the degraded-mode path must survive.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.faults.profile import FaultProfile
+from repro.utils.rng import resolve_rng
+
+__all__ = ["NandErrorModel"]
+
+
+class NandErrorModel:
+    """Seeded failure decisions for program / erase / read operations."""
+
+    __slots__ = ("profile", "rng", "_pe_limit")
+
+    def __init__(
+        self,
+        profile: FaultProfile,
+        rng: "np.random.Generator | int | None" = None,
+        pe_cycle_limit: int = 3000,
+    ) -> None:
+        """``rng`` may be a ready Generator, an int seed, or None (seed 0);
+        module-level global RNG state is deliberately never used."""
+        self.profile = profile
+        self.rng = resolve_rng(rng)
+        self._pe_limit = max(1, pe_cycle_limit)
+
+    # ------------------------------------------------------------------
+    def _effective(self, base: float, erase_count: int) -> float:
+        """Wear-coupled probability for a block with ``erase_count`` P/Es."""
+        coupling = self.profile.wear_coupling
+        if coupling <= 0.0 or erase_count <= 0:
+            return base
+        return min(1.0, base * (1.0 + coupling * erase_count / self._pe_limit))
+
+    # ------------------------------------------------------------------
+    def program_fails(self, erase_count: int = 0) -> bool:
+        """Whether the next page program on a block this worn fails."""
+        p = self._effective(self.profile.program_fail_prob, erase_count)
+        return bool(self.rng.random() < p) if p > 0.0 else False
+
+    def erase_fails(self, erase_count: int = 0) -> bool:
+        """Whether the next erase of a block this worn fails."""
+        p = self._effective(self.profile.erase_fail_prob, erase_count)
+        return bool(self.rng.random() < p) if p > 0.0 else False
+
+    def read_retries(self, erase_count: int = 0) -> Optional[int]:
+        """ECC outcome of one page read.
+
+        Returns ``0`` for a clean read, ``n >= 1`` when the read
+        recovered after ``n`` ladder rungs, or ``None`` when the whole
+        ladder was exhausted (unrecoverable read).  One uniform draw for
+        the initial read plus one per rung keeps the consumed-randomness
+        count deterministic per outcome.
+        """
+        p = self._effective(self.profile.read_error_prob, erase_count)
+        if p <= 0.0 or self.rng.random() >= p:
+            return 0
+        ladder = self.profile.read_retry_latencies_ms
+        success = self.profile.retry_success_prob
+        for rung in range(1, len(ladder) + 1):
+            if self.rng.random() < success:
+                return rung
+        return None

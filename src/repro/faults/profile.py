@@ -1,0 +1,129 @@
+"""Fault profiles: named, validated parameter sets for the error model.
+
+A :class:`FaultProfile` bundles every knob of the fault-injection
+subsystem — per-operation failure probabilities, wear coupling, the ECC
+read-retry ladder, spare-block provisioning and the power-loss recovery
+cost model — into one frozen dataclass.  Profiles are the unit the CLI
+exposes (``--fault-profile default``) and experiments sweep.
+
+Probabilities are *per physical operation* (one page program, one block
+erase, one page read), matching how NAND datasheets quote raw bit /
+operation error rates after ECC.  ``wear_coupling`` scales each
+probability with the target block's consumed endurance::
+
+    p_effective = p_base * (1 + wear_coupling * erases / pe_cycle_limit)
+
+so a profile with coupling models the end-of-life cliff: young devices
+barely fail, worn ones fail increasingly often (cf. Flashield's
+wear-out bounding argument, PAPERS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+from repro.utils.validation import (
+    require_in_range,
+    require_non_negative,
+)
+
+__all__ = ["FaultProfile", "FAULT_PROFILES", "get_profile"]
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """All parameters of the fault-injection subsystem (see module doc)."""
+
+    name: str = "default"
+    #: Per-page-program failure probability (the block then retires).
+    program_fail_prob: float = 1e-4
+    #: Per-block-erase failure probability (the block then retires).
+    erase_fail_prob: float = 5e-4
+    #: Probability a host page read needs at least one ECC retry.
+    read_error_prob: float = 1e-3
+    #: Probability each successive retry rung recovers the data.
+    retry_success_prob: float = 0.75
+    #: Escalating cell-read latencies of the retry ladder (ms).  Reads
+    #: that exhaust the ladder are unrecoverable (accounted, not fatal).
+    read_retry_latencies_ms: Tuple[float, ...] = (0.09, 0.12, 0.18, 0.3)
+    #: Endurance scaling of all three probabilities (0 = wear-blind).
+    wear_coupling: float = 4.0
+    #: Factory spare blocks reserved per plane to replace grown bad
+    #: blocks; drawn from the free list at attach time.
+    spare_blocks_per_plane: int = 2
+    #: Power-loss mount: OOB-scan cost per written physical page (ms).
+    mount_scan_ms_per_page: float = 0.002
+    #: Power-loss mount: fixed controller boot cost (ms).
+    mount_base_ms: float = 50.0
+
+    def __post_init__(self) -> None:
+        require_in_range(self.program_fail_prob, "program_fail_prob", 0.0, 1.0)
+        require_in_range(self.erase_fail_prob, "erase_fail_prob", 0.0, 1.0)
+        require_in_range(self.read_error_prob, "read_error_prob", 0.0, 1.0)
+        require_in_range(self.retry_success_prob, "retry_success_prob", 0.0, 1.0)
+        require_non_negative(self.wear_coupling, "wear_coupling")
+        require_non_negative(self.spare_blocks_per_plane, "spare_blocks_per_plane")
+        require_non_negative(self.mount_scan_ms_per_page, "mount_scan_ms_per_page")
+        require_non_negative(self.mount_base_ms, "mount_base_ms")
+        if not self.read_retry_latencies_ms:
+            raise ValueError("read_retry_latencies_ms must have at least one rung")
+        for latency in self.read_retry_latencies_ms:
+            if latency <= 0:
+                raise ValueError("retry latencies must be positive")
+
+    def scaled(self, wear_fraction: float) -> "FaultProfile":
+        """A copy with probabilities scaled to ``wear_fraction`` consumed
+        endurance — convenience for end-of-life studies."""
+        factor = 1.0 + self.wear_coupling * max(0.0, wear_fraction)
+        return replace(
+            self,
+            name=f"{self.name}@{wear_fraction:.2f}",
+            program_fail_prob=min(1.0, self.program_fail_prob * factor),
+            erase_fail_prob=min(1.0, self.erase_fail_prob * factor),
+            read_error_prob=min(1.0, self.read_error_prob * factor),
+        )
+
+
+#: Named profiles the CLI exposes.  ``none`` disables the subsystem
+#: entirely (the zero-overhead default); ``default`` uses datasheet-ish
+#: rates; ``harsh`` makes every failure mode show up in short replays;
+#: ``wearout`` is wear-dominated (young blocks nearly perfect).
+FAULT_PROFILES: Dict[str, FaultProfile] = {
+    "default": FaultProfile(name="default"),
+    "harsh": FaultProfile(
+        name="harsh",
+        program_fail_prob=2e-3,
+        erase_fail_prob=1e-2,
+        read_error_prob=2e-2,
+        retry_success_prob=0.6,
+        spare_blocks_per_plane=3,
+    ),
+    "wearout": FaultProfile(
+        name="wearout",
+        program_fail_prob=1e-5,
+        erase_fail_prob=5e-5,
+        read_error_prob=1e-4,
+        wear_coupling=200.0,
+        spare_blocks_per_plane=4,
+    ),
+}
+
+
+def get_profile(name_or_profile: "str | FaultProfile | None") -> "FaultProfile | None":
+    """Resolve a CLI/profile argument to a :class:`FaultProfile`.
+
+    ``None`` and ``"none"`` mean *no fault injection*; a profile object
+    passes through unchanged; a string looks up :data:`FAULT_PROFILES`.
+    """
+    if name_or_profile is None or name_or_profile == "none":
+        return None
+    if isinstance(name_or_profile, FaultProfile):
+        return name_or_profile
+    try:
+        return FAULT_PROFILES[name_or_profile]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault profile {name_or_profile!r}; "
+            f"choose from {('none', *sorted(FAULT_PROFILES))}"
+        ) from None

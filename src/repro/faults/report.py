@@ -1,0 +1,120 @@
+"""Durability reporting: what the fault subsystem did to one replay.
+
+Kept dependency-free (pure dataclass) so :mod:`repro.sim.metrics` can
+embed a report without dragging device imports into the cache-only
+paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["PowerLossReport", "DurabilityReport"]
+
+
+@dataclass
+class PowerLossReport:
+    """Outcome of one injected power loss + mount recovery."""
+
+    at_request: int = -1
+    at_time_ms: float = 0.0
+    #: Dirty pages sitting in DRAM at the loss instant (the write buffer
+    #: holds only dirty data, so this is the cache occupancy census).
+    dirty_pages: int = 0
+    #: Pages the capacitor budget managed to flush before the rails fell.
+    saved_pages: int = 0
+    #: Dirty pages that never reached flash — the durability loss.
+    lost_pages: int = 0
+    #: First few lost LPNs (diagnostics; the full set can be huge).
+    lost_lpns_sample: Tuple[int, ...] = ()
+    #: Mount-time OOB scan: pages read and modeled wall time.
+    scanned_pages: int = 0
+    recovery_ms: float = 0.0
+    #: Mappings rebuilt by the scan (must equal the pre-loss flash state).
+    remapped_pages: int = 0
+
+
+@dataclass
+class DurabilityReport:
+    """Aggregate fault/degradation accounting for one replay."""
+
+    fault_profile: str = "none"
+    fault_seed: int = 0
+
+    # NAND error model.
+    program_fails: int = 0
+    erase_fails: int = 0
+    read_retries: int = 0
+    reads_with_retry: int = 0
+    unrecoverable_reads: int = 0
+
+    # Bad-block management.
+    blocks_retired: int = 0
+    spares_consumed: int = 0
+    spares_remaining: int = 0
+
+    # Power loss.
+    power_loss: Optional[PowerLossReport] = None
+
+    # Graceful degradation.
+    degraded: bool = False
+    degraded_reason: str = ""
+    degraded_at_ms: float = 0.0
+    writes_rejected_requests: int = 0
+    writes_rejected_pages: int = 0
+    flush_pages_dropped: int = 0
+
+    #: Free-form counters contributed by components (extensible).
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def lost_writes(self) -> int:
+        """Total host pages whose durability was lost: dirty pages that
+        died with the power rails plus flush pages the degraded device
+        had to drop."""
+        lost = self.flush_pages_dropped
+        if self.power_loss is not None:
+            lost += self.power_loss.lost_pages
+        return lost
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly flat-ish form (power loss nested when present)."""
+        d = asdict(self)
+        d["lost_writes"] = self.lost_writes
+        return d
+
+    def rows(self) -> List[Tuple[str, object]]:
+        """(name, value) rows for the CLI's durability table."""
+        rows: List[Tuple[str, object]] = [
+            ("fault_profile", self.fault_profile),
+            ("fault_seed", self.fault_seed),
+            ("program_fails", self.program_fails),
+            ("erase_fails", self.erase_fails),
+            ("reads_with_retry", self.reads_with_retry),
+            ("read_retries", self.read_retries),
+            ("unrecoverable_reads", self.unrecoverable_reads),
+            ("blocks_retired", self.blocks_retired),
+            ("spares_consumed", self.spares_consumed),
+            ("spares_remaining", self.spares_remaining),
+            ("lost_writes", self.lost_writes),
+            ("degraded", self.degraded),
+        ]
+        if self.degraded:
+            rows += [
+                ("degraded_reason", self.degraded_reason),
+                ("writes_rejected_pages", self.writes_rejected_pages),
+                ("flush_pages_dropped", self.flush_pages_dropped),
+            ]
+        if self.power_loss is not None:
+            p = self.power_loss
+            rows += [
+                ("power_loss_at_request", p.at_request),
+                ("dirty_pages_at_loss", p.dirty_pages),
+                ("capacitor_saved_pages", p.saved_pages),
+                ("power_loss_lost_pages", p.lost_pages),
+                ("recovery_ms", p.recovery_ms),
+                ("recovery_scanned_pages", p.scanned_pages),
+            ]
+        return rows

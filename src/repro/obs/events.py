@@ -43,6 +43,12 @@ __all__ = [
     "GcMigrate",
     "GcErase",
     "ListMove",
+    "FaultInjected",
+    "ReadRetry",
+    "BlockRetired",
+    "PowerLoss",
+    "RecoveryComplete",
+    "DegradedModeEntered",
     "Event",
     "EVENT_KINDS",
     "event_to_dict",
@@ -161,6 +167,83 @@ class ListMove:
     page_num: int = 0
 
 
+@dataclass(frozen=True, slots=True)
+class FaultInjected:
+    """The NAND error model injected an operation failure.
+
+    ``op`` is ``"program"`` or ``"erase"``; read disturbances are
+    reported through :class:`ReadRetry` instead (they are recoverable
+    most of the time and carry retry detail).
+    """
+
+    kind: ClassVar[str] = "fault_injected"
+    time: float
+    op: str
+    plane: int
+    block: int
+
+
+@dataclass(frozen=True, slots=True)
+class ReadRetry:
+    """A host read needed the ECC read-retry ladder.
+
+    ``retries`` is how many ladder rungs ran; ``recovered`` is False
+    when the whole ladder was exhausted (an unrecoverable read — the
+    simulator still returns data, but accounts the loss).
+    """
+
+    kind: ClassVar[str] = "read_retry"
+    time: float
+    lpn: int
+    plane: int
+    retries: int
+    recovered: bool = True
+
+
+@dataclass(frozen=True, slots=True)
+class BlockRetired:
+    """A block joined the grown-bad-block list (program/erase failure)."""
+
+    kind: ClassVar[str] = "block_retired"
+    time: float
+    plane: int
+    block: int
+    reason: str
+    spares_left: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class PowerLoss:
+    """Power was cut: dirty DRAM pages beyond the capacitor budget died."""
+
+    kind: ClassVar[str] = "power_loss"
+    time: float
+    dirty_pages: int
+    saved_pages: int
+    lost_pages: int
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryComplete:
+    """Post-power-loss mount finished rebuilding the FTL mapping."""
+
+    kind: ClassVar[str] = "recovery_complete"
+    time: float
+    recovery_ms: float
+    scanned_pages: int
+    mapped_pages: int
+
+
+@dataclass(frozen=True, slots=True)
+class DegradedModeEntered:
+    """The device ran out of reclaimable space and went read-only."""
+
+    kind: ClassVar[str] = "degraded_mode_entered"
+    time: float
+    plane: int
+    reason: str
+
+
 Event = Union[
     CacheHit,
     CacheMiss,
@@ -172,6 +255,12 @@ Event = Union[
     GcMigrate,
     GcErase,
     ListMove,
+    FaultInjected,
+    ReadRetry,
+    BlockRetired,
+    PowerLoss,
+    RecoveryComplete,
+    DegradedModeEntered,
 ]
 
 #: kind string -> event class, for consumers parsing JSONL streams.
@@ -188,6 +277,12 @@ EVENT_KINDS: Dict[str, type] = {
         GcMigrate,
         GcErase,
         ListMove,
+        FaultInjected,
+        ReadRetry,
+        BlockRetired,
+        PowerLoss,
+        RecoveryComplete,
+        DegradedModeEntered,
     )
 }
 

@@ -13,7 +13,14 @@ it re-validates the structural invariants of the attached components:
   exactly the VALID flash pages, and per-block counters match a from-
   scratch recount (``deep_interval`` rate-limits this O(device) scan);
 * **wear** — per-block erase counts are strictly monotone across
-  ``GcErase`` events.
+  ``GcErase`` events;
+* **bad blocks** — retired blocks (``BlockRetired`` events) are never
+  erased or programmed again, no block retires twice, per-plane spare
+  counts never increase, and the flash array agrees a retired block is
+  retired;
+* **recovery** — every ``RecoveryComplete`` event triggers a full
+  device validation (mapping bijectivity across the mount scan) and the
+  recovered mapping count must match the FTL's live table.
 
 On failure it raises :class:`InvariantViolation` carrying the offending
 event and the recent event trail, so the report shows *what the
@@ -103,6 +110,10 @@ class InvariantChecker:
         self.checks_run = 0
         self._trail: Deque[Event] = deque(maxlen=max_trail)
         self._erase_counts: Dict[int, int] = {}
+        #: Blocks seen retiring (fault subsystem); must never come back.
+        self._retired: set[int] = set()
+        #: Last ``spares_left`` observed per plane (non-increasing).
+        self._spares_left: Dict[int, int] = {}
 
     def attach(
         self,
@@ -120,8 +131,20 @@ class InvariantChecker:
     def emit(self, event: Event) -> None:
         self._trail.append(event)
         self.n_events += 1
-        if event.kind == "gc_erase":
+        kind = event.kind
+        if kind == "gc_erase":
             self._check_erase_monotone(event)
+            if event.block in self._retired:  # type: ignore[union-attr]
+                self._fail(
+                    f"retired block {event.block} was erased",  # type: ignore[union-attr]
+                    event,
+                )
+        elif kind == "block_retired":
+            self._check_block_retired(event)
+        elif self._retired and kind in ("flash_write", "gc_migrate"):
+            self._check_program_target(event)
+        elif kind == "recovery_complete":
+            self._check_recovery(event)
         if self.n_events % self.check_interval == 0:
             self._check_policy(event)
         if self.n_events % self.deep_interval == 0:
@@ -147,6 +170,60 @@ class InvariantChecker:
                 event,
             )
         self._erase_counts[block] = count
+
+    def _check_block_retired(self, event: Event) -> None:
+        block = event.block  # type: ignore[union-attr]
+        plane = event.plane  # type: ignore[union-attr]
+        spares_left = event.spares_left  # type: ignore[union-attr]
+        if block in self._retired:
+            self._fail(f"block {block} retired twice", event)
+        self._retired.add(block)
+        prev = self._spares_left.get(plane)
+        if prev is not None and spares_left > prev:
+            self._fail(
+                f"plane {plane} spare count went {prev} -> {spares_left} "
+                "(spares can only be consumed)",
+                event,
+            )
+        self._spares_left[plane] = spares_left
+        if self.controller is not None:
+            flash = self.controller.flash
+            if block not in flash.retired:
+                self._fail(
+                    f"block {block} reported retired but the flash array "
+                    "does not list it as retired",
+                    event,
+                )
+
+    def _check_program_target(self, event: Event) -> None:
+        """No program (host flush or GC migration) may land in a block
+        that has been retired."""
+        if self.controller is None:
+            return
+        ppn = (
+            event.dst_ppn  # type: ignore[union-attr]
+            if event.kind == "gc_migrate"
+            else event.ppn  # type: ignore[union-attr]
+        )
+        block = self.controller.geometry.block_of_ppn(ppn)
+        if block in self._retired:
+            self._fail(
+                f"page {ppn} programmed into retired block {block}", event
+            )
+
+    def _check_recovery(self, event: Event) -> None:
+        """Post-mount the whole device must validate, and the recovered
+        mapping count must match the FTL's live table."""
+        self._check_device(event)
+        if self.controller is not None:
+            mapped = self.controller.ftl.mapped_count()
+            reported = event.mapped_pages  # type: ignore[union-attr]
+            if mapped != reported:
+                self._fail(
+                    f"recovery reported {reported} mappings but the FTL "
+                    f"holds {mapped}",
+                    event,
+                )
 
     def _check_policy(self, event: Optional[Event]) -> None:
         policy = self.policy

@@ -10,10 +10,11 @@ ratios.  Used by ``experiments.seed_sensitivity``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.utils.rng import resolve_rng
 from repro.utils.validation import require_in_range, require_positive
 
 __all__ = ["BootstrapResult", "bootstrap_ci", "paired_improvement"]
@@ -49,6 +50,7 @@ def bootstrap_ci(
     n_boot: int = 4000,
     confidence: float = 0.95,
     seed: int = 0,
+    rng: Optional[np.random.Generator] = None,
 ) -> BootstrapResult:
     """Percentile bootstrap CI of ``statistic`` (default: mean).
 
@@ -63,7 +65,7 @@ def bootstrap_ci(
     point = stat(xs)
     if len(xs) == 1:
         return BootstrapResult(point, point, point, confidence, 1)
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(rng, seed)
     idx = rng.integers(0, len(xs), size=(n_boot, len(xs)))
     boots = np.array([stat(xs[row]) for row in idx])
     alpha = (1.0 - confidence) / 2.0

@@ -24,6 +24,9 @@ from collections import deque
 from typing import Deque, Optional
 
 from repro.core.policy import ReqBlockCache
+from repro.faults.injector import FaultInjector
+from repro.faults.powerloss import inject_power_loss
+from repro.faults.profile import get_profile
 from repro.sim.metrics import LIST_LOG_INTERVAL, ReplayMetrics
 from repro.sim.replay import (
     METADATA_SAMPLE_INTERVAL,
@@ -33,6 +36,7 @@ from repro.sim.replay import (
     sized_ssd_for,
 )
 from repro.ssd.controller import RequestRecord, SSDController
+from repro.ssd.flash import FlashOutOfSpace
 from repro.traces.model import IORequest, Trace
 from repro.utils.validation import require_positive
 
@@ -57,12 +61,19 @@ def replay_closed_loop(
     ssd_config = config.ssd or sized_ssd_for(
         trace, over_provisioning=config.over_provisioning
     )
+    profile = get_profile(config.fault_profile)
+    faults = (
+        FaultInjector(profile, seed=config.fault_seed)
+        if profile is not None
+        else None
+    )
     controller = SSDController(
         ssd_config,
         policy,
         cache_service_ms_per_page=config.cache_service_ms_per_page,
         gc_victim_policy=config.gc_victim_policy,
         tracer=tracer,
+        faults=faults,
     )
     if checker is not None:
         checker.attach(policy=policy, controller=controller)
@@ -75,6 +86,7 @@ def replay_closed_loop(
 
     completions: Deque[float] = deque()
     last_submit = 0.0
+    power_report = None
     for i, request in enumerate(trace):
         submit = max(request.time, last_submit)
         if queue_depth is not None and len(completions) >= queue_depth:
@@ -87,7 +99,20 @@ def replay_closed_loop(
             if submit == request.time
             else IORequest(submit, request.op, request.lpn, request.npages)
         )
-        record = controller.submit(shifted)
+        try:
+            record = controller.submit(shifted)
+            if config.power_loss_at is not None and i == config.power_loss_at:
+                power_report = inject_power_loss(
+                    controller,
+                    submit,
+                    at_request=i,
+                    capacitor_pages=config.capacitor_pages,
+                    profile=profile,
+                )
+        except FlashOutOfSpace as exc:
+            metrics.aborted_reason = str(exc)
+            metrics.aborted_at_request = i
+            break
         completion = submit + record.response_ms
         completions.append(completion)
         if queue_depth is not None:
@@ -109,6 +134,15 @@ def replay_closed_loop(
     metrics.gc_migrated_pages = controller.gc.stats.pages_migrated
     metrics.gc_erases = controller.gc.stats.blocks_erased
     metrics.flash_total_writes = controller.total_flash_writes
+    if (
+        faults is not None
+        or power_report is not None
+        or controller.degraded.active
+        or metrics.aborted
+    ):
+        durability = controller.durability_report()
+        durability.power_loss = power_report
+        metrics.durability = durability
     if checker is not None:
         checker.close()
     return metrics

@@ -14,9 +14,10 @@ figures report, in O(1) memory per request:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.cache.base import AccessOutcome
+from repro.faults.report import DurabilityReport
 from repro.ssd.controller import RequestRecord
 from repro.traces.model import IORequest
 from repro.utils.stats import Histogram, RatioCounter, ReservoirQuantiles, RunningStats
@@ -69,6 +70,20 @@ class ReplayMetrics:
     list_log: List[Tuple[int, Dict[str, int]]] = field(default_factory=list)
 
     n_requests: int = 0
+
+    # Robustness (see repro.faults).  ``aborted_reason`` is set when a
+    # device-fatal error cut the replay short — the metrics accumulated
+    # up to that point are still valid partial results.  ``durability``
+    # is populated whenever fault injection, a power loss, or degraded
+    # mode touched the run.
+    aborted_reason: str = ""
+    aborted_at_request: int = -1
+    durability: Optional[DurabilityReport] = None
+
+    @property
+    def aborted(self) -> bool:
+        """Whether the replay ended early on a device-fatal error."""
+        return bool(self.aborted_reason)
 
     # ------------------------------------------------------------------
     def record(self, request: IORequest, record: RequestRecord) -> None:

@@ -19,11 +19,15 @@ from typing import Any, Dict, Optional, Tuple
 from repro.cache.base import CachePolicy
 from repro.cache.registry import create_policy
 from repro.core.policy import ReqBlockCache
+from repro.faults.injector import FaultInjector
+from repro.faults.powerloss import inject_power_loss
+from repro.faults.profile import FaultProfile, get_profile
 from repro.obs.invariants import InvariantChecker
 from repro.obs.tracer import TeeTracer, Tracer
 from repro.sim.metrics import LIST_LOG_INTERVAL, ReplayMetrics
 from repro.ssd.config import SSDConfig
 from repro.ssd.controller import RequestRecord, SSDController
+from repro.ssd.flash import FlashOutOfSpace
 from repro.traces.model import PAGE_SIZE_BYTES, Trace
 from repro.utils.validation import require_positive
 
@@ -92,6 +96,18 @@ class ReplayConfig:
     #: Policy-structure validation rate for ``check_invariants``
     #: (1 = after every event).
     invariant_check_interval: int = 1
+    #: NAND fault injection (see :mod:`repro.faults`): a profile name
+    #: from ``FAULT_PROFILES``, a :class:`FaultProfile`, or None/"none"
+    #: to keep the device fault-free.
+    fault_profile: Optional[Any] = None
+    #: Seed for the fault model's ``numpy.random.Generator``.
+    fault_seed: int = 0
+    #: Cut power right after servicing this request index (None = never);
+    #: the replay then continues over the remounted device.
+    power_loss_at: Optional[int] = None
+    #: Power-loss-protection budget: dirty pages the hold-up capacitors
+    #: can still flush after the rails fail.
+    capacitor_pages: int = 0
 
     @property
     def cache_pages(self) -> int:
@@ -120,11 +136,24 @@ def resolve_tracer(
 
 
 def replay_trace(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
-    """Replay ``trace`` on the full device model; returns the metrics."""
+    """Replay ``trace`` on the full device model; returns the metrics.
+
+    Device-fatal errors (:class:`FlashOutOfSpace` escaping the
+    controller's degraded-mode net) no longer lose the run: the replay
+    stops, the metrics collected so far are finalised, and
+    ``metrics.aborted_reason`` records why (the CLI maps this to a
+    distinct exit code).
+    """
     policy = _build_policy(config)
     tracer, checker = resolve_tracer(config)
     ssd_config = config.ssd or sized_ssd_for(
         trace, over_provisioning=config.over_provisioning
+    )
+    profile: Optional[FaultProfile] = get_profile(config.fault_profile)
+    faults = (
+        FaultInjector(profile, seed=config.fault_seed)
+        if profile is not None
+        else None
     )
     controller = SSDController(
         ssd_config,
@@ -133,6 +162,7 @@ def replay_trace(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
         gc_victim_policy=config.gc_victim_policy,
         mapping_cache_bytes=config.mapping_cache_bytes,
         tracer=tracer,
+        faults=faults,
     )
     if checker is not None:
         checker.attach(policy=policy, controller=controller)
@@ -143,6 +173,7 @@ def replay_trace(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
     )
     track_lists = config.log_lists and isinstance(policy, ReqBlockCache)
     base_flush = base_migrated = base_erases = base_programs = 0
+    power_report = None
 
     for i, request in enumerate(trace):
         if config.warmup_requests and i == config.warmup_requests:
@@ -151,7 +182,20 @@ def replay_trace(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
             base_migrated = controller.gc.stats.pages_migrated
             base_erases = controller.gc.stats.blocks_erased
             base_programs = controller.total_flash_writes
-        record = controller.submit(request)
+        try:
+            record = controller.submit(request)
+            if config.power_loss_at is not None and i == config.power_loss_at:
+                power_report = inject_power_loss(
+                    controller,
+                    request.time,
+                    at_request=i,
+                    capacitor_pages=config.capacitor_pages,
+                    profile=profile,
+                )
+        except FlashOutOfSpace as exc:
+            metrics.aborted_reason = str(exc)
+            metrics.aborted_at_request = i
+            break
         if i < config.warmup_requests:
             continue
         metrics.record(request, record)
@@ -160,7 +204,7 @@ def replay_trace(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
         if track_lists and i % LIST_LOG_INTERVAL == 0 and i > 0:
             metrics.list_log.append((i, policy.list_page_counts()))
 
-    if config.drain_at_end and len(trace):
+    if config.drain_at_end and len(trace) and not metrics.aborted:
         controller.drain(trace[len(trace) - 1].time)
 
     metrics.host_flush_pages = controller.flushed_pages - base_flush
@@ -179,6 +223,15 @@ def replay_trace(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
             metrics.max_plane_utilisation = max(plane_u)
         if bus_u:
             metrics.mean_bus_utilisation = sum(bus_u) / len(bus_u)
+    if (
+        faults is not None
+        or power_report is not None
+        or controller.degraded.active
+        or metrics.aborted
+    ):
+        durability = controller.durability_report()
+        durability.power_loss = power_report
+        metrics.durability = durability
     if checker is not None:
         checker.close()
     return metrics

@@ -25,16 +25,24 @@ array.  Service semantics (see DESIGN.md §5):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.cache.base import AccessOutcome, CachePolicy, FlushBatch
+from repro.faults.degraded import DegradedMode
+from repro.faults.injector import NULL_FAULTS
+from repro.faults.report import DurabilityReport
+from repro.obs.events import DegradedModeEntered
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.ssd.config import SSDConfig
-from repro.ssd.flash import FlashArray
+from repro.ssd.flash import FlashArray, FlashOutOfSpace
 from repro.ssd.ftl import PageFTL
 from repro.ssd.gc import GarbageCollector
 from repro.ssd.geometry import Geometry
 from repro.ssd.resources import ResourceTimelines
 from repro.traces.model import IORequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
 
 __all__ = ["RequestRecord", "SSDController"]
 
@@ -80,6 +88,7 @@ class SSDController:
         gc_victim_policy: str = "greedy",
         mapping_cache_bytes: "int | None" = None,
         tracer: "Tracer | None" = None,
+        faults: "FaultInjector | None" = None,
     ) -> None:
         """
         Parameters
@@ -101,6 +110,11 @@ class SSDController:
             whole event stream of a replay.  ``None`` keeps tracing
             disabled (and leaves any tracer already attached to the
             policy untouched).
+        faults:
+            Fault injector (see :mod:`repro.faults`); attached to this
+            device's flash array and consulted by the FTL and GC on
+            every program/read/erase.  ``None`` keeps injection disabled
+            at one branch per operation.
         """
         self.config = config
         self.policy = policy
@@ -111,6 +125,12 @@ class SSDController:
         self.geometry = Geometry(config)
         self.flash = FlashArray(config, self.geometry)
         self.resources = ResourceTimelines(config, self.geometry)
+        self.faults = faults if faults is not None else NULL_FAULTS
+        if self.faults.enabled:
+            # Bind before any allocation so factory spares come off the
+            # pristine free lists.
+            self.faults.attach(self.flash, tracer=self.tracer)
+        self.degraded = DegradedMode()
         self.gc = GarbageCollector(
             config,
             self.geometry,
@@ -119,6 +139,7 @@ class SSDController:
             wear_aware=wear_aware_gc,
             victim_policy=gc_victim_policy,
             tracer=self.tracer,
+            faults=faults,
         )
         if mapping_cache_bytes is None:
             self.ftl: PageFTL = PageFTL(
@@ -128,6 +149,7 @@ class SSDController:
                 self.resources,
                 self.gc,
                 tracer=self.tracer,
+                faults=faults,
             )
         else:
             from repro.ssd.dftl import CachedMappingFTL
@@ -140,6 +162,7 @@ class SSDController:
                 self.gc,
                 mapping_cache_bytes=mapping_cache_bytes,
                 tracer=self.tracer,
+                faults=faults,
             )
         # Cost-aware policies (ECR) may ask the device for flush
         # backlog estimates; inject the narrow feedback adapter.
@@ -158,6 +181,14 @@ class SSDController:
         """
         now = request.time
         self._now = now
+        if self.degraded.active:
+            if request.is_write:
+                # Read-only device: the write is rejected before it
+                # touches the cache (no insertion, no eviction).
+                self.degraded.writes_rejected_requests += 1
+                self.degraded.writes_rejected_pages += request.npages
+                return RequestRecord(response_ms=0.0, outcome=AccessOutcome())
+            self.degraded.reads_served += 1
         outcome = self.policy.access(request)
 
         space_ready = now
@@ -187,27 +218,69 @@ class SSDController:
         """
         if not batch.lpns:
             return now
-        xfer_done = now
+        if self.degraded.active:
+            # The policy already evicted these pages from DRAM; a
+            # degraded device cannot program them — data dropped.
+            self.degraded.flush_pages_dropped += len(batch.lpns)
+            return now
         if batch.pin_key is None:
-            for lpn in batch.lpns:
-                op = self.ftl.write_page(lpn, now)
-                xfer_done = max(xfer_done, op.xfer_end)
+            planes = None
         else:
             # Pinned batch: all pages confined to one channel (rotating
             # over that channel's chips/planes), so the flush cannot use
             # cross-channel parallelism.
             channel = self.ftl.pinned_channel_for(batch.pin_key)
             planes = self.ftl.planes_of_channel(channel)
-            for i, lpn in enumerate(batch.lpns):
-                op = self.ftl.write_page(lpn, now, plane=planes[i % len(planes)])
-                xfer_done = max(xfer_done, op.xfer_end)
-        self.flushed_pages += len(batch.lpns)
+        xfer_done = now
+        for i, lpn in enumerate(batch.lpns):
+            try:
+                if planes is None:
+                    op = self.ftl.write_page(lpn, now)
+                else:
+                    op = self.ftl.write_page(
+                        lpn, now, plane=planes[i % len(planes)]
+                    )
+            except FlashOutOfSpace as exc:
+                # GC could not reclaim space: latch degraded mode and
+                # drop the rest of the batch.  Page ``i`` may have been
+                # programmed before its post-write GC raised; counting
+                # it dropped is the conservative accounting.
+                self.enter_degraded(str(exc), now)
+                self.degraded.flush_pages_dropped += len(batch.lpns) - i
+                break
+            xfer_done = max(xfer_done, op.xfer_end)
+            self.flushed_pages += 1
         return xfer_done
 
     def drain(self, now: float) -> float:
         """Flush everything left in the cache (shutdown); returns finish time."""
         batch = self.policy.flush_all()
         return self._flush(batch, now)
+
+    # ------------------------------------------------------------------
+    # Graceful degradation (see repro.faults.degraded)
+    # ------------------------------------------------------------------
+    def enter_degraded(self, reason: str, now: float, plane: int = -1) -> None:
+        """Latch read-only mode; emits the event on the first entry only."""
+        if self.degraded.enter(reason, now, plane) and self.tracer.enabled:
+            self.tracer.emit(DegradedModeEntered(now, plane, reason))
+
+    def durability_report(self) -> DurabilityReport:
+        """Fault + degradation accounting for this replay (power-loss
+        details are attached by the replay loop, which owns that event)."""
+        report = DurabilityReport()
+        if self.faults.enabled:
+            self.faults.fill_report(report)
+        d = self.degraded
+        report.degraded = d.active
+        report.degraded_reason = d.reason
+        report.degraded_at_ms = d.entered_at_ms
+        report.writes_rejected_requests = d.writes_rejected_requests
+        report.writes_rejected_pages = d.writes_rejected_pages
+        report.flush_pages_dropped = d.flush_pages_dropped
+        if d.active:
+            report.extra["reads_served_degraded"] = float(d.reads_served)
+        return report
 
     # ------------------------------------------------------------------
     @property

@@ -83,8 +83,11 @@ class CachedMappingFTL(PageFTL):
         gc: GarbageCollector,
         mapping_cache_bytes: int = 1 << 20,
         tracer=None,
+        faults=None,
     ) -> None:
-        super().__init__(config, geometry, flash, resources, gc, tracer=tracer)
+        super().__init__(
+            config, geometry, flash, resources, gc, tracer=tracer, faults=faults
+        )
         require_positive(mapping_cache_bytes, "mapping_cache_bytes")
         self.entries_per_tp = config.page_size_bytes // MAPPING_ENTRY_BYTES
         tp_bytes = self.entries_per_tp * MAPPING_ENTRY_BYTES
@@ -162,6 +165,13 @@ class CachedMappingFTL(PageFTL):
             if entry is not None:
                 entry.dirty = True
         return super().relocate(ppn, plane, now)
+
+    # ------------------------------------------------------------------
+    def on_power_loss(self) -> None:
+        """The CMT is DRAM: it empties at power loss (translation pages
+        on flash survive; the mount scan recovers the full table)."""
+        self._cmt.clear()
+        self._cmt_list = DoublyLinkedList("cmt")
 
     # ------------------------------------------------------------------
     def validate(self) -> None:

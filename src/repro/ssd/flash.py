@@ -51,6 +51,9 @@ class FlashArray:
         "gc_active_block",
         "total_programs",
         "total_erases",
+        "retired",
+        "spare_blocks",
+        "spares_reserved_per_plane",
     )
 
     def __init__(self, config: SSDConfig, geometry: Optional[Geometry] = None) -> None:
@@ -79,6 +82,13 @@ class FlashArray:
             self.free_blocks.append(blocks[:0:-1])  # reversed so pop() is in order
         self.total_programs = 0
         self.total_erases = 0
+        # Bad-block management state (see repro.faults): grown bad
+        # blocks never return to service; factory spares replace them.
+        # Both stay empty unless a fault injector is attached, so the
+        # default device behaves exactly as before.
+        self.retired: set[int] = set()
+        self.spare_blocks: List[List[int]] = [[] for _ in range(config.n_planes)]
+        self.spares_reserved_per_plane = 0
 
     # ------------------------------------------------------------------
     # Queries
@@ -98,6 +108,15 @@ class FlashArray:
             self.active_block[plane] == block_index
             or self.gc_active_block[plane] == block_index
         )
+
+    def is_retired(self, block_index: int) -> bool:
+        """Whether the block is on the grown-bad-block list."""
+        return block_index in self.retired
+
+    def written_pages(self) -> int:
+        """Physical pages holding data (valid or stale) — the mount
+        scan's work unit after a power loss."""
+        return sum(self.write_ptr)
 
     def valid_pages_of_block(self, block_index: int) -> List[int]:
         """PPNs of the currently valid pages of ``block_index``."""
@@ -151,6 +170,20 @@ class FlashArray:
             )
         return self.free_blocks[plane].pop()
 
+    def mark_program_failed(self, ppn: int) -> None:
+        """Burn an allocated page whose program failed (never VALID).
+
+        The page goes straight to INVALID: it consumed a write-pointer
+        slot but holds no live data, so ``valid_count`` is untouched and
+        the mapping never references it.
+        """
+        if self.page_state[ppn] != PageState.FREE:
+            raise ValueError(f"ppn {ppn} not in FREE state; cannot fail program")
+        block = self.geometry.block_of_ppn(ppn)
+        if self.geometry.page_offset(ppn) >= self.write_ptr[block]:
+            raise ValueError(f"ppn {ppn} failed before allocation")
+        self.page_state[ppn] = PageState.INVALID
+
     def program(self, ppn: int) -> None:
         """Mark an allocated page VALID (NAND program completed)."""
         if self.page_state[ppn] != PageState.FREE:
@@ -170,12 +203,82 @@ class FlashArray:
         self.page_state[ppn] = PageState.INVALID
         self.valid_count[self.geometry.block_of_ppn(ppn)] -= 1
 
+    # ------------------------------------------------------------------
+    # Bad-block management (driven by repro.faults)
+    # ------------------------------------------------------------------
+    def reserve_spares(self, per_plane: int) -> None:
+        """Move ``per_plane`` erased blocks from each free list to the
+        plane's factory-spare pool.  Called once at fault-injector
+        attach; spares do not count as free (they are invisible to GC
+        thresholds until a grown bad block draws them into service).
+        """
+        if self.spares_reserved_per_plane:
+            raise RuntimeError("spares already reserved")
+        if per_plane <= 0:
+            return
+        for plane in self.geometry.planes():
+            free = self.free_blocks[plane]
+            take = min(per_plane, max(0, len(free) - 2))
+            for _ in range(take):
+                self.spare_blocks[plane].append(free.pop())
+        self.spares_reserved_per_plane = per_plane
+
+    def retire_block(self, block_index: int) -> None:
+        """Move ``block_index`` to the grown-bad-block list, permanently.
+
+        The caller must have migrated every valid page out first and
+        detached the block from any write point; retired blocks are
+        never erased, allocated or collected again.
+        """
+        if block_index in self.retired:
+            raise ValueError(f"block {block_index} already retired")
+        if self.valid_count[block_index] != 0:
+            raise ValueError(
+                f"refusing to retire block {block_index}: "
+                f"{self.valid_count[block_index]} valid pages remain"
+            )
+        if self.block_is_active(block_index):
+            raise ValueError(f"refusing to retire active block {block_index}")
+        plane = self.geometry.plane_of_block(block_index)
+        free = self.free_blocks[plane]
+        if block_index in free:  # erased-but-unused block can also die
+            free.remove(block_index)
+        self.retired.add(block_index)
+
+    def draw_spare(self, plane: int) -> bool:
+        """Promote one factory spare into ``plane``'s free list.
+
+        Returns False when the plane's spare pool is exhausted — the
+        signal that further retirements shrink usable over-provisioning.
+        """
+        spares = self.spare_blocks[plane]
+        if not spares:
+            return False
+        self.free_blocks[plane].append(spares.pop())
+        return True
+
+    def detach_write_point(self, block_index: int) -> None:
+        """Detach a failing block from its plane's write points.
+
+        The host stream must always have an active block, so it rolls
+        over to a fresh one immediately (raising
+        :class:`FlashOutOfSpace` if none remain); the GC stream is
+        lazily reopened on next use.
+        """
+        plane = self.geometry.plane_of_block(block_index)
+        if self.gc_active_block[plane] == block_index:
+            self.gc_active_block[plane] = None
+        if self.active_block[plane] == block_index:
+            self.active_block[plane] = self._pop_free_block(plane)
+
     def erase(self, block_index: int) -> None:
         """Erase ``block_index`` and return it to its plane's free list.
 
         The caller (GC) must have migrated or invalidated every valid
         page first; erasing live data is a bug, not a policy choice.
         """
+        if block_index in self.retired:
+            raise ValueError(f"refusing to erase retired block {block_index}")
         if self.valid_count[block_index] != 0:
             raise ValueError(
                 f"refusing to erase block {block_index}: "
@@ -220,8 +323,23 @@ class FlashArray:
             for block in self.free_blocks[plane]:
                 assert self.write_ptr[block] == 0, f"free block {block} not erased"
                 assert g.plane_of_block(block) == plane
+                assert block not in self.retired, f"retired block {block} on free list"
+            for block in self.spare_blocks[plane]:
+                assert self.write_ptr[block] == 0, f"spare block {block} not erased"
+                assert g.plane_of_block(block) == plane
+                assert block not in self.retired, f"retired block {block} in spares"
+                assert block not in self.free_blocks[plane], (
+                    f"block {block} both spare and free"
+                )
             assert g.plane_of_block(self.active_block[plane]) == plane
             gc_blk = self.gc_active_block[plane]
             if gc_blk is not None:
                 assert g.plane_of_block(gc_blk) == plane
                 assert gc_blk != self.active_block[plane]
+        for block in self.retired:
+            assert self.valid_count[block] == 0, (
+                f"retired block {block} still holds valid pages"
+            )
+            assert not self.block_is_active(block), (
+                f"retired block {block} is a write point"
+            )

@@ -16,8 +16,9 @@ timelines.  Two allocation disciplines are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
+from repro.faults.injector import MAX_PROGRAM_ATTEMPTS, NULL_FAULTS
 from repro.obs.events import FlashWrite, GcMigrate
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.ssd.config import SSDConfig
@@ -25,6 +26,9 @@ from repro.ssd.flash import FlashArray
 from repro.ssd.gc import GarbageCollector
 from repro.ssd.geometry import Geometry
 from repro.ssd.resources import OpTimes, ResourceTimelines
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
 
 __all__ = ["FTLStats", "PageFTL"]
 
@@ -55,6 +59,7 @@ class PageFTL:
         "gc",
         "stats",
         "tracer",
+        "faults",
         "_map",
         "_rmap",
         "_alloc_order",
@@ -69,6 +74,7 @@ class PageFTL:
         resources: ResourceTimelines,
         gc: GarbageCollector,
         tracer: Optional[Tracer] = None,
+        faults: "FaultInjector | None" = None,
     ) -> None:
         self.config = config
         self.geometry = geometry
@@ -76,6 +82,9 @@ class PageFTL:
         self.resources = resources
         self.gc = gc
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Fault injector hook (see :mod:`repro.faults`); the disabled
+        #: default costs one attribute load + branch per flash op.
+        self.faults = faults if faults is not None else NULL_FAULTS
         self.stats = FTLStats()
         self._map: Dict[int, int] = {}
         self._rmap: Dict[int, int] = {}
@@ -144,12 +153,25 @@ class PageFTL:
         that occupies the plane timeline and delays later operations.
         """
         target_plane = self._next_plane() if plane is None else plane
+        # Allocation precedes invalidation of the old copy so that an
+        # out-of-space failure leaves the mapping untouched (the write
+        # is lost, the previous version survives — crash-consistent).
+        ppn = self.flash.allocate_page(target_plane)
+        op = self.resources.schedule_program(target_plane, now)
+        if self.faults.enabled:
+            # Each injected program failure burns the page, rescues the
+            # block's live data and retires it; retry on a fresh block.
+            for _ in range(MAX_PROGRAM_ATTEMPTS - 1):
+                if not self.faults.on_program(self, ppn, target_plane, op.end):
+                    break
+                ppn = self.flash.allocate_page(target_plane)
+                op = self.resources.schedule_program(target_plane, op.end)
+        # The old copy is looked up only now: a retirement rescue above
+        # may itself have relocated this LPN's previous version.
         old = self._map.get(lpn)
         if old is not None:
             self.flash.invalidate(old)
             del self._rmap[old]
-        ppn = self.flash.allocate_page(target_plane)
-        op = self.resources.schedule_program(target_plane, now)
         self.flash.program(ppn)
         self._map[lpn] = ppn
         self._rmap[ppn] = lpn
@@ -170,10 +192,15 @@ class PageFTL:
         if ppn is None:
             self.stats.unmapped_reads += 1
             plane = lpn % self.config.n_planes
-        else:
-            self.stats.host_reads += 1
-            plane = self.geometry.plane_of_ppn(ppn)
-        return self.resources.schedule_read(plane, now)
+            return self.resources.schedule_read(plane, now)
+        self.stats.host_reads += 1
+        plane = self.geometry.plane_of_ppn(ppn)
+        op = self.resources.schedule_read(plane, now)
+        if self.faults.enabled:
+            # ECC retry ladder (mapped reads only — pseudo-location
+            # reads of pre-trace data carry no modeled block wear).
+            op = self.faults.on_read(self.resources, lpn, ppn, plane, op)
+        return op
 
     # ------------------------------------------------------------------
     # GC support
@@ -197,6 +224,43 @@ class PageFTL:
         if self.tracer.enabled:
             self.tracer.emit(GcMigrate(now, lpn, ppn, new_ppn, plane))
         return op
+
+    # ------------------------------------------------------------------
+    # Power-loss recovery (see repro.faults.powerloss)
+    # ------------------------------------------------------------------
+    def on_power_loss(self) -> None:
+        """Drop DRAM-resident FTL state that dies with the power rails.
+
+        The base page-level table is rebuilt from flash by
+        :meth:`rebuild_mapping`; subclasses with extra volatile state
+        (the DFTL mapping cache) override this to clear it.
+        """
+
+    def rebuild_mapping(self) -> int:
+        """Mount-time OOB scan: rebuild the LPN→PPN table from flash.
+
+        Each programmed page's OOB area stores its LPN (standard FTL
+        practice); the simulator models that stamp with ``_rmap``, so
+        the scan re-derives the forward table from the reverse one and
+        asserts the result is a bijection onto exactly the VALID pages
+        — the crash-consistency property the fuzz tests pin.  Returns
+        the number of mappings recovered.
+        """
+        from repro.ssd.flash import PageState
+
+        state = self.flash.page_state
+        rebuilt: Dict[int, int] = {}
+        for ppn, lpn in self._rmap.items():
+            assert state[ppn] == PageState.VALID, (
+                f"OOB scan found lpn {lpn} stamped on non-valid ppn {ppn}"
+            )
+            assert lpn not in rebuilt, (
+                f"OOB scan found lpn {lpn} stamped on two valid pages"
+            )
+            rebuilt[lpn] = ppn
+        assert rebuilt == self._map, "rebuilt mapping diverges from pre-loss table"
+        self._map = rebuilt
+        return len(rebuilt)
 
     # ------------------------------------------------------------------
     # Invariants (tests)

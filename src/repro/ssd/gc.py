@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
+from repro.faults.injector import NULL_FAULTS
 from repro.obs.events import GcErase
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.ssd.config import SSDConfig
@@ -31,6 +32,7 @@ from repro.ssd.geometry import Geometry
 from repro.ssd.resources import ResourceTimelines
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.injector import FaultInjector
     from repro.ssd.ftl import PageFTL
 
 __all__ = ["GCStats", "GarbageCollector"]
@@ -67,6 +69,7 @@ class GarbageCollector:
         "resources",
         "stats",
         "tracer",
+        "faults",
         "_wear_aware",
         "victim_policy",
     )
@@ -80,6 +83,7 @@ class GarbageCollector:
         wear_aware: bool = False,
         victim_policy: str = "greedy",
         tracer: "Tracer | None" = None,
+        faults: "FaultInjector | None" = None,
     ) -> None:
         if victim_policy not in VICTIM_POLICIES:
             raise ValueError(
@@ -92,6 +96,7 @@ class GarbageCollector:
         self.resources = resources
         self.stats = GCStats()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.faults = faults if faults is not None else NULL_FAULTS
         self._wear_aware = wear_aware
         self.victim_policy = victim_policy
 
@@ -105,6 +110,8 @@ class GarbageCollector:
                 continue
             if flash.valid_count[block] >= flash.write_ptr[block]:
                 continue  # every written page still valid
+            if block in flash.retired:
+                continue  # grown-bad block: never erased or reused
             yield block
 
     def select_victim(self, plane: int) -> Optional[int]:
@@ -194,6 +201,11 @@ class GarbageCollector:
             t = op.end
             self.stats.pages_migrated += 1
         op = self.resources.schedule_erase(plane, t)
+        if self.faults.enabled and self.faults.on_erase(victim, plane, op.end):
+            # Erase failure: the (fully migrated) victim is retired in
+            # place of being reclaimed; a spare replaces it if any are
+            # left.  No GcErase event — the erase never completed.
+            return op.end
         flash.erase(victim)
         self.stats.blocks_erased += 1
         if self.tracer.enabled:

@@ -125,6 +125,26 @@ class ResourceTimelines:
         self.plane_busy_ms[plane] += end - cell_start
         return OpTimes(cell_start, end, end)
 
+    def schedule_retry_read(
+        self, plane: int, now: float, cell_latency_ms: float
+    ) -> OpTimes:
+        """One ECC-retry page read with a custom (slower) cell latency.
+
+        Same shape as :meth:`schedule_read` — cell read on the plane,
+        then transfer out over the bus — but the cell time comes from
+        the retry ladder instead of the datasheet read latency.
+        """
+        channel = self.channel_of_plane(plane)
+        cell_start = max(now, self.plane_free[plane])
+        cell_end = cell_start + cell_latency_ms
+        xfer_start = max(cell_end, self.bus_free[channel])
+        end = xfer_start + self._xfer
+        self.bus_free[channel] = end
+        self.plane_free[plane] = end
+        self.bus_busy_ms[channel] += self._xfer
+        self.plane_busy_ms[plane] += end - cell_start
+        return OpTimes(cell_start, end, end)
+
     def schedule_erase(self, plane: int, now: float) -> OpTimes:
         """One block erase on ``plane``; occupies only the plane."""
         start = max(now, self.plane_free[plane])
@@ -156,6 +176,23 @@ class ResourceTimelines:
         if horizon <= 0:
             return [0.0] * len(self.bus_free)
         return [min(b, horizon) / horizon for b in self.bus_busy_ms]
+
+    def stall_until(self, t: float) -> None:
+        """Hold every channel and plane busy until at least ``t``.
+
+        Models a device-wide outage (the post-power-loss mount scan):
+        operations issued afterwards queue behind ``t`` exactly like a
+        remounting drive.  Busy-time counters are charged for the stall
+        so utilisation reporting reflects the outage.
+        """
+        for i, free in enumerate(self.bus_free):
+            if free < t:
+                self.bus_busy_ms[i] += t - free
+                self.bus_free[i] = t
+        for i, free in enumerate(self.plane_free):
+            if free < t:
+                self.plane_busy_ms[i] += t - free
+                self.plane_free[i] = t
 
     def reset(self) -> None:
         """Clear all timelines and busy counters (fresh replay)."""

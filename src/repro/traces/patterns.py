@@ -10,11 +10,12 @@ arguments.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from repro.traces.model import IORequest, OpType, Trace
+from repro.utils.rng import resolve_rng
 from repro.utils.validation import require_in_range, require_positive
 
 __all__ = [
@@ -54,11 +55,12 @@ def random_writes(
     req_pages: int = 1,
     seed: int = 0,
     name: str = "rand-writes",
+    rng: Optional[np.random.Generator] = None,
 ) -> Trace:
     """Uniform random single/multi-page writes over ``span_pages``."""
     require_positive(n_requests, "n_requests")
     require_positive(span_pages, "span_pages")
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(rng, seed)
     lpns = rng.integers(0, max(1, span_pages - req_pages + 1), size=n_requests)
     times = _times(n_requests)
     reqs = [
@@ -75,12 +77,13 @@ def zipf_writes(
     req_pages: int = 1,
     seed: int = 0,
     name: str = "zipf-writes",
+    rng: Optional[np.random.Generator] = None,
 ) -> Trace:
     """Zipf-popular writes over ``n_objects`` aligned extents."""
     require_positive(n_requests, "n_requests")
     require_positive(n_objects, "n_objects")
     require_in_range(theta, "theta", 0.0, 4.0)
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(rng, seed)
     ranks = np.arange(1, n_objects + 1, dtype=np.float64)
     w = ranks**-theta
     w /= w.sum()
@@ -103,6 +106,7 @@ def mixed_pattern(
     read_fraction: float = 0.3,
     seed: int = 0,
     name: str = "mixed",
+    rng: Optional[np.random.Generator] = None,
 ) -> Trace:
     """The paper's motif in miniature: hot small writes + cold streams.
 
@@ -114,7 +118,7 @@ def mixed_pattern(
     require_positive(n_requests, "n_requests")
     require_in_range(hot_fraction, "hot_fraction", 0.0, 1.0)
     require_in_range(read_fraction, "read_fraction", 0.0, 1.0)
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(rng, seed)
     ranks = np.arange(1, hot_objects + 1, dtype=np.float64)
     w = ranks**-1.1
     w /= w.sum()

@@ -41,6 +41,7 @@ from typing import Deque, List, Optional, Tuple
 import numpy as np
 
 from repro.traces.model import IORequest, OpType, Trace
+from repro.utils.rng import resolve_rng
 from repro.utils.validation import (
     require_in_range,
     require_non_negative,
@@ -199,10 +200,15 @@ class SyntheticTraceGenerator:
         self.config = config
 
     # ------------------------------------------------------------------
-    def generate(self) -> Trace:
-        """Produce the trace (deterministic for this config)."""
+    def generate(self, rng: "np.random.Generator | None" = None) -> Trace:
+        """Produce the trace (deterministic for this config).
+
+        An explicit ``rng`` overrides the config's seed (the seeding
+        convention in CONTRIBUTING.md); callers sharing a Generator
+        must account for the draws this consumes.
+        """
         cfg = self.config
-        rng = np.random.default_rng(cfg.seed)
+        rng = resolve_rng(rng, cfg.seed)
         n = cfg.n_requests
 
         # Pre-draw everything vectorisable; the loop only does the

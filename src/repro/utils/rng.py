@@ -1,0 +1,37 @@
+"""Seeding convention helpers (see CONTRIBUTING.md).
+
+Every stochastic component in the repo draws from an explicit
+``numpy.random.Generator`` that its caller controls — there is no
+module-level global RNG anywhere, so two components can never alias
+each other's streams and every run is reproducible from its recorded
+seeds.  Components expose the convention as a pair of parameters::
+
+    def thing(..., seed: int = 0, rng: np.random.Generator | None = None)
+
+where an explicit ``rng`` wins over ``seed``.  :func:`resolve_rng`
+implements that resolution in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = ["resolve_rng"]
+
+
+def resolve_rng(
+    rng: Optional[Union[np.random.Generator, int]] = None, seed: int = 0
+) -> np.random.Generator:
+    """The effective Generator for a component.
+
+    ``rng`` may be a ready Generator (used as-is, caller shares the
+    stream), an int (treated as a seed), or None — in which case a
+    fresh ``default_rng(seed)`` is created.
+    """
+    if rng is None:
+        return np.random.default_rng(seed)
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)

@@ -1,0 +1,57 @@
+"""Shared fixtures for the fault-injection tests."""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.obs.events import Event
+from repro.ssd.config import SSDConfig
+
+
+class RecordingTracer:
+    """Tracer that keeps every event (tests inspect the stream)."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def emit(self, event: Event) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:  # pragma: no cover - nothing to release
+        pass
+
+    def of_kind(self, kind: str) -> List[Event]:
+        return [e for e in self.events if e.kind == kind]
+
+
+@pytest.fixture
+def recording_tracer() -> RecordingTracer:
+    return RecordingTracer()
+
+
+@pytest.fixture
+def tiny_ssd() -> SSDConfig:
+    """One plane, 8 blocks of 8 pages — small enough to fill by hand."""
+    return SSDConfig(
+        n_channels=1,
+        chips_per_channel=1,
+        planes_per_chip=1,
+        blocks_per_plane=8,
+        pages_per_block=8,
+    )
+
+
+@pytest.fixture
+def small_ssd() -> SSDConfig:
+    """Two planes across two channels; room for spares and GC churn."""
+    return SSDConfig(
+        n_channels=2,
+        chips_per_channel=1,
+        planes_per_chip=1,
+        blocks_per_plane=16,
+        pages_per_block=16,
+    )

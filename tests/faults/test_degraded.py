@@ -1,0 +1,122 @@
+"""Graceful degradation: GC-cannot-reclaim latches read-only mode.
+
+The tiny single-plane geometry is deliberately over-filled with distinct
+LPNs: once every block holds live data, GC has nothing to reclaim and
+allocation fails.  Pre-fault-subsystem that crashed the replay with
+:class:`FlashOutOfSpace`; now the controller latches
+:class:`~repro.faults.degraded.DegradedMode` and keeps serving reads.
+"""
+
+from __future__ import annotations
+
+from repro.cache.registry import create_policy
+from repro.obs.invariants import InvariantChecker
+from repro.sim.replay import ReplayConfig, replay_trace
+from repro.ssd.controller import SSDController
+from repro.traces.model import PAGE_SIZE_BYTES, IORequest, OpType
+from repro.traces.patterns import random_writes
+
+CACHE_PAGES = 8
+
+
+def write(i: int, lpn: int) -> IORequest:
+    return IORequest(time=float(i), op=OpType.WRITE, lpn=lpn, npages=1)
+
+
+def read(i: int, lpn: int) -> IORequest:
+    return IORequest(time=float(i), op=OpType.READ, lpn=lpn, npages=1)
+
+
+def overfill(controller: SSDController, n: int = 400) -> int:
+    """Write ``n`` distinct LPNs; returns how many were submitted before
+    the device went degraded (all ``n`` if it never did)."""
+    for i in range(n):
+        controller.submit(write(i, lpn=i))
+        if controller.degraded.active:
+            return i + 1
+    return n
+
+
+class TestDegradedEntry:
+    def test_overfill_enters_degraded_not_crash(self, tiny_ssd, recording_tracer):
+        policy = create_policy("lru", CACHE_PAGES)
+        controller = SSDController(tiny_ssd, policy, tracer=recording_tracer)
+
+        submitted = overfill(controller)
+
+        assert controller.degraded.active, "over-filled device must degrade"
+        assert submitted < 400
+        assert "no free blocks" in controller.degraded.reason
+        events = recording_tracer.of_kind("degraded_mode_entered")
+        assert len(events) == 1, "the latch is one-way: one event only"
+        assert events[0].reason == controller.degraded.reason
+        # The device survived the failure structurally intact.
+        controller.validate()
+
+    def test_degraded_rejects_writes_serves_reads(self, tiny_ssd):
+        policy = create_policy("lru", CACHE_PAGES)
+        controller = SSDController(tiny_ssd, policy)
+        t = overfill(controller)
+
+        record = controller.submit(write(t, lpn=9000))
+        assert record.response_ms == 0.0
+        assert controller.degraded.writes_rejected_requests == 1
+        assert controller.degraded.writes_rejected_pages == 1
+        # Rejected writes never touch the cache (no insertion/eviction).
+        assert not record.outcome.page_hits and not record.outcome.flushes
+
+        record = controller.submit(read(t + 1, lpn=0))
+        assert controller.degraded.reads_served == 1
+        assert record.response_ms >= 0.0
+        controller.validate()
+
+    def test_flush_pages_dropped_accounted(self, tiny_ssd):
+        policy = create_policy("lru", CACHE_PAGES)
+        controller = SSDController(tiny_ssd, policy)
+        overfill(controller)
+        dropped_at_entry = controller.degraded.flush_pages_dropped
+        assert dropped_at_entry >= 1, "the failing flush drops its tail"
+
+        # Draining a degraded device drops the whole remaining cache.
+        occupancy = policy.occupancy()
+        controller.drain(1000.0)
+        assert (
+            controller.degraded.flush_pages_dropped
+            == dropped_at_entry + occupancy
+        )
+        report = controller.durability_report()
+        assert report.degraded
+        assert report.flush_pages_dropped == controller.degraded.flush_pages_dropped
+        assert report.lost_writes >= report.flush_pages_dropped
+
+    def test_invariants_hold_through_degradation(self, tiny_ssd):
+        policy = create_policy("lru", CACHE_PAGES)
+        checker = InvariantChecker()
+        controller = SSDController(tiny_ssd, policy, tracer=checker)
+        checker.attach(policy=policy, controller=controller)
+
+        overfill(controller)
+        assert controller.degraded.active
+        # A few post-degradation requests, still under the checker.
+        controller.submit(write(500, lpn=9000))
+        controller.submit(read(501, lpn=0))
+        checker.close()  # raises InvariantViolation on any breakage
+
+
+class TestDegradedReplay:
+    def test_replay_completes_with_degraded_report(self, tiny_ssd):
+        trace = random_writes(400, span_pages=200, seed=0)
+        config = ReplayConfig(
+            policy="lru",
+            cache_bytes=CACHE_PAGES * PAGE_SIZE_BYTES,
+            ssd=tiny_ssd,
+        )
+        metrics = replay_trace(trace, config)
+
+        # The replay ran to completion (no abort) with partial metrics.
+        assert not metrics.aborted
+        assert metrics.n_requests == 400
+        assert metrics.durability is not None
+        assert metrics.durability.degraded
+        assert metrics.durability.writes_rejected_requests > 0
+        assert metrics.summary()["hit_ratio"] >= 0.0

@@ -1,0 +1,117 @@
+"""NAND error model: profiles, determinism, wear coupling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults.model import NandErrorModel
+from repro.faults.profile import FAULT_PROFILES, FaultProfile, get_profile
+
+
+class TestProfiles:
+    def test_registry_names(self):
+        assert {"default", "harsh", "wearout"} <= set(FAULT_PROFILES)
+        for name, profile in FAULT_PROFILES.items():
+            assert profile.name == name
+
+    def test_get_profile_resolution(self):
+        assert get_profile(None) is None
+        assert get_profile("none") is None
+        assert get_profile("default") is FAULT_PROFILES["default"]
+        custom = FaultProfile(name="custom", program_fail_prob=0.5)
+        assert get_profile(custom) is custom
+        with pytest.raises(ValueError):
+            get_profile("no-such-profile")
+
+    def test_validation_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            FaultProfile(program_fail_prob=1.5)
+        with pytest.raises(ValueError):
+            FaultProfile(retry_success_prob=-0.1)
+        with pytest.raises(ValueError):
+            FaultProfile(read_retry_latencies_ms=())
+
+
+class TestDeterminism:
+    def _sequence(self, seed: int, n: int = 2000):
+        model = NandErrorModel(
+            FAULT_PROFILES["harsh"], np.random.default_rng(seed)
+        )
+        return [
+            (
+                model.program_fails(i % 50),
+                model.erase_fails(i % 50),
+                model.read_retries(i % 50),
+            )
+            for i in range(n)
+        ]
+
+    def test_same_seed_same_fault_sequence(self):
+        assert self._sequence(11) == self._sequence(11)
+
+    def test_different_seeds_differ(self):
+        assert self._sequence(0) != self._sequence(1)
+
+    def test_int_seed_equals_explicit_generator(self):
+        a = NandErrorModel(FAULT_PROFILES["harsh"], 7)
+        b = NandErrorModel(FAULT_PROFILES["harsh"], np.random.default_rng(7))
+        assert [a.program_fails(0) for _ in range(500)] == [
+            b.program_fails(0) for _ in range(500)
+        ]
+
+
+class TestWearCoupling:
+    def test_probability_scales_with_erase_count(self):
+        profile = FaultProfile(program_fail_prob=1e-3, wear_coupling=4.0)
+        model = NandErrorModel(profile, 0, pe_cycle_limit=100)
+        fresh = model._effective(1e-3, 0)
+        worn = model._effective(1e-3, 50)
+        dead = model._effective(1e-3, 100)
+        assert fresh == 1e-3
+        assert worn == pytest.approx(1e-3 * 3.0)
+        assert dead == pytest.approx(1e-3 * 5.0)
+        assert worn < dead
+
+    def test_no_coupling_keeps_base_rate(self):
+        profile = FaultProfile(program_fail_prob=1e-3, wear_coupling=0.0)
+        model = NandErrorModel(profile, 0, pe_cycle_limit=100)
+        assert model._effective(1e-3, 99) == 1e-3
+
+    def test_effective_probability_clipped_to_one(self):
+        profile = FaultProfile(program_fail_prob=0.5, wear_coupling=1000.0)
+        model = NandErrorModel(profile, 0, pe_cycle_limit=10)
+        assert model._effective(0.5, 10) == 1.0
+
+    def test_zero_probability_never_draws(self):
+        profile = FaultProfile(
+            program_fail_prob=0.0, erase_fail_prob=0.0, read_error_prob=0.0
+        )
+        model = NandErrorModel(profile, 0)
+        state = model.rng.bit_generator.state
+        assert not model.program_fails(10)
+        assert not model.erase_fails(10)
+        assert model.read_retries(10) == 0
+        # The fast path must not consume randomness.
+        assert model.rng.bit_generator.state == state
+
+
+class TestReadRetryLadder:
+    def test_always_failing_read_recovers_on_first_rung(self):
+        profile = FaultProfile(read_error_prob=1.0, retry_success_prob=1.0)
+        model = NandErrorModel(profile, 0)
+        assert model.read_retries(0) == 1
+
+    def test_exhausted_ladder_is_unrecoverable(self):
+        profile = FaultProfile(read_error_prob=1.0, retry_success_prob=0.0)
+        model = NandErrorModel(profile, 0)
+        assert model.read_retries(0) is None
+
+    def test_recovered_rung_bounded_by_ladder(self):
+        profile = FAULT_PROFILES["harsh"]
+        model = NandErrorModel(profile, 3)
+        ladder_len = len(profile.read_retry_latencies_ms)
+        outcomes = [model.read_retries(0) for _ in range(5000)]
+        assert any(o for o in outcomes if o)  # some reads needed retries
+        for o in outcomes:
+            assert o is None or 0 <= o <= ladder_len

@@ -14,9 +14,9 @@ prove the shrink-and-report path works end to end.
 
 from __future__ import annotations
 
-import random
 from typing import List
 
+import numpy as np
 import pytest
 
 from repro.cache.base import AccessOutcome
@@ -25,25 +25,29 @@ from repro.cache.registry import available_policies, create_policy
 from repro.obs.invariants import InvariantChecker, InvariantViolation
 from repro.obs.shrink import shrink_failing_prefix
 from repro.traces.model import IORequest, OpType
+from repro.utils.rng import resolve_rng
 
 SEEDS = (0, 1, 2)
 N_REQUESTS = 250
 CAPACITY_PAGES = 48
 
 
-def random_requests(seed: int, n: int = N_REQUESTS) -> List[IORequest]:
+def random_requests(
+    seed: int, n: int = N_REQUESTS, rng: "np.random.Generator | None" = None
+) -> List[IORequest]:
     """A random workload stressing the cache structures: hot rewrites,
-    large overlapping extents, and reads mixed in."""
-    rng = random.Random(seed)
+    large overlapping extents, and reads mixed in (drawn from an
+    explicit numpy Generator per the repo seeding convention)."""
+    rng = resolve_rng(rng, seed)
     requests = []
     for i in range(n):
         roll = rng.random()
         if roll < 0.5:  # small hot write
-            lpn, npages = rng.randrange(40), rng.randint(1, 4)
+            lpn, npages = int(rng.integers(40)), int(rng.integers(1, 5))
         elif roll < 0.8:  # large extent, overlaps the hot set
-            lpn, npages = rng.randrange(80), rng.randint(5, 24)
+            lpn, npages = int(rng.integers(80)), int(rng.integers(5, 25))
         else:  # read, possibly of cached data
-            lpn, npages = rng.randrange(80), rng.randint(1, 8)
+            lpn, npages = int(rng.integers(80)), int(rng.integers(1, 9))
         op = OpType.READ if roll >= 0.8 else OpType.WRITE
         requests.append(IORequest(time=float(i), op=op, lpn=lpn, npages=npages))
     return requests

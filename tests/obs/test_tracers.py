@@ -7,15 +7,21 @@ import json
 
 from repro.obs.events import (
     EVENT_KINDS,
+    BlockRetired,
     CacheHit,
     CacheMiss,
+    DegradedModeEntered,
     DowngradeMerge,
     Evict,
+    FaultInjected,
     FlashWrite,
     GcErase,
     GcMigrate,
     Insert,
     ListMove,
+    PowerLoss,
+    ReadRetry,
+    RecoveryComplete,
     Split,
     event_to_dict,
 )
@@ -39,6 +45,12 @@ ONE_OF_EACH = [
     GcMigrate(8.5, 11, 42, 99, 3),
     GcErase(9.5, 3, 7, 2),
     ListMove(10, 1, "IRL", "SRL", 4),
+    FaultInjected(11.0, "program", 3, 7),
+    ReadRetry(12.0, 11, 3, 2, True),
+    BlockRetired(13.0, 3, 7, "program_fail", 1),
+    PowerLoss(14.0, 40, 8, 32),
+    RecoveryComplete(15.0, 50.0, 128, 120),
+    DegradedModeEntered(16.0, 3, "plane 3: no free blocks"),
 ]
 
 

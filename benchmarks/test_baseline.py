@@ -1,0 +1,125 @@
+"""Benchmark baseline: replay throughput + telemetry overhead.
+
+``make bench`` runs this alongside the figure benchmarks; it writes
+``benchmarks/results/BENCH_<date>.json`` recording
+
+* replay throughput (requests/s) per paper-comparison policy, full
+  device model and cache-only fast path;
+* telemetry overhead ratios: metrics *disabled* (a null registry) vs
+  plain — the <= 5% budget from docs/metrics.md applies here — and
+  metrics/profiler *enabled* vs plain, on both the cache-only fast
+  path (worst case: nothing to hide behind) and the full device model
+  (where the per-request recording amortises).
+
+The JSON is a tracking artefact, not a gate — machine-dependent numbers
+belong in a dated file, not an assertion.  The functional gates live in
+``tests/obs/test_metrics_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import time
+
+from conftest import RESULTS_DIR, once
+
+from repro.cache.registry import PAPER_COMPARISON
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.sim.replay import ReplayConfig, replay_cache_only, replay_trace
+from repro.traces.synthetic import SyntheticConfig, generate_trace
+
+CACHE_BYTES = 256 * 4096
+N_REQUESTS = 20_000
+
+
+def _baseline_trace():
+    cfg = SyntheticConfig(
+        name="baseline",
+        n_requests=N_REQUESTS,
+        seed=11,
+        write_ratio=0.7,
+        small_write_fraction=0.6,
+        small_size_mean=2.0,
+        small_size_max=4,
+        large_size_mean=10.0,
+        large_size_max=48,
+        n_hot_slots=64,
+        zipf_theta=1.1,
+        large_span_pages=20_000,
+        target_pages_per_ms=4.5,
+    )
+    return generate_trace(cfg)
+
+
+def _time(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def _best_of(n: int, fn) -> float:
+    return min(_time(fn) for _ in range(n))
+
+
+def test_benchmark_baseline(benchmark):
+    trace = _baseline_trace()
+    doc = {
+        "date": datetime.date.today().isoformat(),
+        "n_requests": len(trace),
+        "cache_bytes": CACHE_BYTES,
+        "replay_req_per_s": {},
+        "cache_only_req_per_s": {},
+        "telemetry_overhead": {},
+    }
+
+    def run():
+        for policy in PAPER_COMPARISON:
+            cfg = ReplayConfig(policy=policy, cache_bytes=CACHE_BYTES)
+            full = _best_of(2, lambda c=cfg: replay_trace(trace, c))
+            fast = _best_of(2, lambda c=cfg: replay_cache_only(trace, c))
+            doc["replay_req_per_s"][policy] = round(len(trace) / full, 1)
+            doc["cache_only_req_per_s"][policy] = round(len(trace) / fast, 1)
+
+        # Telemetry overhead.  "disabled" passes an explicit null
+        # registry (the opt-out path the <= 5% budget applies to);
+        # "enabled" carries the full per-request recorder cost.
+        def overhead(replay_fn):
+            def cfg(**kw):
+                return ReplayConfig(
+                    policy="reqblock", cache_bytes=CACHE_BYTES, **kw
+                )
+
+            variants = [
+                lambda: replay_fn(trace, cfg()),
+                lambda: replay_fn(trace, cfg(metrics=NULL_METRICS)),
+                lambda: replay_fn(trace, cfg(metrics=MetricsRegistry())),
+                lambda: replay_fn(trace, cfg(profile=True)),
+            ]
+            # Interleave the variants each round so a load spike cannot
+            # penalise just one of them.
+            best = [float("inf")] * len(variants)
+            for _ in range(4):
+                for i, fn in enumerate(variants):
+                    best[i] = min(best[i], _time(fn))
+            plain, disabled, enabled, profiled = best
+            return {
+                "plain_s": round(plain, 4),
+                "disabled_ratio": round(disabled / plain, 4),
+                "enabled_ratio": round(enabled / plain, 4),
+                "profile_ratio": round(profiled / plain, 4),
+            }
+
+        doc["telemetry_overhead"] = {
+            "disabled_budget_ratio": 1.05,
+            "cache_only": overhead(replay_cache_only),
+            "full_replay": overhead(replay_trace),
+        }
+
+    once(benchmark, run)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / f"BENCH_{doc['date']}.json"
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"\n[saved to {out}]")
+    assert doc["telemetry_overhead"]["cache_only"]["enabled_ratio"] < 2.0

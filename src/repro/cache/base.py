@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import ClassVar, Iterable, List, Optional
 
 from repro.obs.events import CacheHit, CacheMiss, Evict, Insert
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.traces.model import IORequest
 from repro.utils.validation import require_positive
@@ -94,6 +95,11 @@ class CachePolicy(abc.ABC):
         #: shared disabled tracer; every emission site is guarded with
         #: ``if tracer.enabled:`` so the default costs one branch.
         self.tracer: Tracer = NULL_TRACER
+        #: Metrics registry (see :mod:`repro.obs.metrics`).  Defaults to
+        #: the shared disabled registry; per-request cache counters are
+        #: recorded from the :class:`AccessOutcome` by the replay layer,
+        #: so policies only pay for metrics on their rare paths.
+        self.metrics: MetricsRegistry = NULL_METRICS
         #: Monotone per-policy request sequence number carried by events.
         self._req_seq = 0
         #: Logical per-page clock stamped on events (advances only while
@@ -104,6 +110,28 @@ class CachePolicy(abc.ABC):
     def set_tracer(self, tracer: Optional[Tracer]) -> None:
         """Attach an event tracer (None restores the disabled default)."""
         self.tracer = tracer if tracer is not None else NULL_TRACER
+
+    def set_metrics(self, registry: Optional[MetricsRegistry]) -> None:
+        """Attach a metrics registry (None restores the disabled default).
+
+        Registers a collector refreshing the generic cache gauges
+        (occupancy, capacity, metadata footprint) right before each
+        snapshot; subclasses extend this with their own instruments.  A
+        registry is bound to one replay — do not reuse across runs.
+        """
+        self.metrics = registry if registry is not None else NULL_METRICS
+        if not self.metrics.enabled:
+            return
+        occupancy = self.metrics.gauge("cache.occupancy_pages")
+        capacity = self.metrics.gauge("cache.capacity_pages")
+        metadata = self.metrics.gauge("cache.metadata_bytes")
+
+        def collect(_now: float) -> None:
+            occupancy.set(self.occupancy())
+            capacity.set(self.capacity_pages)
+            metadata.set(self.metadata_bytes())
+
+        self.metrics.register_collector(collect)
 
     # ------------------------------------------------------------------
     # Protocol

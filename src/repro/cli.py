@@ -11,6 +11,8 @@ Subcommands
     Regenerate a paper table/figure by name (``fig8``, ``table2``, ...).
 ``analyze``
     Reuse-distance / miss-ratio-curve analysis of a workload.
+``metrics``
+    Terminal summary of a ``--metrics-out`` JSONL time series.
 ``policies`` / ``workloads``
     List what is available.
 """
@@ -71,6 +73,20 @@ def _load_trace(args: argparse.Namespace) -> Trace:
     return load_msr_trace(args.workload)
 
 
+def _print_profile(phase_profile: Dict[str, Dict[str, float]]) -> None:
+    from repro.obs.profile import format_profile_rows
+
+    rows = [
+        (phase, calls, f"{total:.1f}", f"{self_ms:.1f}", f"{pct:.1f}")
+        for phase, calls, total, self_ms, pct in format_profile_rows(phase_profile)
+    ]
+    print(
+        format_table(
+            ("Phase", "Calls", "Total(ms)", "Self(ms)", "Self%"), rows
+        )
+    )
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     trace = _load_trace(args)
     cache_bytes = scaled_cache_bytes(args.cache_mb, args.scale)
@@ -79,6 +95,11 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         from repro.obs.tracer import JsonlTracer
 
         tracer = JsonlTracer(args.trace_out)
+    registry = None
+    if args.metrics_out is not None:
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
     config = ReplayConfig(
         policy=args.policy,
         cache_bytes=cache_bytes,
@@ -88,6 +109,9 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         fault_seed=args.fault_seed,
         power_loss_at=args.power_loss_at,
         capacitor_pages=args.capacitor_pages,
+        metrics=registry,
+        sample_interval=args.sample_interval,
+        profile=args.profile,
     )
     try:
         if args.queue_depth is not None:
@@ -110,8 +134,27 @@ def _cmd_replay(args: argparse.Namespace) -> int:
                 float_fmt="{:.4f}",
             )
         )
+    if args.profile and metrics.phase_profile:
+        print()
+        _print_profile(metrics.phase_profile)
     if tracer is not None:
         print(f"wrote {tracer.n_events} events to {args.trace_out}")
+    if registry is not None:
+        if args.metrics_format == "prom":
+            from pathlib import Path
+
+            sim_ms = (
+                metrics.metrics_series[-1]["sim_ms"]
+                if metrics.metrics_series
+                else 0.0
+            )
+            Path(args.metrics_out).write_text(registry.prometheus_text(sim_ms))
+            print(f"wrote Prometheus metrics dump to {args.metrics_out}")
+        else:
+            from repro.sim.export import write_metrics_jsonl
+
+            n = write_metrics_jsonl(metrics.metrics_series, args.metrics_out)
+            print(f"wrote {n} metric snapshots to {args.metrics_out}")
     if metrics.aborted:
         print(
             f"replay aborted at request {metrics.aborted_at_request}: "
@@ -128,7 +171,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     rows = []
     all_metrics = []
     for policy in args.policies:
-        m = replay_trace(trace, ReplayConfig(policy=policy, cache_bytes=cache_bytes))
+        m = replay_trace(
+            trace,
+            ReplayConfig(
+                policy=policy, cache_bytes=cache_bytes, profile=args.profile
+            ),
+        )
         all_metrics.append(m)
         rows.append(
             (
@@ -155,6 +203,42 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
         write_json(all_metrics, args.json, extra={"scale": args.scale})
         print(f"wrote {args.json}")
+    if args.profile:
+        for m in all_metrics:
+            if m.phase_profile:
+                print(f"\nphase profile: {m.policy_name}")
+                _print_profile(m.phase_profile)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Render a terminal report from a ``--metrics-out`` JSONL file."""
+    from repro.sim.export import read_metrics_jsonl
+    from repro.sim.report import sparkline
+
+    series = read_metrics_jsonl(args.file)
+    if not series:
+        print(f"{args.file}: no metric snapshots", file=sys.stderr)
+        return 1
+    first, last = series[0], series[-1]
+    print(
+        f"{args.file}: {len(series)} snapshots, "
+        f"requests {int(first.get('index', 0))}..{int(last.get('index', 0))}, "
+        f"sim time {last.get('sim_ms', 0.0):.1f} ms"
+    )
+    keys = sorted(k for k in last if k not in ("index", "sim_ms"))
+    if args.filter:
+        keys = [k for k in keys if args.filter in k]
+        if not keys:
+            print(f"no metrics match filter {args.filter!r}", file=sys.stderr)
+            return 1
+    rows = []
+    for key in keys:
+        values = [float(s[key]) for s in series if key in s]
+        final = values[-1]
+        final_s = f"{final:.3f}".rstrip("0").rstrip(".") if final else "0"
+        rows.append((key, final_s, sparkline(values, width=min(24, len(values)))))
+    print(format_table(("Metric", "Last", "Trend"), rows))
     return 0
 
 
@@ -214,6 +298,32 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_metrics_args(p: argparse.ArgumentParser) -> None:
+    from repro.obs.metrics import DEFAULT_SAMPLE_INTERVAL
+
+    p.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="sample the runtime metrics registry during the replay and "
+             "write the result to PATH (see docs/metrics.md)",
+    )
+    p.add_argument(
+        "--metrics-format", default="jsonl", choices=("jsonl", "prom"),
+        help="metrics output format: one JSON snapshot per line (jsonl, "
+             "default) or a final Prometheus text dump (prom)",
+    )
+    p.add_argument(
+        "--sample-interval", type=int, default=DEFAULT_SAMPLE_INTERVAL,
+        metavar="N",
+        help="snapshot the registry every N requests "
+             f"(default: {DEFAULT_SAMPLE_INTERVAL})",
+    )
+    p.add_argument(
+        "--profile", action="store_true",
+        help="profile wall-clock time by simulator phase and print the "
+             "table (cache_access / flush / ftl / gc / read)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the reqblock-sim argument parser (all subcommands)."""
     parser = argparse.ArgumentParser(
@@ -262,6 +372,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="power-loss-protection budget: dirty pages the hold-up "
              "capacitors can still flush (default: 0)",
     )
+    _add_metrics_args(p)
     p.set_defaults(func=_cmd_replay)
 
     p = sub.add_parser("compare", help="compare several policies on one workload")
@@ -274,7 +385,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=DEFAULT_SCALE)
     p.add_argument("--csv", default=None, help="also write summaries to CSV")
     p.add_argument("--json", default=None, help="also write summaries to JSON")
+    p.add_argument(
+        "--profile", action="store_true",
+        help="print a wall-clock phase-profile table per policy",
+    )
     p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser(
+        "metrics", help="summarise a --metrics-out JSONL time series"
+    )
+    p.add_argument("file", help="JSONL file written by replay --metrics-out")
+    p.add_argument(
+        "--filter", default=None, metavar="SUBSTR",
+        help="only show metrics whose name contains SUBSTR",
+    )
+    p.set_defaults(func=_cmd_metrics)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("name", choices=sorted(_EXPERIMENTS))

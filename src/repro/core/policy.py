@@ -86,12 +86,44 @@ class ReqBlockCache(CachePolicy):
         self._index: Dict[int, RequestBlock] = {}
         self._clock = 0
         self._req_seq = 0
+        # Bound metrics instruments (None while metrics are disabled, so
+        # the hot split/merge paths pay one None-check).
+        self._m_splits = None
+        self._m_merges = None
+        self._m_merged_pages = None
 
     def set_tracer(self, tracer: "Tracer | None") -> None:
         """Attach an event tracer; also wires the IRL/SRL/DRL container
         so cross-list moves emit ``ListMove`` events."""
         super().set_tracer(tracer)
         self.lists.set_tracer(self.tracer, clock_fn=lambda: self._clock)
+
+    def set_metrics(self, registry) -> None:
+        """Attach a metrics registry; adds the Req-block instruments:
+        split/merge counters plus per-list occupancy gauges
+        (``cache.list.irl_pages`` etc. — Fig. 13's series, live)."""
+        super().set_metrics(registry)
+        if not self.metrics.enabled:
+            self._m_splits = self._m_merges = self._m_merged_pages = None
+            return
+        self._m_splits = self.metrics.counter("cache.splits_total")
+        self._m_merges = self.metrics.counter("cache.downgrade_merges_total")
+        self._m_merged_pages = self.metrics.counter("cache.merged_pages_total")
+        gauges = {
+            level: self.metrics.gauge(f"cache.list.{level.value.lower()}_pages")
+            for level in ListLevel
+        }
+        blocks = {
+            level: self.metrics.gauge(f"cache.list.{level.value.lower()}_blocks")
+            for level in ListLevel
+        }
+
+        def collect(_now: float) -> None:
+            for level in ListLevel:
+                gauges[level].set(self.lists.page_count(level))
+                blocks[level].set(self.lists.block_count(level))
+
+        self.metrics.register_collector(collect)
 
     # ------------------------------------------------------------------
     # CachePolicy protocol
@@ -198,6 +230,8 @@ class ReqBlockCache(CachePolicy):
         # the current request (creating it if this request has none yet).
         if self.tracer.enabled:
             self.tracer.emit(Split(self._clock, req_id, lpn, block.req_id))
+        if self._m_splits is not None:
+            self._m_splits.inc()
         block.pages.discard(lpn)
         self.lists.note_page_removed(block)
         if block.page_num == 0:
@@ -265,6 +299,9 @@ class ReqBlockCache(CachePolicy):
                             tuple(sorted(origin.pages)),
                         )
                     )
+                if self._m_merges is not None:
+                    self._m_merges.inc()
+                    self._m_merged_pages.inc(len(origin.pages))
                 lpns.extend(origin.pages)
                 self.lists.remove(origin)
                 for lpn in origin.pages:

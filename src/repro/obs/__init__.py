@@ -24,6 +24,25 @@ from repro.obs.events import (
     event_to_dict,
 )
 from repro.obs.invariants import InvariantChecker, InvariantViolation
+from repro.obs.metrics import (
+    DEFAULT_SAMPLE_INTERVAL,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    Rate,
+    Sampler,
+    prometheus_name,
+)
+from repro.obs.profile import (
+    NULL_PROFILER,
+    NullProfiler,
+    PhaseProfiler,
+    PhaseStats,
+    format_profile_rows,
+)
 from repro.obs.shrink import shrink_failing_prefix
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -57,4 +76,21 @@ __all__ = [
     "InvariantChecker",
     "InvariantViolation",
     "shrink_failing_prefix",
+    # Metrics registry + sampling (see docs/metrics.md).
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Rate",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+    "Sampler",
+    "DEFAULT_SAMPLE_INTERVAL",
+    "prometheus_name",
+    # Phase profiler.
+    "PhaseProfiler",
+    "PhaseStats",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "format_profile_rows",
 ]

@@ -1,0 +1,195 @@
+"""Scoped phase profiler: wall-clock self/total time per simulator phase.
+
+`tools/profile_replay.py` answers "which *function* is hot"; this module
+answers the coarser, more durable question "which *phase of the model*
+is hot" — cache access vs FTL translation vs GC vs flush — and attaches
+the answer to :class:`~repro.sim.metrics.ReplayMetrics`, so a slow run
+explains itself without re-running under cProfile.
+
+Phases nest (a flush contains FTL programs, which contain GC), and the
+profiler keeps a stack so each phase's **self** time excludes its
+children while **total** includes them.  Two APIs:
+
+* ``with profiler.phase("gc"):`` — exception-safe context manager for
+  cold call sites;
+* ``profiler.start("ftl")`` / ``profiler.stop()`` — explicit pair for
+  hot call sites that guard with ``if profiler.enabled:`` and must not
+  pay context-manager overhead (pair them in ``try/finally``).
+
+The shared :data:`NULL_PROFILER` mirrors ``NULL_TRACER``: components
+default to it and a disabled profiler costs one attribute load and a
+branch per guarded site — no clock reads, no allocation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Tuple
+
+__all__ = [
+    "PhaseStats",
+    "PhaseProfiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "format_profile_rows",
+]
+
+
+class PhaseStats:
+    """Accumulated timing of one phase (seconds internally)."""
+
+    __slots__ = ("calls", "total_s", "self_s")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.total_s = 0.0
+        self.self_s = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Milliseconds form used by ``ReplayMetrics.phase_profile``."""
+        return {
+            "calls": float(self.calls),
+            "total_ms": self.total_s * 1e3,
+            "self_ms": self.self_s * 1e3,
+        }
+
+
+class _PhaseContext:
+    """Context manager returned by :meth:`PhaseProfiler.phase`."""
+
+    __slots__ = ("_profiler", "_name")
+
+    def __init__(self, profiler: "PhaseProfiler", name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> None:
+        self._profiler.start(self._name)
+
+    def __exit__(self, *exc) -> None:
+        self._profiler.stop()
+
+
+class PhaseProfiler:
+    """Stack-based wall-clock accumulator; the enabled implementation.
+
+    ``clock`` is injectable for deterministic tests (defaults to
+    :func:`time.perf_counter`).
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        #: Open phases: [name, start, child_seconds] innermost last.
+        self._stack: List[list] = []
+        self.stats: Dict[str, PhaseStats] = {}
+
+    # -- hot-path primitives -------------------------------------------
+    def start(self, name: str) -> None:
+        """Open a phase (must be balanced by :meth:`stop`)."""
+        self._stack.append([name, self._clock(), 0.0])
+
+    def stop(self) -> None:
+        """Close the innermost open phase and attribute its time."""
+        name, t0, child = self._stack.pop()
+        elapsed = self._clock() - t0
+        st = self.stats.get(name)
+        if st is None:
+            st = self.stats[name] = PhaseStats()
+        st.calls += 1
+        st.total_s += elapsed
+        st.self_s += elapsed - child
+        if self._stack:
+            self._stack[-1][2] += elapsed
+
+    # -- convenience ---------------------------------------------------
+    def phase(self, name: str) -> _PhaseContext:
+        """``with profiler.phase("gc"):`` — exception-safe scoping."""
+        return _PhaseContext(self, name)
+
+    @property
+    def depth(self) -> int:
+        """Currently open phases (0 when balanced)."""
+        return len(self._stack)
+
+    def merge(self, other: "PhaseProfiler") -> None:
+        """Fold another profiler's stats in (both must be balanced)."""
+        for name, st in other.stats.items():
+            mine = self.stats.get(name)
+            if mine is None:
+                mine = self.stats[name] = PhaseStats()
+            mine.calls += st.calls
+            mine.total_s += st.total_s
+            mine.self_s += st.self_s
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """``{phase: {calls, total_ms, self_ms}}`` in ms."""
+        return {name: st.as_dict() for name, st in self.stats.items()}
+
+    def report_rows(self) -> List[Tuple[str, int, float, float, float]]:
+        """Table rows ``(phase, calls, total_ms, self_ms, self_pct)``
+        sorted by self time descending; ``self_pct`` is the share of the
+        summed self time (which equals true wall time across phases)."""
+        return format_profile_rows(self.as_dict())
+
+
+class NullProfiler:
+    """Disabled profiler; the hot-path default."""
+
+    enabled = False
+    stats: Dict[str, PhaseStats] = {}
+
+    def start(self, name: str) -> None:  # pragma: no cover - never hot
+        pass
+
+    def stop(self) -> None:  # pragma: no cover - never hot
+        pass
+
+    def phase(self, name: str) -> "_NullPhase":
+        """A shared no-op context manager."""
+        return _NULL_PHASE
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Always empty."""
+        return {}
+
+    def report_rows(self) -> List[Tuple[str, int, float, float, float]]:
+        """Always empty."""
+        return []
+
+
+class _NullPhase:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        pass
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_PHASE = _NullPhase()
+
+#: Shared singleton — components default their ``profiler`` to this.
+NULL_PROFILER = NullProfiler()
+
+
+def format_profile_rows(
+    profile: Dict[str, Dict[str, float]],
+) -> List[Tuple[str, int, float, float, float]]:
+    """Rows ``(phase, calls, total_ms, self_ms, self_pct)`` from a
+    ``ReplayMetrics.phase_profile`` dict, sorted by self time desc."""
+    grand_self = sum(st["self_ms"] for st in profile.values()) or 1.0
+    rows = [
+        (
+            name,
+            int(st["calls"]),
+            st["total_ms"],
+            st["self_ms"],
+            100.0 * st["self_ms"] / grand_self,
+        )
+        for name, st in profile.items()
+    ]
+    rows.sort(key=lambda r: r[3], reverse=True)
+    return rows

@@ -27,11 +27,12 @@ from repro.core.policy import ReqBlockCache
 from repro.faults.injector import FaultInjector
 from repro.faults.powerloss import inject_power_loss
 from repro.faults.profile import get_profile
-from repro.sim.metrics import LIST_LOG_INTERVAL, ReplayMetrics
+from repro.sim.metrics import ReplayMetrics
 from repro.sim.replay import (
     METADATA_SAMPLE_INTERVAL,
     ReplayConfig,
     _build_policy,
+    _resolve_recorder,
     resolve_tracer,
     sized_ssd_for,
 )
@@ -74,6 +75,7 @@ def replay_closed_loop(
         gc_victim_policy=config.gc_victim_policy,
         tracer=tracer,
         faults=faults,
+        metrics=config.metrics,
     )
     if checker is not None:
         checker.attach(policy=policy, controller=controller)
@@ -82,7 +84,9 @@ def replay_closed_loop(
         policy_name=config.policy,
         cache_pages=config.cache_pages,
     )
+    recorder, sampler = _resolve_recorder(config)
     track_lists = config.log_lists and isinstance(policy, ReqBlockCache)
+    last_index, last_time = -1, 0.0
 
     completions: Deque[float] = deque()
     last_submit = 0.0
@@ -119,17 +123,22 @@ def replay_closed_loop(
             while len(completions) > queue_depth:
                 completions.popleft()
         # Latency accounting from the *trace* arrival.
-        metrics.record(
-            request,
-            RequestRecord(
-                response_ms=completion - request.time, outcome=record.outcome
-            ),
+        queued_record = RequestRecord(
+            response_ms=completion - request.time, outcome=record.outcome
         )
+        metrics.record(request, queued_record)
+        last_index, last_time = i, submit
+        if recorder is not None:
+            recorder.record(request, queued_record)
+            sampler.maybe_sample(i, submit)
         if i % METADATA_SAMPLE_INTERVAL == 0:
             metrics.metadata_bytes.add(policy.metadata_bytes())
-        if track_lists and i % LIST_LOG_INTERVAL == 0 and i > 0:
+        if track_lists and i % config.sample_interval == 0 and i > 0:
             metrics.list_log.append((i, policy.list_page_counts()))
 
+    if sampler is not None and last_index >= 0:
+        sampler.finalize(last_index, last_time)
+        metrics.metrics_series = sampler.series
     metrics.host_flush_pages = controller.flushed_pages
     metrics.gc_migrated_pages = controller.gc.stats.pages_migrated
     metrics.gc_erases = controller.gc.stats.blocks_erased

@@ -14,7 +14,13 @@ from typing import Iterable, List, Mapping, Union
 
 from repro.sim.metrics import ReplayMetrics
 
-__all__ = ["metrics_to_rows", "write_csv", "write_json"]
+__all__ = [
+    "metrics_to_rows",
+    "write_csv",
+    "write_json",
+    "write_metrics_jsonl",
+    "read_metrics_jsonl",
+]
 
 PathLike = Union[str, Path]
 
@@ -58,3 +64,31 @@ def write_json(
         json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")
     return len(rows)
+
+
+def write_metrics_jsonl(
+    series: Iterable[Mapping[str, float]], path: PathLike
+) -> int:
+    """Write a metrics time series (``ReplayMetrics.metrics_series``)
+    as JSON lines — one snapshot per line; returns the line count."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    n = 0
+    with open(path, "w") as fh:
+        for snapshot in series:
+            fh.write(json.dumps(snapshot, sort_keys=True))
+            fh.write("\n")
+            n += 1
+    return n
+
+
+def read_metrics_jsonl(path: PathLike) -> List[dict]:
+    """Load a ``write_metrics_jsonl`` file back into a snapshot list
+    (blank lines are skipped, so the round trip is exact)."""
+    series: List[dict] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                series.append(json.loads(line))
+    return series

@@ -23,8 +23,10 @@ from repro.faults.injector import FaultInjector
 from repro.faults.powerloss import inject_power_loss
 from repro.faults.profile import FaultProfile, get_profile
 from repro.obs.invariants import InvariantChecker
+from repro.obs.metrics import DEFAULT_SAMPLE_INTERVAL, MetricsRegistry, Sampler
+from repro.obs.profile import NULL_PROFILER, PhaseProfiler
 from repro.obs.tracer import TeeTracer, Tracer
-from repro.sim.metrics import LIST_LOG_INTERVAL, ReplayMetrics
+from repro.sim.metrics import MetricsRecorder, ReplayMetrics
 from repro.ssd.config import SSDConfig
 from repro.ssd.controller import RequestRecord, SSDController
 from repro.ssd.flash import FlashOutOfSpace
@@ -108,6 +110,18 @@ class ReplayConfig:
     #: Power-loss-protection budget: dirty pages the hold-up capacitors
     #: can still flush after the rails fail.
     capacitor_pages: int = 0
+    #: Metrics registry (see :mod:`repro.obs.metrics`): when set, the
+    #: replay records per-request instruments, registers the device
+    #: collectors and samples a time series into
+    #: ``ReplayMetrics.metrics_series``.  None keeps metrics disabled at
+    #: the null-registry fast path.
+    metrics: Optional[MetricsRegistry] = None
+    #: Snapshot cadence in requests, shared with the Figure-13 list-
+    #: occupancy log (the paper's "once for every 10,000 requests").
+    sample_interval: int = DEFAULT_SAMPLE_INTERVAL
+    #: Profile wall-clock time by phase (replay / cache_access / flush /
+    #: ftl / gc / read) into ``ReplayMetrics.phase_profile``.
+    profile: bool = False
 
     @property
     def cache_pages(self) -> int:
@@ -119,6 +133,17 @@ class ReplayConfig:
 
 def _build_policy(config: ReplayConfig) -> CachePolicy:
     return create_policy(config.policy, config.cache_pages, **config.policy_kwargs)
+
+
+def _resolve_recorder(
+    config: ReplayConfig,
+) -> "Tuple[Optional[MetricsRecorder], Optional[Sampler]]":
+    """Per-request recorder + snapshot sampler for the configured
+    registry, or ``(None, None)`` when metrics are off."""
+    registry = config.metrics
+    if registry is None or not registry.enabled:
+        return None, None
+    return MetricsRecorder(registry), Sampler(registry, config.sample_interval)
 
 
 def resolve_tracer(
@@ -155,6 +180,7 @@ def replay_trace(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
         if profile is not None
         else None
     )
+    profiler = PhaseProfiler() if config.profile else NULL_PROFILER
     controller = SSDController(
         ssd_config,
         policy,
@@ -163,6 +189,8 @@ def replay_trace(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
         mapping_cache_bytes=config.mapping_cache_bytes,
         tracer=tracer,
         faults=faults,
+        metrics=config.metrics,
+        profiler=profiler if profiler.enabled else None,
     )
     if checker is not None:
         checker.attach(policy=policy, controller=controller)
@@ -171,41 +199,59 @@ def replay_trace(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
         policy_name=config.policy,
         cache_pages=config.cache_pages,
     )
+    recorder, sampler = _resolve_recorder(config)
     track_lists = config.log_lists and isinstance(policy, ReqBlockCache)
     base_flush = base_migrated = base_erases = base_programs = 0
     power_report = None
+    last_index, last_time = -1, 0.0
 
-    for i, request in enumerate(trace):
-        if config.warmup_requests and i == config.warmup_requests:
-            # Exclude warmup traffic from the flash counters.
-            base_flush = controller.flushed_pages
-            base_migrated = controller.gc.stats.pages_migrated
-            base_erases = controller.gc.stats.blocks_erased
-            base_programs = controller.total_flash_writes
-        try:
-            record = controller.submit(request)
-            if config.power_loss_at is not None and i == config.power_loss_at:
-                power_report = inject_power_loss(
-                    controller,
-                    request.time,
-                    at_request=i,
-                    capacitor_pages=config.capacitor_pages,
-                    profile=profile,
-                )
-        except FlashOutOfSpace as exc:
-            metrics.aborted_reason = str(exc)
-            metrics.aborted_at_request = i
-            break
-        if i < config.warmup_requests:
-            continue
-        metrics.record(request, record)
-        if i % METADATA_SAMPLE_INTERVAL == 0:
-            metrics.metadata_bytes.add(policy.metadata_bytes())
-        if track_lists and i % LIST_LOG_INTERVAL == 0 and i > 0:
-            metrics.list_log.append((i, policy.list_page_counts()))
+    if profiler.enabled:
+        profiler.start("replay")
+    try:
+        for i, request in enumerate(trace):
+            if config.warmup_requests and i == config.warmup_requests:
+                # Exclude warmup traffic from the flash counters.
+                base_flush = controller.flushed_pages
+                base_migrated = controller.gc.stats.pages_migrated
+                base_erases = controller.gc.stats.blocks_erased
+                base_programs = controller.total_flash_writes
+            last_index, last_time = i, request.time
+            try:
+                record = controller.submit(request)
+                if config.power_loss_at is not None and i == config.power_loss_at:
+                    power_report = inject_power_loss(
+                        controller,
+                        request.time,
+                        at_request=i,
+                        capacitor_pages=config.capacitor_pages,
+                        profile=profile,
+                    )
+            except FlashOutOfSpace as exc:
+                metrics.aborted_reason = str(exc)
+                metrics.aborted_at_request = i
+                break
+            if i < config.warmup_requests:
+                continue
+            metrics.record(request, record)
+            if recorder is not None:
+                recorder.record(request, record)
+                sampler.maybe_sample(i, request.time)
+            if i % METADATA_SAMPLE_INTERVAL == 0:
+                metrics.metadata_bytes.add(policy.metadata_bytes())
+            if track_lists and i % config.sample_interval == 0 and i > 0:
+                metrics.list_log.append((i, policy.list_page_counts()))
 
-    if config.drain_at_end and len(trace) and not metrics.aborted:
-        controller.drain(trace[len(trace) - 1].time)
+        if config.drain_at_end and len(trace) and not metrics.aborted:
+            controller.drain(trace[len(trace) - 1].time)
+    finally:
+        if profiler.enabled:
+            profiler.stop()
+
+    if sampler is not None and last_index >= 0:
+        sampler.finalize(last_index, last_time)
+        metrics.metrics_series = sampler.series
+    if profiler.enabled:
+        metrics.phase_profile = profiler.as_dict()
 
     metrics.host_flush_pages = controller.flushed_pages - base_flush
     metrics.gc_migrated_pages = controller.gc.stats.pages_migrated - base_migrated
@@ -252,25 +298,53 @@ def replay_cache_only(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
         policy.set_tracer(tracer)
     if checker is not None:
         checker.attach(policy=policy)
+    if config.metrics is not None:
+        policy.set_metrics(config.metrics)
+    profiler = PhaseProfiler() if config.profile else NULL_PROFILER
     metrics = ReplayMetrics(
         trace_name=trace.name,
         policy_name=config.policy,
         cache_pages=config.cache_pages,
     )
+    recorder, sampler = _resolve_recorder(config)
     track_lists = config.log_lists and isinstance(policy, ReqBlockCache)
     flushed = 0
+    last_index, last_time = -1, 0.0
 
-    for i, request in enumerate(trace):
-        outcome = policy.access(request)
-        if i < config.warmup_requests:
-            continue
-        metrics.record(request, RequestRecord(response_ms=0.0, outcome=outcome))
-        flushed += outcome.flushed_pages
-        if i % METADATA_SAMPLE_INTERVAL == 0:
-            metrics.metadata_bytes.add(policy.metadata_bytes())
-        if track_lists and i % LIST_LOG_INTERVAL == 0 and i > 0:
-            metrics.list_log.append((i, policy.list_page_counts()))
+    if profiler.enabled:
+        profiler.start("replay")
+    try:
+        for i, request in enumerate(trace):
+            last_index, last_time = i, request.time
+            if not profiler.enabled:
+                outcome = policy.access(request)
+            else:
+                profiler.start("cache_access")
+                try:
+                    outcome = policy.access(request)
+                finally:
+                    profiler.stop()
+            if i < config.warmup_requests:
+                continue
+            record = RequestRecord(response_ms=0.0, outcome=outcome)
+            metrics.record(request, record)
+            if recorder is not None:
+                recorder.record(request, record)
+                sampler.maybe_sample(i, request.time)
+            flushed += outcome.flushed_pages
+            if i % METADATA_SAMPLE_INTERVAL == 0:
+                metrics.metadata_bytes.add(policy.metadata_bytes())
+            if track_lists and i % config.sample_interval == 0 and i > 0:
+                metrics.list_log.append((i, policy.list_page_counts()))
+    finally:
+        if profiler.enabled:
+            profiler.stop()
 
+    if sampler is not None and last_index >= 0:
+        sampler.finalize(last_index, last_time)
+        metrics.metrics_series = sampler.series
+    if profiler.enabled:
+        metrics.phase_profile = profiler.as_dict()
     metrics.host_flush_pages = flushed
     metrics.flash_total_writes = flushed
     if checker is not None:

@@ -32,6 +32,8 @@ from repro.faults.degraded import DegradedMode
 from repro.faults.injector import NULL_FAULTS
 from repro.faults.report import DurabilityReport
 from repro.obs.events import DegradedModeEntered
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.profile import NULL_PROFILER, PhaseProfiler
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.ssd.config import SSDConfig
 from repro.ssd.flash import FlashArray, FlashOutOfSpace
@@ -89,6 +91,8 @@ class SSDController:
         mapping_cache_bytes: "int | None" = None,
         tracer: "Tracer | None" = None,
         faults: "FaultInjector | None" = None,
+        metrics: "MetricsRegistry | None" = None,
+        profiler: "PhaseProfiler | None" = None,
     ) -> None:
         """
         Parameters
@@ -115,6 +119,17 @@ class SSDController:
             device's flash array and consulted by the FTL and GC on
             every program/read/erase.  ``None`` keeps injection disabled
             at one branch per operation.
+        metrics:
+            Metrics registry (see :mod:`repro.obs.metrics`).  The
+            controller registers *collectors* that mirror the FTL, GC,
+            flash, fault and CMT counters into gauges right before each
+            snapshot, so the hot path pays nothing.  ``None`` keeps
+            metrics disabled.
+        profiler:
+            Phase profiler (see :mod:`repro.obs.profile`); threaded into
+            the FTL and GC so replay wall-clock time decomposes into
+            ``cache_access`` / ``flush`` / ``ftl`` / ``gc`` / ``read``
+            phases.  ``None`` keeps profiling disabled.
         """
         self.config = config
         self.policy = policy
@@ -122,6 +137,8 @@ class SSDController:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         if tracer is not None:
             policy.set_tracer(tracer)
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.geometry = Geometry(config)
         self.flash = FlashArray(config, self.geometry)
         self.resources = ResourceTimelines(config, self.geometry)
@@ -140,6 +157,7 @@ class SSDController:
             victim_policy=gc_victim_policy,
             tracer=self.tracer,
             faults=faults,
+            profiler=self.profiler,
         )
         if mapping_cache_bytes is None:
             self.ftl: PageFTL = PageFTL(
@@ -150,6 +168,7 @@ class SSDController:
                 self.gc,
                 tracer=self.tracer,
                 faults=faults,
+                profiler=self.profiler,
             )
         else:
             from repro.ssd.dftl import CachedMappingFTL
@@ -163,6 +182,7 @@ class SSDController:
                 mapping_cache_bytes=mapping_cache_bytes,
                 tracer=self.tracer,
                 faults=faults,
+                profiler=self.profiler,
             )
         # Cost-aware policies (ECR) may ask the device for flush
         # backlog estimates; inject the narrow feedback adapter.
@@ -171,6 +191,89 @@ class SSDController:
         #: Host pages flushed from the cache to flash (Figure 11's count;
         #: GC migrations are tracked separately in ``gc.stats``).
         self.flushed_pages = 0
+        if self.metrics.enabled:
+            policy.set_metrics(self.metrics)
+            self._register_metrics_collectors()
+
+    # ------------------------------------------------------------------
+    def _register_metrics_collectors(self) -> None:
+        """Mirror existing stats objects into gauges at snapshot time.
+
+        Everything here is cumulative state the simulator already keeps
+        (FTLStats, GCStats, FlashArray counters, FaultInjector tallies,
+        CMTStats), so the instrumented hot path is unchanged — the
+        collector reads it lazily when the sampler asks.
+        """
+        m = self.metrics
+        mapped = m.gauge("ssd.ftl.mapped_pages")
+        host_programs = m.gauge("ssd.ftl.host_programs_total")
+        host_reads = m.gauge("ssd.ftl.host_reads_total")
+        unmapped_reads = m.gauge("ssd.ftl.unmapped_reads_total")
+        gc_invocations = m.gauge("ssd.gc.invocations_total")
+        gc_erased = m.gauge("ssd.gc.blocks_erased_total")
+        gc_migrated = m.gauge("ssd.gc.pages_migrated_total")
+        gc_busy = m.gauge("ssd.gc.busy_ms_total")
+        programs = m.gauge("ssd.flash.programs_total")
+        free_blocks = m.gauge("ssd.flash.free_blocks")
+        retired_blocks = m.gauge("ssd.flash.retired_blocks")
+        flushed = m.gauge("ssd.host.flushed_pages_total")
+        backlog = m.gauge("ssd.plane.backlog_ms_max")
+        n_planes = self.config.n_planes
+
+        def collect(now: float) -> None:
+            ftl = self.ftl
+            flash = self.flash
+            mapped.set(ftl.mapped_count())
+            host_programs.set(ftl.stats.host_programs)
+            host_reads.set(ftl.stats.host_reads)
+            unmapped_reads.set(ftl.stats.unmapped_reads)
+            gc_invocations.set(self.gc.stats.invocations)
+            gc_erased.set(self.gc.stats.blocks_erased)
+            gc_migrated.set(self.gc.stats.pages_migrated)
+            gc_busy.set(self.gc.stats.busy_ms)
+            programs.set(flash.total_programs)
+            free_blocks.set(
+                sum(flash.free_block_count(p) for p in range(n_planes))
+            )
+            retired_blocks.set(len(flash.retired))
+            flushed.set(self.flushed_pages)
+            backlog.set(max(0.0, max(self.resources.plane_free) - now))
+
+        m.register_collector(collect)
+
+        if self.faults.enabled:
+            f = self.faults
+            program_fails = m.gauge("faults.program_fails_total")
+            erase_fails = m.gauge("faults.erase_fails_total")
+            retry_reads = m.gauge("faults.reads_with_retry_total")
+            retries = m.gauge("faults.read_retries_total")
+            unrecoverable = m.gauge("faults.unrecoverable_reads_total")
+            rescued = m.gauge("faults.rescued_pages_total")
+            degraded = m.gauge("faults.degraded_mode")
+
+            def collect_faults(_now: float) -> None:
+                program_fails.set(f.program_fails)
+                erase_fails.set(f.erase_fails)
+                retry_reads.set(f.reads_with_retry)
+                retries.set(f.read_retries)
+                unrecoverable.set(f.unrecoverable_reads)
+                rescued.set(f.rescued_pages)
+                degraded.set(1 if self.degraded.active else 0)
+
+            m.register_collector(collect_faults)
+
+        if hasattr(self.ftl, "cmt_stats"):
+            cmt_hits = m.gauge("ssd.cmt.hits_total")
+            cmt_misses = m.gauge("ssd.cmt.misses_total")
+            cmt_writebacks = m.gauge("ssd.cmt.writebacks_total")
+
+            def collect_cmt(_now: float) -> None:
+                stats = self.ftl.cmt_stats
+                cmt_hits.set(stats.hits)
+                cmt_misses.set(stats.misses)
+                cmt_writebacks.set(stats.writebacks)
+
+            m.register_collector(collect_cmt)
 
     # ------------------------------------------------------------------
     def submit(self, request: IORequest) -> RequestRecord:
@@ -189,7 +292,15 @@ class SSDController:
                 self.degraded.writes_rejected_pages += request.npages
                 return RequestRecord(response_ms=0.0, outcome=AccessOutcome())
             self.degraded.reads_served += 1
-        outcome = self.policy.access(request)
+        prof = self.profiler
+        if not prof.enabled:
+            outcome = self.policy.access(request)
+        else:
+            prof.start("cache_access")
+            try:
+                outcome = self.policy.access(request)
+            finally:
+                prof.stop()
 
         space_ready = now
         for batch in outcome.flushes:
@@ -204,9 +315,20 @@ class SSDController:
                 completion = max(completion, space_ready + dram_time)
         else:
             completion = now + dram_time if outcome.page_hits else now
-            for lpn in outcome.read_miss_lpns:
-                op = self.ftl.read_page(lpn, now)
-                completion = max(completion, op.end)
+            if not outcome.read_miss_lpns:
+                pass
+            elif not prof.enabled:
+                for lpn in outcome.read_miss_lpns:
+                    op = self.ftl.read_page(lpn, now)
+                    completion = max(completion, op.end)
+            else:
+                prof.start("read")
+                try:
+                    for lpn in outcome.read_miss_lpns:
+                        op = self.ftl.read_page(lpn, now)
+                        completion = max(completion, op.end)
+                finally:
+                    prof.stop()
         return RequestRecord(response_ms=completion - now, outcome=outcome)
 
     # ------------------------------------------------------------------
@@ -214,8 +336,21 @@ class SSDController:
         """Program a flush batch; returns when its data has left DRAM.
 
         The cell programs keep their planes busy beyond the returned
-        instant; only the bus transfers gate cache-space reuse.
+        instant; only the bus transfers gate cache-space reuse.  The
+        work accumulates under the ``"flush"`` profile phase; the flash
+        programs inside nest under ``"ftl"`` (and any triggered GC under
+        ``"gc"``), so flush self-time is the batch bookkeeping only.
         """
+        prof = self.profiler
+        if not prof.enabled:
+            return self._flush_impl(batch, now)
+        prof.start("flush")
+        try:
+            return self._flush_impl(batch, now)
+        finally:
+            prof.stop()
+
+    def _flush_impl(self, batch: FlushBatch, now: float) -> float:
         if not batch.lpns:
             return now
         if self.degraded.active:

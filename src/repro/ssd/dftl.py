@@ -84,9 +84,17 @@ class CachedMappingFTL(PageFTL):
         mapping_cache_bytes: int = 1 << 20,
         tracer=None,
         faults=None,
+        profiler=None,
     ) -> None:
         super().__init__(
-            config, geometry, flash, resources, gc, tracer=tracer, faults=faults
+            config,
+            geometry,
+            flash,
+            resources,
+            gc,
+            tracer=tracer,
+            faults=faults,
+            profiler=profiler,
         )
         require_positive(mapping_cache_bytes, "mapping_cache_bytes")
         self.entries_per_tp = config.page_size_bytes // MAPPING_ENTRY_BYTES

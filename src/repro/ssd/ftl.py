@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.faults.injector import MAX_PROGRAM_ATTEMPTS, NULL_FAULTS
 from repro.obs.events import FlashWrite, GcMigrate
+from repro.obs.profile import NULL_PROFILER, PhaseProfiler
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.ssd.config import SSDConfig
 from repro.ssd.flash import FlashArray
@@ -60,6 +61,7 @@ class PageFTL:
         "stats",
         "tracer",
         "faults",
+        "profiler",
         "_map",
         "_rmap",
         "_alloc_order",
@@ -75,6 +77,7 @@ class PageFTL:
         gc: GarbageCollector,
         tracer: Optional[Tracer] = None,
         faults: "FaultInjector | None" = None,
+        profiler: "PhaseProfiler | None" = None,
     ) -> None:
         self.config = config
         self.geometry = geometry
@@ -85,6 +88,10 @@ class PageFTL:
         #: Fault injector hook (see :mod:`repro.faults`); the disabled
         #: default costs one attribute load + branch per flash op.
         self.faults = faults if faults is not None else NULL_FAULTS
+        #: Phase profiler; host programs/reads accumulate under the
+        #: ``"ftl"`` phase (GC time nested within is excluded from its
+        #: self time).
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.stats = FTLStats()
         self._map: Dict[int, int] = {}
         self._rmap: Dict[int, int] = {}
@@ -152,6 +159,18 @@ class PageFTL:
         returned end time does *not* include GC — GC is background work
         that occupies the plane timeline and delays later operations.
         """
+        prof = self.profiler
+        if not prof.enabled:
+            return self._write_page_impl(lpn, now, plane)
+        prof.start("ftl")
+        try:
+            return self._write_page_impl(lpn, now, plane)
+        finally:
+            prof.stop()
+
+    def _write_page_impl(
+        self, lpn: int, now: float, plane: Optional[int] = None
+    ) -> OpTimes:
         target_plane = self._next_plane() if plane is None else plane
         # Allocation precedes invalidation of the old copy so that an
         # out-of-space failure leaves the mapping untouched (the write
@@ -188,6 +207,16 @@ class PageFTL:
         a real flash read on a deterministic pseudo-location — the data
         exists on the device even though this replay never wrote it.
         """
+        prof = self.profiler
+        if not prof.enabled:
+            return self._read_page_impl(lpn, now)
+        prof.start("ftl")
+        try:
+            return self._read_page_impl(lpn, now)
+        finally:
+            prof.stop()
+
+    def _read_page_impl(self, lpn: int, now: float) -> OpTimes:
         ppn = self._map.get(lpn)
         if ppn is None:
             self.stats.unmapped_reads += 1

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.faults.injector import NULL_FAULTS
 from repro.obs.events import GcErase
+from repro.obs.profile import NULL_PROFILER, PhaseProfiler
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.ssd.config import SSDConfig
 from repro.ssd.flash import FlashArray, FlashOutOfSpace
@@ -70,6 +71,7 @@ class GarbageCollector:
         "stats",
         "tracer",
         "faults",
+        "profiler",
         "_wear_aware",
         "victim_policy",
     )
@@ -84,6 +86,7 @@ class GarbageCollector:
         victim_policy: str = "greedy",
         tracer: "Tracer | None" = None,
         faults: "FaultInjector | None" = None,
+        profiler: "PhaseProfiler | None" = None,
     ) -> None:
         if victim_policy not in VICTIM_POLICIES:
             raise ValueError(
@@ -97,6 +100,9 @@ class GarbageCollector:
         self.stats = GCStats()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.faults = faults if faults is not None else NULL_FAULTS
+        #: Phase profiler (see :mod:`repro.obs.profile`); GC time is
+        #: accumulated under the ``"gc"`` phase.
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         self._wear_aware = wear_aware
         self.victim_policy = victim_policy
 
@@ -165,6 +171,16 @@ class GarbageCollector:
 
     def collect(self, ftl: "PageFTL", plane: int, now: float) -> float:
         """Collect blocks until the plane recovers to the low watermark."""
+        prof = self.profiler
+        if not prof.enabled:
+            return self._collect_impl(ftl, plane, now)
+        prof.start("gc")
+        try:
+            return self._collect_impl(ftl, plane, now)
+        finally:
+            prof.stop()
+
+    def _collect_impl(self, ftl: "PageFTL", plane: int, now: float) -> float:
         self.stats.invocations += 1
         t = now
         start = now

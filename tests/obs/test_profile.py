@@ -1,0 +1,125 @@
+"""Unit tests for the scoped phase profiler (deterministic fake clock)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.profile import (
+    NULL_PROFILER,
+    PhaseProfiler,
+    format_profile_rows,
+)
+
+
+class FakeClock:
+    """A controllable perf_counter substitute (seconds)."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestPhaseProfiler:
+    def test_flat_phase(self, clock):
+        prof = PhaseProfiler(clock=clock)
+        prof.start("gc")
+        clock.advance(2.0)
+        prof.stop()
+        st = prof.stats["gc"]
+        assert st.calls == 1
+        assert st.total_s == 2.0
+        assert st.self_s == 2.0
+
+    def test_nested_self_time_excludes_children(self, clock):
+        prof = PhaseProfiler(clock=clock)
+        prof.start("flush")
+        clock.advance(1.0)
+        prof.start("ftl")
+        clock.advance(3.0)
+        prof.stop()
+        clock.advance(0.5)
+        prof.stop()
+        assert prof.stats["flush"].total_s == 4.5
+        assert prof.stats["flush"].self_s == 1.5
+        assert prof.stats["ftl"].total_s == 3.0
+        assert prof.stats["ftl"].self_s == 3.0
+        assert prof.depth == 0
+
+    def test_same_name_nesting_double_counts_total(self, clock):
+        """Recursive phases double-count total (documented: call sites
+        avoid wrapping a phase inside itself); self time stays correct."""
+        prof = PhaseProfiler(clock=clock)
+        prof.start("ftl")
+        prof.start("ftl")
+        clock.advance(1.0)
+        prof.stop()
+        prof.stop()
+        st = prof.stats["ftl"]
+        assert st.calls == 2
+        assert st.self_s == 1.0
+
+    def test_context_manager_exception_safe(self, clock):
+        prof = PhaseProfiler(clock=clock)
+        with pytest.raises(RuntimeError):
+            with prof.phase("gc"):
+                clock.advance(1.0)
+                raise RuntimeError("boom")
+        assert prof.stats["gc"].calls == 1
+        assert prof.depth == 0
+
+    def test_merge(self, clock):
+        a = PhaseProfiler(clock=clock)
+        b = PhaseProfiler(clock=clock)
+        with a.phase("gc"):
+            clock.advance(1.0)
+        with b.phase("gc"):
+            clock.advance(2.0)
+        with b.phase("ftl"):
+            clock.advance(4.0)
+        a.merge(b)
+        assert a.stats["gc"].calls == 2
+        assert a.stats["gc"].total_s == 3.0
+        assert a.stats["ftl"].total_s == 4.0
+
+    def test_as_dict_in_milliseconds(self, clock):
+        prof = PhaseProfiler(clock=clock)
+        with prof.phase("read"):
+            clock.advance(0.25)
+        d = prof.as_dict()
+        assert d["read"] == {"calls": 1.0, "total_ms": 250.0, "self_ms": 250.0}
+
+
+class TestFormatProfileRows:
+    def test_sorted_by_self_desc_with_percent(self):
+        profile = {
+            "a": {"calls": 1.0, "total_ms": 10.0, "self_ms": 2.0},
+            "b": {"calls": 2.0, "total_ms": 8.0, "self_ms": 8.0},
+        }
+        rows = format_profile_rows(profile)
+        assert [r[0] for r in rows] == ["b", "a"]
+        assert rows[0][4] == pytest.approx(80.0)
+        assert rows[1][4] == pytest.approx(20.0)
+
+    def test_empty_profile(self):
+        assert format_profile_rows({}) == []
+
+
+class TestNullProfiler:
+    def test_disabled_and_inert(self):
+        assert not NULL_PROFILER.enabled
+        with NULL_PROFILER.phase("anything"):
+            pass
+        NULL_PROFILER.start("x")
+        NULL_PROFILER.stop()
+        assert NULL_PROFILER.as_dict() == {}
+        assert NULL_PROFILER.report_rows() == []

@@ -107,6 +107,91 @@ class TestCommands:
             assert name in out
 
 
+class TestMetricsCli:
+    def test_replay_metrics_out_jsonl(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "metrics.jsonl"
+        rc = main(
+            ["replay", "ts_0", "--scale", SCALE, "--metrics-out", str(out_path),
+             "--sample-interval", "1000"]
+        )
+        assert rc == 0
+        assert "metric snapshots" in capsys.readouterr().out
+        snaps = [json.loads(line) for line in out_path.read_text().splitlines()]
+        assert len(snaps) >= 2
+        assert snaps[0]["index"] == 0.0
+        assert "cache.page_hits_total" in snaps[-1]
+        assert "ssd.flash.programs_total" in snaps[-1]
+
+    def test_replay_metrics_prom_format(self, tmp_path, capsys):
+        out_path = tmp_path / "metrics.prom"
+        rc = main(
+            ["replay", "ts_0", "--scale", SCALE, "--metrics-out", str(out_path),
+             "--metrics-format", "prom"]
+        )
+        assert rc == 0
+        text = out_path.read_text()
+        assert "# TYPE repro_cache_page_hits_total counter" in text
+        assert "repro_ssd_flash_programs_total" in text
+
+    def test_metrics_subcommand_round_trip(self, tmp_path, capsys):
+        out_path = tmp_path / "metrics.jsonl"
+        assert main(
+            ["replay", "ts_0", "--scale", SCALE, "--metrics-out", str(out_path),
+             "--sample-interval", "1000"]
+        ) == 0
+        capsys.readouterr()
+        rc = main(["metrics", str(out_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "snapshots" in out
+        assert "cache.page_hits_total" in out
+
+    def test_metrics_subcommand_filter(self, tmp_path, capsys):
+        out_path = tmp_path / "metrics.jsonl"
+        assert main(
+            ["replay", "ts_0", "--scale", SCALE, "--metrics-out", str(out_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["metrics", str(out_path), "--filter", "gc"]) == 0
+        out = capsys.readouterr().out
+        assert "ssd.gc.invocations_total" in out
+        assert "cache.page_hits_total" not in out
+
+    def test_metrics_subcommand_empty_file(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["metrics", str(empty)]) == 1
+        assert "no metric snapshots" in capsys.readouterr().err
+
+    def test_replay_profile_flag(self, capsys):
+        rc = main(["replay", "ts_0", "--scale", SCALE, "--profile"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Phase" in out
+        assert "cache_access" in out
+        assert "ftl" in out
+
+    def test_compare_profile_flag(self, capsys):
+        rc = main(
+            ["compare", "ts_0", "--scale", SCALE, "--policies", "lru",
+             "--profile"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "phase profile: lru" in out
+        assert "cache_access" in out
+
+    def test_default_replay_output_has_no_wallclock(self, capsys):
+        """Without --profile, replay output must stay deterministic (the
+        CI faults job diffs two runs byte for byte)."""
+        main(["replay", "ts_0", "--scale", SCALE])
+        first = capsys.readouterr().out
+        main(["replay", "ts_0", "--scale", SCALE])
+        assert capsys.readouterr().out == first
+
+
 class TestAnalyze:
     def test_analyze_workload(self, capsys):
         rc = main(["analyze", "ts_0", "--scale", SCALE])

@@ -1,45 +1,55 @@
 #!/usr/bin/env python3
 """Profile a replay run (the guides' rule: no optimisation without measuring).
 
-Runs one (workload, policy) replay under cProfile and prints the top
-functions by cumulative time, so hot-path regressions are visible before
-they eat a full-scale benchmark run.
+Two engines:
+
+* ``phase`` (default): the simulator's own scoped phase profiler
+  (:mod:`repro.obs.profile`) — wall-clock self/total time per model
+  phase (replay / cache_access / flush / ftl / gc / read).  Near-zero
+  distortion and the table maps directly onto the simulator's structure,
+  so it is the first stop for "where did the time go".
+* ``cprofile``: the stdlib function-level profiler — much higher
+  overhead, but resolves hotspots *within* a phase down to functions.
 
 Usage:
     python tools/profile_replay.py [--workload src1_2] [--policy reqblock]
                                    [--scale 0.03125] [--cache-mb 16]
-                                   [--cache-only] [--sort tottime]
+                                   [--cache-only] [--engine phase|cprofile]
+                                   [--sort tottime] [--top 25]
 """
 
 from __future__ import annotations
 
 import argparse
-import cProfile
-import pstats
 import sys
 
 from repro.sim.replay import ReplayConfig, replay_cache_only, replay_trace
 from repro.traces.workloads import WORKLOAD_ORDER, get_workload, scaled_cache_bytes
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--workload", default="src1_2", choices=WORKLOAD_ORDER)
-    parser.add_argument("--policy", default="reqblock")
-    parser.add_argument("--scale", type=float, default=1 / 32)
-    parser.add_argument("--cache-mb", type=int, default=16)
-    parser.add_argument("--cache-only", action="store_true")
-    parser.add_argument("--sort", default="cumulative",
-                        choices=["cumulative", "tottime", "ncalls"])
-    parser.add_argument("--top", type=int, default=25)
-    args = parser.parse_args()
+def _run_phase(runner, trace, config: ReplayConfig, args) -> int:
+    from repro.obs.profile import format_profile_rows
+    from repro.sim.report import format_table
 
-    trace = get_workload(args.workload, args.scale)
-    config = ReplayConfig(
-        policy=args.policy,
-        cache_bytes=scaled_cache_bytes(args.cache_mb, args.scale),
+    config.profile = True
+    metrics = runner(trace, config)
+    print(
+        f"{args.workload}/{args.policy}: {metrics.n_requests} requests, "
+        f"hit {metrics.hit_ratio:.3f}\n"
     )
-    runner = replay_cache_only if args.cache_only else replay_trace
+    rows = [
+        (phase, calls, f"{total:.1f}", f"{self_ms:.1f}", f"{pct:.1f}")
+        for phase, calls, total, self_ms, pct in format_profile_rows(
+            metrics.phase_profile
+        )
+    ]
+    print(format_table(("Phase", "Calls", "Total(ms)", "Self(ms)", "Self%"), rows))
+    return 0
+
+
+def _run_cprofile(runner, trace, config: ReplayConfig, args) -> int:
+    import cProfile
+    import pstats
 
     profiler = cProfile.Profile()
     profiler.enable()
@@ -53,6 +63,36 @@ def main() -> int:
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
     return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="src1_2", choices=WORKLOAD_ORDER)
+    parser.add_argument("--policy", default="reqblock")
+    parser.add_argument("--scale", type=float, default=1 / 32)
+    parser.add_argument("--cache-mb", type=int, default=16)
+    parser.add_argument("--cache-only", action="store_true")
+    parser.add_argument("--engine", default="phase",
+                        choices=["phase", "cprofile"],
+                        help="phase: the simulator's scoped phase profiler "
+                             "(default); cprofile: stdlib function profiler")
+    parser.add_argument("--sort", default="cumulative",
+                        choices=["cumulative", "tottime", "ncalls"],
+                        help="cprofile engine only")
+    parser.add_argument("--top", type=int, default=25,
+                        help="cprofile engine only")
+    args = parser.parse_args()
+
+    trace = get_workload(args.workload, args.scale)
+    config = ReplayConfig(
+        policy=args.policy,
+        cache_bytes=scaled_cache_bytes(args.cache_mb, args.scale),
+    )
+    runner = replay_cache_only if args.cache_only else replay_trace
+
+    if args.engine == "phase":
+        return _run_phase(runner, trace, config, args)
+    return _run_cprofile(runner, trace, config, args)
 
 
 if __name__ == "__main__":

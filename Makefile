@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test coverage bench bench-full examples figures clean
+.PHONY: install test coverage bench bench-full bench-check examples figures lint typecheck clean
 
 install:
 	pip install -e .[dev]
@@ -17,8 +17,29 @@ test-fast:
 coverage:
 	$(PYTHON) -m pytest tests/ -q --cov=repro --cov-report=term-missing --cov-fail-under=75
 
+# Static checks (needs ruff/mypy: pip install -e .[dev]).  Scope is
+# src/repro — benchmarks and tests are exercised by the test jobs.
+lint:
+	ruff check src/repro
+	ruff format --check src/repro
+
+typecheck:
+	mypy src/repro
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate the throughput baseline and gate it against the committed
+# one (the same comparison the CI perf job runs; see CONTRIBUTING.md).
+# The committed baseline is stashed first because a same-day run would
+# otherwise overwrite it and compare the fresh result against itself.
+bench-check:
+	rm -rf .bench_baseline && mkdir .bench_baseline
+	cp benchmarks/results/BENCH_*.json .bench_baseline/
+	$(PYTHON) -m pytest benchmarks/test_baseline.py --benchmark-only -q
+	$(PYTHON) tools/check_bench.py --baseline .bench_baseline \
+		--fresh $$(ls -t benchmarks/results/BENCH_*.json | head -1)
+	rm -rf .bench_baseline
 
 # Full paper-scale regeneration (hours of compute).
 bench-full:

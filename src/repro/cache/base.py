@@ -233,24 +233,35 @@ class WriteBufferPolicy(CachePolicy):
             return self._access_traced(request)
         self._req_seq += 1
         outcome = AccessOutcome()
+        contains = self.contains
+        on_hit = self._on_hit
+        insert = self._insert
+        evict_one = self._evict_one
+        capacity = self.capacity_pages
+        is_write = request.is_write
+        read_misses = outcome.read_miss_lpns
+        hits = misses = inserted = 0
         for lpn in request.pages():
-            if self.contains(lpn):
-                outcome.page_hits += 1
-                self._on_hit(lpn, request)
+            if contains(lpn):
+                hits += 1
+                on_hit(lpn, request)
+            elif is_write:
+                misses += 1
+                while self._occupancy >= capacity:
+                    before = self._occupancy
+                    evict_one(outcome)
+                    if self._occupancy >= before:
+                        raise RuntimeError(
+                            f"{type(self).__name__}._evict_one freed nothing"
+                        )
+                insert(lpn, request, outcome)
+                inserted += 1
             else:
-                outcome.page_misses += 1
-                if request.is_write:
-                    while self._occupancy >= self.capacity_pages:
-                        before = self._occupancy
-                        self._evict_one(outcome)
-                        if self._occupancy >= before:
-                            raise RuntimeError(
-                                f"{type(self).__name__}._evict_one freed nothing"
-                            )
-                    self._insert(lpn, request, outcome)
-                    outcome.inserted_pages += 1
-                else:
-                    outcome.read_miss_lpns.append(lpn)
+                misses += 1
+                read_misses.append(lpn)
+        outcome.page_hits = hits
+        outcome.page_misses = misses
+        outcome.inserted_pages = inserted
         return outcome
 
     def _access_traced(self, request: IORequest) -> AccessOutcome:

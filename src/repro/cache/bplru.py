@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Set
 
 from repro.cache.base import AccessOutcome, FlushBatch, WriteBufferPolicy
-from repro.traces.model import IORequest
+from repro.traces.model import IORequest, OpType
 from repro.utils.dll import DLLNode, DoublyLinkedList
 
 __all__ = ["BPLRUCache"]
@@ -75,6 +75,79 @@ class BPLRUCache(WriteBufferPolicy):
         return len(self._blocks)
 
     # ------------------------------------------------------------------
+    def access(self, request: IORequest) -> AccessOutcome:
+        """Fused fast path: one page-index probe per page instead of the
+        template's ``contains`` + ``_on_hit`` double lookup.  Mirrors the
+        template loop exactly (the traced path still runs it); pinned by
+        the fast-path equivalence test.
+        """
+        if self.tracer.enabled:
+            return self._access_traced(request)
+        self._req_seq += 1
+        outcome = AccessOutcome()
+        page_index = self._page_index
+        index_get = page_index.get
+        blocks = self._blocks
+        blocks_get = blocks.get
+        lst = self._list
+        move_to_head = lst.move_to_head
+        push_head = lst.push_head
+        move_to_tail = lst.move_to_tail
+        evict_one = self._evict_one
+        ppb = self.pages_per_block
+        capacity = self.capacity_pages
+        is_write = request.op is OpType.WRITE
+        read_misses = outcome.read_miss_lpns
+        occ = self._occupancy
+        hits = misses = inserted = 0
+        for lpn in request.pages():
+            block = index_get(lpn)
+            if block is not None:
+                hits += 1
+                # A rewrite breaks the "written once, sequentially"
+                # pattern, so the block rejoins the MRU end.
+                block.in_order = False
+                move_to_head(block)
+            elif is_write:
+                misses += 1
+                while occ >= capacity:
+                    self._occupancy = occ
+                    evict_one(outcome)
+                    occ = self._occupancy
+                # Inlined ``_insert`` (the traced template path still
+                # runs the method; pinned by the equivalence test).
+                lbn, offset = divmod(lpn, ppb)
+                block = blocks_get(lbn)
+                if block is None:
+                    block = _BPLRUBlock(lbn)
+                    blocks[lbn] = block
+                    push_head(block)
+                else:
+                    if offset != block.last_offset + 1:
+                        block.in_order = False
+                    move_to_head(block)
+                block.pages.add(lpn)
+                block.last_offset = offset
+                page_index[lpn] = block
+                occ += 1
+                inserted += 1
+                # LRU compensation: a fully sequential block that just
+                # reached the block boundary joins the eviction end.
+                if (
+                    block.in_order
+                    and offset == ppb - 1
+                    and len(block.pages) == ppb
+                ):
+                    move_to_tail(block)
+            else:
+                misses += 1
+                read_misses.append(lpn)
+        self._occupancy = occ
+        outcome.page_hits = hits
+        outcome.page_misses = misses
+        outcome.inserted_pages = inserted
+        return outcome
+
     def _on_hit(self, lpn: int, request: IORequest) -> None:
         block = self._page_index[lpn]
         # A rewrite breaks the "written once, sequentially" pattern, so

@@ -9,12 +9,19 @@
 This module keeps the bookkeeping the policy needs on top of the raw
 lists: which level a block is on, per-level page counts (Figure 13
 plots exactly these), and O(1) cross-level moves.
+
+Membership is intrusive: the block's :class:`~repro.utils.dll.DLLNode`
+``owner`` pointer identifies its list, and each list carries its level
+and running page count.  The earlier implementation kept a side dict
+keyed by ``id(block)`` plus an enum-keyed page-count dict; both are gone
+— a cross-level move is now pure pointer surgery plus two integer adds,
+with no hashing on the hot path.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Iterator, List, Optional, Tuple
 
 from repro.core.request_block import RequestBlock
 from repro.obs.events import ListMove
@@ -32,17 +39,26 @@ class ListLevel(enum.Enum):
     DRL = "DRL"
 
 
+class _LevelList(DoublyLinkedList):
+    """One of the three lists: a DLL that knows its level and page count."""
+
+    __slots__ = ("level", "pages")
+
+    def __init__(self, level: ListLevel) -> None:
+        super().__init__(level.value)
+        self.level = level
+        self.pages = 0
+
+
 class ThreeLevelLists:
     """IRL/SRL/DRL container with per-level page accounting."""
 
-    __slots__ = ("_lists", "_level_of", "_page_counts", "_tracer", "_clock_fn")
+    __slots__ = ("_irl", "_srl", "_drl", "_tracer", "_clock_fn")
 
     def __init__(self) -> None:
-        self._lists: Dict[ListLevel, DoublyLinkedList[RequestBlock]] = {
-            level: DoublyLinkedList(level.value) for level in ListLevel
-        }
-        self._level_of: Dict[int, ListLevel] = {}  # id(block) -> level
-        self._page_counts: Dict[ListLevel, int] = {level: 0 for level in ListLevel}
+        self._irl = _LevelList(ListLevel.IRL)
+        self._srl = _LevelList(ListLevel.SRL)
+        self._drl = _LevelList(ListLevel.DRL)
         self._tracer: Tracer = NULL_TRACER
         self._clock_fn: Callable[[], int] = lambda: 0
 
@@ -55,109 +71,128 @@ class ThreeLevelLists:
         if clock_fn is not None:
             self._clock_fn = clock_fn
 
+    def _list_for(self, level: ListLevel) -> _LevelList:
+        # Identity dispatch: cheaper than an enum-keyed dict (Enum's
+        # Python-level __hash__ showed up in replay profiles).
+        if level is ListLevel.IRL:
+            return self._irl
+        if level is ListLevel.SRL:
+            return self._srl
+        return self._drl
+
+    def _all_lists(self) -> Tuple[_LevelList, _LevelList, _LevelList]:
+        return (self._irl, self._srl, self._drl)
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def level_of(self, block: RequestBlock) -> Optional[ListLevel]:
         """The list currently holding ``block`` (None if detached)."""
-        return self._level_of.get(id(block))
+        owner = block.owner
+        return owner.level if owner is not None else None  # type: ignore[union-attr]
 
     def head(self, level: ListLevel) -> Optional[RequestBlock]:
         """MRU block of ``level`` (None if empty)."""
-        return self._lists[level].head
+        return self._list_for(level).head
 
     def tail(self, level: ListLevel) -> Optional[RequestBlock]:
         """Eviction-candidate block of ``level`` (None if empty)."""
-        return self._lists[level].tail
+        return self._list_for(level).tail
 
     def tails(self) -> List[Tuple[ListLevel, RequestBlock]]:
         """Non-empty lists' tail blocks — the eviction candidates."""
         out = []
-        for level, lst in self._lists.items():
+        for lst in self._all_lists():
             if lst.tail is not None:
-                out.append((level, lst.tail))
+                out.append((lst.level, lst.tail))
         return out
 
     def blocks(self, level: ListLevel) -> Iterator[RequestBlock]:
         """Iterate ``level`` head -> tail."""
-        return iter(self._lists[level])
+        return iter(self._list_for(level))
 
     def block_count(self, level: ListLevel) -> int:
         """Request blocks currently on ``level``."""
-        return len(self._lists[level])
+        return len(self._list_for(level))
 
     def page_count(self, level: ListLevel) -> int:
         """Cached pages currently on ``level`` (Fig. 13's series)."""
-        return self._page_counts[level]
+        return self._list_for(level).pages
 
     def total_blocks(self) -> int:
         """Request blocks across all three lists."""
-        return sum(len(lst) for lst in self._lists.values())
+        return len(self._irl) + len(self._srl) + len(self._drl)
 
     def total_pages(self) -> int:
         """Cached pages across all three lists."""
-        return sum(self._page_counts.values())
+        return self._irl.pages + self._srl.pages + self._drl.pages
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     def push_head(self, level: ListLevel, block: RequestBlock) -> None:
         """Insert a block not currently on any list at ``level``'s head."""
-        self._lists[level].push_head(block)
-        self._level_of[id(block)] = level
-        self._page_counts[level] += block.page_num
+        lst = self._list_for(level)
+        lst.push_head(block)
+        lst.pages += len(block.pages)
 
     def remove(self, block: RequestBlock) -> ListLevel:
         """Detach ``block`` from whichever list holds it."""
-        level = self._level_of.pop(id(block))
-        self._lists[level].remove(block)
-        self._page_counts[level] -= block.page_num
-        return level
+        lst = block.owner
+        if lst is None:
+            raise ValueError("block is not on any list")
+        lst.remove(block)
+        lst.pages -= len(block.pages)  # type: ignore[attr-defined]
+        return lst.level  # type: ignore[union-attr]
 
     def move_to_head(self, level: ListLevel, block: RequestBlock) -> None:
         """Move ``block`` (possibly across lists) to ``level``'s head."""
-        current = self._level_of.get(id(block))
+        lst = self._list_for(level)
+        owner = block.owner
         if self._tracer.enabled:
+            if owner is None:
+                from_level = ""
+            else:
+                from_level = owner.level.value  # type: ignore[union-attr]
             self._tracer.emit(
                 ListMove(
                     self._clock_fn(),
                     block.req_id,
-                    current.value if current is not None else "",
+                    from_level,
                     level.value,
-                    block.page_num,
+                    len(block.pages),
                 )
             )
-        if current == level:
-            self._lists[level].move_to_head(block)
+        if owner is lst:
+            lst.move_to_head(block)
             return
-        self.remove(block)
-        self.push_head(level, block)
+        if owner is not None:
+            n = len(block.pages)
+            owner.remove(block)
+            owner.pages -= n  # type: ignore[attr-defined]
+        lst.push_head(block)
+        lst.pages += len(block.pages)
 
     def note_page_added(self, block: RequestBlock) -> None:
         """Adjust the page count after a page joined ``block`` in place."""
-        level = self._level_of[id(block)]
-        self._page_counts[level] += 1
+        block.owner.pages += 1  # type: ignore[union-attr]
 
     def note_page_removed(self, block: RequestBlock) -> None:
         """Adjust the page count after a page left ``block`` in place."""
-        level = self._level_of[id(block)]
-        self._page_counts[level] -= 1
+        block.owner.pages -= 1  # type: ignore[union-attr]
 
     # ------------------------------------------------------------------
     def validate(self) -> None:
         """Structural invariants: list membership and page counts agree."""
-        seen = 0
-        for level, lst in self._lists.items():
+        for lst in self._all_lists():
             lst.validate()
             pages = 0
             for block in lst:
-                assert self._level_of.get(id(block)) == level, (
-                    f"block {block!r} in {level} list but level_of disagrees"
+                assert block.owner is lst, (
+                    f"block {block!r} in {lst.level} list but owner disagrees"
                 )
-                assert block.page_num > 0, f"empty block retained on {level}"
+                assert block.page_num > 0, f"empty block retained on {lst.level}"
                 pages += block.page_num
-                seen += 1
-            assert pages == self._page_counts[level], (
-                f"{level}: counted {pages} pages, cached {self._page_counts[level]}"
+            assert pages == lst.pages, (
+                f"{lst.level}: counted {pages} pages, cached {lst.pages}"
             )
-        assert seen == len(self._level_of), "level_of has stale entries"

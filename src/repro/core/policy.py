@@ -30,7 +30,7 @@ from repro.core.multilist import ListLevel, ThreeLevelLists
 from repro.core.request_block import RequestBlock
 from repro.obs.events import CacheHit, CacheMiss, DowngradeMerge, Evict, Insert, Split
 from repro.obs.tracer import Tracer
-from repro.traces.model import IORequest
+from repro.traces.model import IORequest, OpType
 from repro.utils.validation import require_positive
 
 __all__ = ["ReqBlockCache", "DEFAULT_DELTA"]
@@ -164,21 +164,73 @@ class ReqBlockCache(CachePolicy):
         outcome = AccessOutcome()
         req_id = self._req_seq
         self._req_seq += 1
+        index = self._index
+        index_get = index.get
+        split_hit = self._split_hit
+        evict = self._evict
+        capacity = self.capacity_pages
+        is_write = request.op is OpType.WRITE
+        read_misses = outcome.read_miss_lpns
+        # The small-block hit promotion and the IRL insertion are
+        # inlined below (``_handle_hit``/``_insert`` still serve the
+        # traced mirror loop); both lists' ops are bound once.  The
+        # lists' tracer is the policy's tracer, which this path already
+        # checked is disabled, so the ListMove emission is skipped.
+        lists = self.lists
+        irl = lists._irl
+        irl_push = irl.push_head
+        srl = lists._srl
+        srl_move = srl.move_to_head
+        srl_push = srl.push_head
+        delta = self.delta
+        split_large = self.split_large_hits
+        refresh_age = self.refresh_age_on_promote
+        hits = misses = inserted = 0
+        clock = self._clock
         for lpn in request.pages():
-            self._clock += 1
-            block = self._index.get(lpn)
+            clock += 1
+            self._clock = clock
+            block = index_get(lpn)
             if block is not None:
-                outcome.page_hits += 1
-                self._handle_hit(lpn, block, req_id)
-            else:
-                outcome.page_misses += 1
-                if request.is_write:
-                    while len(self._index) >= self.capacity_pages:
-                        self._evict(outcome)
-                    self._insert(lpn, req_id)
-                    outcome.inserted_pages += 1
+                hits += 1
+                block.access_cnt += 1
+                if len(block.pages) <= delta or not split_large:
+                    # Small block (or no-split ablation): promote whole
+                    # to SRL (inlined ThreeLevelLists.move_to_head).
+                    if refresh_age:
+                        block.t_insert = clock
+                    owner = block.owner
+                    if owner is srl:
+                        srl_move(block)
+                    else:
+                        if owner is not None:
+                            n = len(block.pages)
+                            owner.remove(block)
+                            owner.pages -= n
+                        srl_push(block)
+                        srl.pages += len(block.pages)
                 else:
-                    outcome.read_miss_lpns.append(lpn)
+                    split_hit(lpn, block, req_id)
+            elif is_write:
+                misses += 1
+                while len(index) >= capacity:
+                    evict(outcome)
+                # Inlined ``_insert``: join the current request's IRL
+                # head block, or open a new one.
+                head = irl._head
+                if head is None or head.req_id != req_id:
+                    head = RequestBlock(req_id, clock)
+                    irl_push(head)
+                head.pages.add(lpn)
+                irl.pages += 1
+                index[lpn] = head
+                inserted += 1
+            else:
+                misses += 1
+                read_misses.append(lpn)
+        outcome.page_hits = hits
+        outcome.page_misses = misses
+        outcome.inserted_pages = inserted
         return outcome
 
     def _access_traced(self, request: IORequest) -> AccessOutcome:
@@ -220,12 +272,16 @@ class ReqBlockCache(CachePolicy):
     # ------------------------------------------------------------------
     def _handle_hit(self, lpn: int, block: RequestBlock, req_id: int) -> None:
         block.access_cnt += 1
-        if block.page_num <= self.delta or not self.split_large_hits:
+        if len(block.pages) <= self.delta or not self.split_large_hits:
             # Small block (or no-split ablation): promote whole to SRL.
             if self.refresh_age_on_promote:
                 block.t_insert = self._clock
             self.lists.move_to_head(ListLevel.SRL, block)
             return
+        self._split_hit(lpn, block, req_id)
+
+    def _split_hit(self, lpn: int, block: RequestBlock, req_id: int) -> None:
+        lists = self.lists
         # Large block: extract the hit page into the DRL head block of
         # the current request (creating it if this request has none yet).
         if self.tracer.enabled:
@@ -233,18 +289,18 @@ class ReqBlockCache(CachePolicy):
         if self._m_splits is not None:
             self._m_splits.inc()
         block.pages.discard(lpn)
-        self.lists.note_page_removed(block)
-        if block.page_num == 0:
-            self.lists.remove(block)
-        target = self.lists.head(ListLevel.DRL)
+        lists.note_page_removed(block)
+        if not block.pages:
+            lists.remove(block)
+        target = lists.head(ListLevel.DRL)
         if target is None or target.req_id != req_id:
             target = RequestBlock(req_id, self._clock)
-            target.origin = block if block.page_num > 0 else block.origin
-            self.lists.push_head(ListLevel.DRL, target)
+            target.origin = block if block.pages else block.origin
+            lists.push_head(ListLevel.DRL, target)
         else:
             target.access_cnt += 1
         target.pages.add(lpn)
-        self.lists.note_page_added(target)
+        lists.note_page_added(target)
         self._index[lpn] = target
 
     # ------------------------------------------------------------------
@@ -263,16 +319,17 @@ class ReqBlockCache(CachePolicy):
     # Eviction (§3.3)
     # ------------------------------------------------------------------
     def _select_victim(self) -> RequestBlock:
-        candidates = self.lists.tails()
-        assert candidates, "evict called on empty cache"
+        clock = self._clock
         best: Optional[RequestBlock] = None
         best_freq = float("inf")
-        for _level, block in candidates:
-            f = block.frequency(self._clock)
-            if f < best_freq:
-                best_freq = f
-                best = block
-        assert best is not None
+        for lst in self.lists._all_lists():
+            block = lst.tail
+            if block is not None:
+                f = block.frequency(clock)
+                if f < best_freq:
+                    best_freq = f
+                    best = block
+        assert best is not None, "evict called on empty cache"
         return best
 
     def _evict(self, outcome: AccessOutcome) -> None:

@@ -135,10 +135,8 @@ class InvariantChecker:
         if kind == "gc_erase":
             self._check_erase_monotone(event)
             if event.block in self._retired:  # type: ignore[union-attr]
-                self._fail(
-                    f"retired block {event.block} was erased",  # type: ignore[union-attr]
-                    event,
-                )
+                block = event.block  # type: ignore[union-attr]
+                self._fail(f"retired block {block} was erased", event)
         elif kind == "block_retired":
             self._check_block_retired(event)
         elif self._retired and kind in ("flash_write", "gc_migrate"):

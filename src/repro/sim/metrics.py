@@ -20,7 +20,7 @@ from repro.cache.base import AccessOutcome
 from repro.faults.report import DurabilityReport
 from repro.obs.metrics import DEFAULT_SAMPLE_INTERVAL, MetricsRegistry
 from repro.ssd.controller import RequestRecord
-from repro.traces.model import IORequest
+from repro.traces.model import IORequest, OpType
 from repro.utils.stats import Histogram, RatioCounter, ReservoirQuantiles, RunningStats
 
 __all__ = ["MetricsRecorder", "ReplayMetrics"]
@@ -108,7 +108,7 @@ class MetricsRecorder:
         """Fold one serviced request into the instruments."""
         outcome = record.outcome
         self.n_requests += 1
-        if request.is_read:
+        if request.op is OpType.READ:
             self.n_reads += 1
         else:
             self.n_writes += 1
@@ -194,24 +194,77 @@ class ReplayMetrics:
 
     # ------------------------------------------------------------------
     def record(self, request: IORequest, record: RequestRecord) -> None:
-        """Fold one serviced request into the aggregates."""
+        """Fold one serviced request into the aggregates.
+
+        The :class:`RunningStats` / :class:`ReservoirQuantiles` updates
+        are inlined (same statements, same order as their ``add``
+        methods — each accumulator's float-op sequence is unchanged, so
+        the results stay bit-identical); this method runs once per
+        request and the call overhead was visible in replay profiles.
+        """
         outcome = record.outcome
+        x = record.response_ms
+        hits = outcome.page_hits
+        total = hits + outcome.page_misses
         self.n_requests += 1
-        self.pages.hits += outcome.page_hits
-        self.pages.total += outcome.total_pages
-        if request.is_read:
-            self.read_pages.hits += outcome.page_hits
-            self.read_pages.total += outcome.total_pages
-            self.read_response_ms.add(record.response_ms)
+        pages = self.pages
+        pages.hits += hits
+        pages.total += total
+        if request.op is OpType.READ:
+            side = self.read_pages
+            rs = self.read_response_ms
         else:
-            self.write_pages.hits += outcome.page_hits
-            self.write_pages.total += outcome.total_pages
-            self.write_response_ms.add(record.response_ms)
-        self.response_ms.add(record.response_ms)
-        self.response_quantiles.add(record.response_ms)
-        for batch in outcome.flushes:
-            if batch.lpns:
-                self.eviction_hist.add(len(batch.lpns))
+            side = self.write_pages
+            rs = self.write_response_ms
+        side.hits += hits
+        side.total += total
+        # Inlined RunningStats.add — per-side response stream.
+        rs.count = n = rs.count + 1
+        rs.total += x
+        mean = rs._mean
+        delta = x - mean
+        mean += delta / n
+        rs._mean = mean
+        rs._m2 += delta * (x - mean)
+        if x < rs.min:
+            rs.min = x
+        if x > rs.max:
+            rs.max = x
+        # Inlined RunningStats.add — overall response stream.
+        rs = self.response_ms
+        rs.count = n = rs.count + 1
+        rs.total += x
+        mean = rs._mean
+        delta = x - mean
+        mean += delta / n
+        rs._mean = mean
+        rs._m2 += delta * (x - mean)
+        if x < rs.min:
+            rs.min = x
+        if x > rs.max:
+            rs.max = x
+        # Inlined ReservoirQuantiles.add (same seeded LCG stepping).
+        rq = self.response_quantiles
+        rq.count = n = rq.count + 1
+        samples = rq._samples
+        if len(samples) < rq.capacity:
+            samples.append(x)
+        else:
+            rq._state = state = (rq._state * 0x5DEECE66D + 0xB) & 0xFFFFFFFFFFFF
+            j = (state >> 16) % n
+            if j < rq.capacity:
+                samples[j] = x
+        flushes = outcome.flushes
+        if flushes:
+            # Inlined Histogram.add — LRU emits one single-page batch
+            # per evicted page, so this runs ~3x per request there.
+            buckets = self.eviction_hist._buckets
+            buckets_get = buckets.get
+            for batch in flushes:
+                lpns = batch.lpns
+                if lpns:
+                    k = len(lpns)
+                    buckets[k] = buckets_get(k, 0.0) + 1.0
 
     # ------------------------------------------------------------------
     # Derived figures

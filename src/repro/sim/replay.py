@@ -205,20 +205,32 @@ def replay_trace(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
     power_report = None
     last_index, last_time = -1, 0.0
 
+    # Hoist per-iteration lookups out of the replay loop: the loop body
+    # runs once per request, and the config fields and bound methods are
+    # loop-invariant.
+    warmup = config.warmup_requests
+    power_loss_at = config.power_loss_at
+    sample_interval = config.sample_interval
+    submit = controller.submit
+    record_metrics = metrics.record
+    metadata_add = metrics.metadata_bytes.add
+    policy_metadata_bytes = policy.metadata_bytes
+
     if profiler.enabled:
         profiler.start("replay")
     try:
         for i, request in enumerate(trace):
-            if config.warmup_requests and i == config.warmup_requests:
+            if warmup and i == warmup:
                 # Exclude warmup traffic from the flash counters.
                 base_flush = controller.flushed_pages
                 base_migrated = controller.gc.stats.pages_migrated
                 base_erases = controller.gc.stats.blocks_erased
                 base_programs = controller.total_flash_writes
-            last_index, last_time = i, request.time
+            last_index = i
+            last_time = request.time
             try:
-                record = controller.submit(request)
-                if config.power_loss_at is not None and i == config.power_loss_at:
+                record = submit(request)
+                if power_loss_at is not None and i == power_loss_at:
                     power_report = inject_power_loss(
                         controller,
                         request.time,
@@ -230,15 +242,15 @@ def replay_trace(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
                 metrics.aborted_reason = str(exc)
                 metrics.aborted_at_request = i
                 break
-            if i < config.warmup_requests:
+            if i < warmup:
                 continue
-            metrics.record(request, record)
+            record_metrics(request, record)
             if recorder is not None:
                 recorder.record(request, record)
                 sampler.maybe_sample(i, request.time)
-            if i % METADATA_SAMPLE_INTERVAL == 0:
-                metrics.metadata_bytes.add(policy.metadata_bytes())
-            if track_lists and i % config.sample_interval == 0 and i > 0:
+            if not i % METADATA_SAMPLE_INTERVAL:
+                metadata_add(policy_metadata_bytes())
+            if track_lists and not i % sample_interval and i > 0:
                 metrics.list_log.append((i, policy.list_page_counts()))
 
         if config.drain_at_end and len(trace) and not metrics.aborted:
@@ -311,30 +323,40 @@ def replay_cache_only(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
     flushed = 0
     last_index, last_time = -1, 0.0
 
-    if profiler.enabled:
+    # Loop-invariant hoisting, as in ``replay_trace``.
+    warmup = config.warmup_requests
+    sample_interval = config.sample_interval
+    access = policy.access
+    record_metrics = metrics.record
+    metadata_add = metrics.metadata_bytes.add
+    policy_metadata_bytes = policy.metadata_bytes
+    profiled = profiler.enabled
+
+    if profiled:
         profiler.start("replay")
     try:
         for i, request in enumerate(trace):
-            last_index, last_time = i, request.time
-            if not profiler.enabled:
-                outcome = policy.access(request)
+            last_index = i
+            last_time = request.time
+            if not profiled:
+                outcome = access(request)
             else:
                 profiler.start("cache_access")
                 try:
-                    outcome = policy.access(request)
+                    outcome = access(request)
                 finally:
                     profiler.stop()
-            if i < config.warmup_requests:
+            if i < warmup:
                 continue
             record = RequestRecord(response_ms=0.0, outcome=outcome)
-            metrics.record(request, record)
+            record_metrics(request, record)
             if recorder is not None:
                 recorder.record(request, record)
                 sampler.maybe_sample(i, request.time)
             flushed += outcome.flushed_pages
-            if i % METADATA_SAMPLE_INTERVAL == 0:
-                metrics.metadata_bytes.add(policy.metadata_bytes())
-            if track_lists and i % config.sample_interval == 0 and i > 0:
+            if not i % METADATA_SAMPLE_INTERVAL:
+                metadata_add(policy_metadata_bytes())
+            if track_lists and not i % sample_interval and i > 0:
                 metrics.list_log.append((i, policy.list_page_counts()))
     finally:
         if profiler.enabled:

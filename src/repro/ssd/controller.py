@@ -24,8 +24,7 @@ array.  Service semantics (see DESIGN.md §5):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, NamedTuple
 
 from repro.cache.base import AccessOutcome, CachePolicy, FlushBatch
 from repro.faults.degraded import DegradedMode
@@ -41,7 +40,7 @@ from repro.ssd.ftl import PageFTL
 from repro.ssd.gc import GarbageCollector
 from repro.ssd.geometry import Geometry
 from repro.ssd.resources import ResourceTimelines
-from repro.traces.model import IORequest
+from repro.traces.model import IORequest, OpType
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultInjector
@@ -70,9 +69,13 @@ class _BacklogFeedback:
         return max(0.0, c.resources.plane_free[plane] - c._now)
 
 
-@dataclass(frozen=True, slots=True)
-class RequestRecord:
-    """Timing and cache outcome of one serviced request."""
+class RequestRecord(NamedTuple):
+    """Timing and cache outcome of one serviced request.
+
+    A ``NamedTuple`` rather than a frozen dataclass: one is built per
+    submitted request, and tuple construction skips the frozen
+    dataclass's ``object.__setattr__`` init entirely.
+    """
 
     response_ms: float
     outcome: AccessOutcome
@@ -184,6 +187,16 @@ class SSDController:
                 faults=faults,
                 profiler=self.profiler,
             )
+        # Flush-loop write entry point: the profiler wrapper in
+        # ``PageFTL.write_page`` costs a call + branch per flushed page,
+        # so when profiling is off — and the FTL is exactly the base
+        # class (CachedMappingFTL overrides ``write_page`` to charge
+        # translation misses, which must not be bypassed) — bind the
+        # implementation directly.
+        if type(self.ftl) is PageFTL and not self.profiler.enabled:
+            self._write_page = self.ftl._write_page_impl
+        else:
+            self._write_page = self.ftl.write_page
         # Cost-aware policies (ECR) may ask the device for flush
         # backlog estimates; inject the narrow feedback adapter.
         if hasattr(policy, "set_device_feedback"):
@@ -284,8 +297,9 @@ class SSDController:
         """
         now = request.time
         self._now = now
+        is_write = request.op is OpType.WRITE
         if self.degraded.active:
-            if request.is_write:
+            if is_write:
                 # Read-only device: the write is rejected before it
                 # touches the cache (no insertion, no eviction).
                 self.degraded.writes_rejected_requests += 1
@@ -302,31 +316,45 @@ class SSDController:
             finally:
                 prof.stop()
 
+        flushes = outcome.flushes
         space_ready = now
-        for batch in outcome.flushes:
-            space_ready = max(space_ready, self._flush(batch, now))
+        if flushes:
+            # Single-page policies (LRU) emit one batch per evicted
+            # page; skip the profiler wrapper per batch when it's off.
+            flush = self._flush_impl if not prof.enabled else self._flush
+            for batch in flushes:
+                t = flush(batch, now)
+                if t > space_ready:
+                    space_ready = t
 
         dram_time = self.cache_service_ms * request.npages
-        if request.is_write:
+        if is_write:
             completion = now + dram_time
-            if outcome.flushes:
+            if flushes:
                 # The write had to wait for cache space: the victim
                 # batch's transfers out of DRAM gate the insertion.
-                completion = max(completion, space_ready + dram_time)
+                gated = space_ready + dram_time
+                if gated > completion:
+                    completion = gated
         else:
             completion = now + dram_time if outcome.page_hits else now
-            if not outcome.read_miss_lpns:
+            read_misses = outcome.read_miss_lpns
+            if not read_misses:
                 pass
             elif not prof.enabled:
-                for lpn in outcome.read_miss_lpns:
-                    op = self.ftl.read_page(lpn, now)
-                    completion = max(completion, op.end)
+                read_page = self.ftl.read_page
+                for lpn in read_misses:
+                    end = read_page(lpn, now).end
+                    if end > completion:
+                        completion = end
             else:
                 prof.start("read")
                 try:
-                    for lpn in outcome.read_miss_lpns:
-                        op = self.ftl.read_page(lpn, now)
-                        completion = max(completion, op.end)
+                    read_page = self.ftl.read_page
+                    for lpn in read_misses:
+                        end = read_page(lpn, now).end
+                        if end > completion:
+                            completion = end
                 finally:
                     prof.stop()
         return RequestRecord(response_ms=completion - now, outcome=outcome)
@@ -351,12 +379,13 @@ class SSDController:
             prof.stop()
 
     def _flush_impl(self, batch: FlushBatch, now: float) -> float:
-        if not batch.lpns:
+        lpns = batch.lpns
+        if not lpns:
             return now
         if self.degraded.active:
             # The policy already evicted these pages from DRAM; a
             # degraded device cannot program them — data dropped.
-            self.degraded.flush_pages_dropped += len(batch.lpns)
+            self.degraded.flush_pages_dropped += len(lpns)
             return now
         if batch.pin_key is None:
             planes = None
@@ -367,24 +396,38 @@ class SSDController:
             channel = self.ftl.pinned_channel_for(batch.pin_key)
             planes = self.ftl.planes_of_channel(channel)
         xfer_done = now
-        for i, lpn in enumerate(batch.lpns):
-            try:
-                if planes is None:
-                    op = self.ftl.write_page(lpn, now)
-                else:
-                    op = self.ftl.write_page(
-                        lpn, now, plane=planes[i % len(planes)]
-                    )
-            except FlashOutOfSpace as exc:
-                # GC could not reclaim space: latch degraded mode and
-                # drop the rest of the batch.  Page ``i`` may have been
-                # programmed before its post-write GC raised; counting
-                # it dropped is the conservative accounting.
-                self.enter_degraded(str(exc), now)
-                self.degraded.flush_pages_dropped += len(batch.lpns) - i
-                break
-            xfer_done = max(xfer_done, op.xfer_end)
-            self.flushed_pages += 1
+        write_page = self._write_page
+        done = 0
+        if planes is None:
+            for lpn in lpns:
+                try:
+                    op = write_page(lpn, now)
+                except FlashOutOfSpace as exc:
+                    # GC could not reclaim space: latch degraded mode
+                    # and drop the rest of the batch.  The failing page
+                    # may have been programmed before its post-write GC
+                    # raised; counting it dropped is the conservative
+                    # accounting.
+                    self.enter_degraded(str(exc), now)
+                    self.degraded.flush_pages_dropped += len(lpns) - done
+                    break
+                t = op.xfer_end
+                if t > xfer_done:
+                    xfer_done = t
+                done += 1
+        else:
+            for i, lpn in enumerate(lpns):
+                try:
+                    op = write_page(lpn, now, plane=planes[i % len(planes)])
+                except FlashOutOfSpace as exc:
+                    self.enter_degraded(str(exc), now)
+                    self.degraded.flush_pages_dropped += len(lpns) - i
+                    break
+                t = op.xfer_end
+                if t > xfer_done:
+                    xfer_done = t
+                done += 1
+        self.flushed_pages += done
         return xfer_done
 
     def drain(self, now: float) -> float:

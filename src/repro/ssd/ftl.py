@@ -34,7 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["FTLStats", "PageFTL"]
 
 
-@dataclass
+@dataclass(slots=True)
 class FTLStats:
     """Flash traffic counters (GC traffic is tracked by GCStats)."""
 
@@ -63,9 +63,13 @@ class PageFTL:
         "faults",
         "profiler",
         "_map",
+        "_n_mapped",
         "_rmap",
         "_alloc_order",
         "_rr",
+        "_ppb",
+        "_gc_thr",
+        "_res_plain",
     )
 
     def __init__(
@@ -93,7 +97,13 @@ class PageFTL:
         #: self time).
         self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.stats = FTLStats()
-        self._map: Dict[int, int] = {}
+        # Forward table: flat list indexed by LPN (-1 = unmapped), grown
+        # lazily to the trace's footprint.  A list probe is ~2x cheaper
+        # than a dict hit and the key space is dense.  The reverse table
+        # stays a dict: PPNs span the whole device (tens of millions of
+        # physical pages by default) while only the written ones matter.
+        self._map: List[int] = []
+        self._n_mapped = 0
         self._rmap: Dict[int, int] = {}
         # Channel-fastest plane rotation: consecutive allocations hit
         # different channels first, then different chips, then planes —
@@ -106,28 +116,51 @@ class PageFTL:
                     order.append(chip * config.planes_per_chip + plane_in_chip)
         self._alloc_order = order
         self._rr = 0
+        # Fast-path constants: the per-page write path below inlines the
+        # flash allocate/program bookkeeping and the GC trigger check,
+        # so it needs the block geometry and the collector's exact
+        # free-block threshold as plain ints.
+        self._ppb = config.pages_per_block
+        self._gc_thr = gc._thr_blocks
+        # The program-scheduling inline below reproduces exactly
+        # ``ResourceTimelines.schedule_program``; subclasses (the
+        # event-driven timelines) must keep going through the method.
+        self._res_plain = type(resources) is ResourceTimelines
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def is_mapped(self, lpn: int) -> bool:
         """Whether ``lpn`` currently has a physical copy."""
-        return lpn in self._map
+        m = self._map
+        return 0 <= lpn < len(m) and m[lpn] >= 0
 
     def lookup(self, lpn: int) -> Optional[int]:
         """The PPN backing ``lpn``, or None if never written."""
-        return self._map.get(lpn)
+        m = self._map
+        if 0 <= lpn < len(m):
+            ppn = m[lpn]
+            if ppn >= 0:
+                return ppn
+        return None
 
     def mapped_count(self) -> int:
         """Number of live LPN -> PPN mappings."""
-        return len(self._map)
+        return self._n_mapped
+
+    def mapped_lpns(self) -> List[int]:
+        """All currently mapped LPNs (ascending); for tests and recovery."""
+        return [lpn for lpn, ppn in enumerate(self._map) if ppn >= 0]
 
     # ------------------------------------------------------------------
     # Host operations
     # ------------------------------------------------------------------
     def _next_plane(self) -> int:
-        plane = self._alloc_order[self._rr]
-        self._rr = (self._rr + 1) % len(self._alloc_order)
+        order = self._alloc_order
+        rr = self._rr
+        plane = order[rr]
+        rr += 1
+        self._rr = rr if rr < len(order) else 0
         return plane
 
     def pinned_channel_for(self, key: int) -> int:
@@ -171,28 +204,118 @@ class PageFTL:
     def _write_page_impl(
         self, lpn: int, now: float, plane: Optional[int] = None
     ) -> OpTimes:
+        if self.faults.enabled:
+            return self._write_page_faulty(lpn, now, plane)
+        # Fault-free fast path: every host program runs through here, so
+        # the flash allocate/program/invalidate bookkeeping and the GC
+        # trigger check are inlined (same statements, same order as the
+        # FlashArray methods — the state-machine guard checks those
+        # methods perform are invariants here, enforced by the fuzz and
+        # property tests on the method path).
+        if plane is None:
+            order = self._alloc_order
+            rr = self._rr
+            target_plane = order[rr]
+            rr += 1
+            self._rr = rr if rr < len(order) else 0
+        else:
+            target_plane = plane
+        flash = self.flash
+        ppb = self._ppb
+        write_ptr = flash.write_ptr
+        # Allocate in the host stream's active block (allocation
+        # precedes invalidation of the old copy so that an out-of-space
+        # failure leaves the mapping untouched — crash-consistent).
+        block = flash.active_block[target_plane]
+        ptr = write_ptr[block]
+        if ptr >= ppb:
+            block = flash._pop_free_block(target_plane)
+            flash.active_block[target_plane] = block
+            ptr = write_ptr[block]
+        ppn = block * ppb + ptr
+        write_ptr[block] = ptr + 1
+        res = self.resources
+        if self._res_plain:
+            # Inlined ResourceTimelines.schedule_program (same
+            # statements, same order — see that method's docstring for
+            # the timing shape).
+            channel = res._chan_of[target_plane]
+            bus_free = res.bus_free
+            plane_free = res.plane_free
+            xfer = res._xfer
+            prog_ms = res._prog_ms
+            busy = bus_free[channel]
+            start = now if now > busy else busy
+            xfer_end = start + xfer
+            busy = plane_free[target_plane]
+            prog_start = xfer_end if xfer_end > busy else busy
+            end = prog_start + prog_ms
+            bus_free[channel] = xfer_end
+            plane_free[target_plane] = end
+            res.bus_busy_ms[channel] += xfer
+            res.plane_busy_ms[target_plane] += prog_ms
+            op = OpTimes(start, xfer_end, end)
+        else:
+            op = res.schedule_program(target_plane, now)
+        m = self._map
+        if lpn >= len(m):
+            m.extend([-1] * (lpn + 1 - len(m)))
+        rmap = self._rmap
+        page_state = flash.page_state
+        valid_count = flash.valid_count
+        old = m[lpn]
+        if old >= 0:
+            page_state[old] = 2  # PageState.INVALID
+            valid_count[old // ppb] -= 1
+            del rmap[old]
+        else:
+            self._n_mapped += 1
+        page_state[ppn] = 1  # PageState.VALID
+        valid_count[block] += 1
+        seq = flash.total_programs + 1
+        flash.total_programs = seq
+        flash.last_program_seq[block] = seq
+        m[lpn] = ppn
+        rmap[ppn] = lpn
+        self.stats.host_programs += 1
+        if self.tracer.enabled:
+            self.tracer.emit(FlashWrite(now, lpn, ppn, target_plane))
+        if len(flash.free_blocks[target_plane]) < self._gc_thr:
+            self.gc.collect(self, target_plane, op.end)
+        return op
+
+    def _write_page_faulty(
+        self, lpn: int, now: float, plane: Optional[int] = None
+    ) -> OpTimes:
+        """Write path with fault injection — the original method-call
+        sequence, kept verbatim for the checked/injected slow path."""
         target_plane = self._next_plane() if plane is None else plane
+        flash = self.flash
         # Allocation precedes invalidation of the old copy so that an
         # out-of-space failure leaves the mapping untouched (the write
         # is lost, the previous version survives — crash-consistent).
-        ppn = self.flash.allocate_page(target_plane)
+        ppn = flash.allocate_page(target_plane)
         op = self.resources.schedule_program(target_plane, now)
-        if self.faults.enabled:
-            # Each injected program failure burns the page, rescues the
-            # block's live data and retires it; retry on a fresh block.
-            for _ in range(MAX_PROGRAM_ATTEMPTS - 1):
-                if not self.faults.on_program(self, ppn, target_plane, op.end):
-                    break
-                ppn = self.flash.allocate_page(target_plane)
-                op = self.resources.schedule_program(target_plane, op.end)
+        # Each injected program failure burns the page, rescues the
+        # block's live data and retires it; retry on a fresh block.
+        for _ in range(MAX_PROGRAM_ATTEMPTS - 1):
+            if not self.faults.on_program(self, ppn, target_plane, op.end):
+                break
+            ppn = flash.allocate_page(target_plane)
+            op = self.resources.schedule_program(target_plane, op.end)
         # The old copy is looked up only now: a retirement rescue above
         # may itself have relocated this LPN's previous version.
-        old = self._map.get(lpn)
-        if old is not None:
-            self.flash.invalidate(old)
+        m = self._map
+        if lpn >= len(m):
+            m.extend([-1] * (lpn + 1 - len(m)))
+        old = m[lpn]
+        if old >= 0:
+            flash.invalidate(old)
             del self._rmap[old]
-        self.flash.program(ppn)
-        self._map[lpn] = ppn
+        else:
+            self._n_mapped += 1
+        flash.program(ppn)
+        m[lpn] = ppn
         self._rmap[ppn] = lpn
         self.stats.host_programs += 1
         if self.tracer.enabled:
@@ -217,8 +340,9 @@ class PageFTL:
             prof.stop()
 
     def _read_page_impl(self, lpn: int, now: float) -> OpTimes:
-        ppn = self._map.get(lpn)
-        if ppn is None:
+        m = self._map
+        ppn = m[lpn] if lpn < len(m) else -1
+        if ppn < 0:
             self.stats.unmapped_reads += 1
             plane = lpn % self.config.n_planes
             return self.resources.schedule_read(plane, now)
@@ -287,8 +411,15 @@ class PageFTL:
                 f"OOB scan found lpn {lpn} stamped on two valid pages"
             )
             rebuilt[lpn] = ppn
-        assert rebuilt == self._map, "rebuilt mapping diverges from pre-loss table"
-        self._map = rebuilt
+        current = {
+            lpn: ppn for lpn, ppn in enumerate(self._map) if ppn >= 0
+        }
+        assert rebuilt == current, "rebuilt mapping diverges from pre-loss table"
+        new_map = [-1] * len(self._map)
+        for lpn, ppn in rebuilt.items():
+            new_map[lpn] = ppn
+        self._map = new_map
+        self._n_mapped = len(rebuilt)
         return len(rebuilt)
 
     # ------------------------------------------------------------------
@@ -298,13 +429,20 @@ class PageFTL:
         """Mapping must be a bijection onto exactly the VALID flash pages."""
         from repro.ssd.flash import PageState
 
-        assert len(self._map) == len(self._rmap), "map/rmap size mismatch"
-        for lpn, ppn in self._map.items():
+        n_mapped = 0
+        for lpn, ppn in enumerate(self._map):
+            if ppn < 0:
+                continue
+            n_mapped += 1
             assert self._rmap.get(ppn) == lpn, f"rmap mismatch at lpn {lpn}"
             assert (
                 self.flash.page_state[ppn] == PageState.VALID
             ), f"lpn {lpn} maps to non-valid ppn {ppn}"
+        assert n_mapped == self._n_mapped, (
+            f"mapped-count cache {self._n_mapped} != scanned {n_mapped}"
+        )
+        assert n_mapped == len(self._rmap), "map/rmap size mismatch"
         n_valid = sum(self.flash.valid_count)
-        assert n_valid == len(self._map), (
-            f"{n_valid} valid flash pages but {len(self._map)} mapped LPNs"
+        assert n_valid == n_mapped, (
+            f"{n_valid} valid flash pages but {n_mapped} mapped LPNs"
         )

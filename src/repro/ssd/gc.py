@@ -74,6 +74,8 @@ class GarbageCollector:
         "profiler",
         "_wear_aware",
         "victim_policy",
+        "_thr_blocks",
+        "_low_blocks",
     )
 
     def __init__(
@@ -105,6 +107,19 @@ class GarbageCollector:
         self.profiler = profiler if profiler is not None else NULL_PROFILER
         self._wear_aware = wear_aware
         self.victim_policy = victim_policy
+        # The trigger check runs once per host program, so the ratio
+        # comparisons are precomputed into exact free-block counts.
+        # Found by scanning (not ``ceil(thr * bpp)``): the comparison
+        # must agree bit-for-bit with ``n / bpp >= thr`` for every n, and
+        # the float product rounds differently for some thresholds.
+        bpp = config.blocks_per_plane
+        self._thr_blocks = next(
+            (n for n in range(bpp + 1) if n / bpp >= config.gc_threshold), bpp + 1
+        )
+        self._low_blocks = next(
+            (n for n in range(bpp + 1) if n / bpp >= config.gc_low_watermark),
+            bpp + 1,
+        )
 
     # ------------------------------------------------------------------
     def _collectable(self, plane: int):
@@ -165,7 +180,7 @@ class GarbageCollector:
     def maybe_collect(self, ftl: "PageFTL", plane: int, now: float) -> float:
         """Run GC on ``plane`` if below threshold; returns the finish time
         (or ``now`` when no collection was needed)."""
-        if self.flash.free_ratio(plane) >= self.config.gc_threshold:
+        if len(self.flash.free_blocks[plane]) >= self._thr_blocks:
             return now
         return self.collect(ftl, plane, now)
 
@@ -185,7 +200,8 @@ class GarbageCollector:
         t = now
         start = now
         flash = self.flash
-        while flash.free_ratio(plane) < self.config.gc_low_watermark:
+        low_blocks = self._low_blocks
+        while len(flash.free_blocks[plane]) < low_blocks:
             victim = self.select_victim(plane)
             if victim is None:
                 if flash.free_block_count(plane) == 0:

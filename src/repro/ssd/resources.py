@@ -28,8 +28,7 @@ Operation shapes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from typing import List, NamedTuple
 
 from repro.ssd.config import SSDConfig
 from repro.ssd.geometry import Geometry
@@ -37,13 +36,16 @@ from repro.ssd.geometry import Geometry
 __all__ = ["OpTimes", "ResourceTimelines"]
 
 
-@dataclass(frozen=True, slots=True)
-class OpTimes:
+class OpTimes(NamedTuple):
     """Timing of one scheduled flash operation (ms).
 
     ``xfer_end`` is when the bus transfer finished: for programs, the
     moment the written data has left the DRAM cache; for reads, equal to
     ``end`` (the data is available only after the transfer out).
+
+    A ``NamedTuple`` rather than a frozen dataclass: one is built per
+    scheduled flash op, and tuple construction is several times cheaper
+    than a frozen dataclass's ``object.__setattr__`` init.
     """
 
     start: float
@@ -74,6 +76,10 @@ class ResourceTimelines:
         "bus_busy_ms",
         "plane_busy_ms",
         "_xfer",
+        "_chan_of",
+        "_prog_ms",
+        "_read_ms",
+        "_erase_ms",
     )
 
     def __init__(self, config: SSDConfig, geometry: Geometry) -> None:
@@ -86,12 +92,21 @@ class ResourceTimelines:
         self.bus_busy_ms: List[float] = [0.0] * config.n_channels
         self.plane_busy_ms: List[float] = [0.0] * config.n_planes
         self._xfer = config.page_transfer_ms
+        # Hot-path precomputation: plane -> channel as a flat table (the
+        # division per scheduled op showed up in replay profiles), plus
+        # the datasheet latencies as plain floats.
+        per_channel = config.planes_per_chip * config.chips_per_channel
+        self._chan_of: List[int] = [
+            plane // per_channel for plane in range(config.n_planes)
+        ]
+        self._prog_ms = config.program_latency_ms
+        self._read_ms = config.read_latency_ms
+        self._erase_ms = config.erase_latency_ms
 
     # ------------------------------------------------------------------
     def channel_of_plane(self, plane: int) -> int:
         """Channel whose bus serves ``plane``."""
-        c = self.config
-        return plane // (c.planes_per_chip * c.chips_per_channel)
+        return self._chan_of[plane]
 
     def schedule_program(self, plane: int, now: float) -> OpTimes:
         """One page program on ``plane``: bus transfer in, then cell program.
@@ -101,26 +116,35 @@ class ResourceTimelines:
         still running — so back-to-back programs pipeline: transfers
         stream over the bus while cell programs queue on the plane.
         """
-        channel = self.channel_of_plane(plane)
-        start = max(now, self.bus_free[channel])
-        xfer_end = start + self._xfer
-        prog_start = max(xfer_end, self.plane_free[plane])
-        end = prog_start + self.config.program_latency_ms
-        self.bus_free[channel] = xfer_end
-        self.plane_free[plane] = end
-        self.bus_busy_ms[channel] += self._xfer
-        self.plane_busy_ms[plane] += self.config.program_latency_ms
+        channel = self._chan_of[plane]
+        bus_free = self.bus_free
+        plane_free = self.plane_free
+        xfer = self._xfer
+        busy = bus_free[channel]
+        start = now if now > busy else busy
+        xfer_end = start + xfer
+        busy = plane_free[plane]
+        prog_start = xfer_end if xfer_end > busy else busy
+        end = prog_start + self._prog_ms
+        bus_free[channel] = xfer_end
+        plane_free[plane] = end
+        self.bus_busy_ms[channel] += xfer
+        self.plane_busy_ms[plane] += self._prog_ms
         return OpTimes(start, xfer_end, end)
 
     def schedule_read(self, plane: int, now: float) -> OpTimes:
         """One page read on ``plane``: cell read, then bus transfer out."""
-        channel = self.channel_of_plane(plane)
-        cell_start = max(now, self.plane_free[plane])
-        cell_end = cell_start + self.config.read_latency_ms
-        xfer_start = max(cell_end, self.bus_free[channel])
+        channel = self._chan_of[plane]
+        bus_free = self.bus_free
+        plane_free = self.plane_free
+        busy = plane_free[plane]
+        cell_start = now if now > busy else busy
+        cell_end = cell_start + self._read_ms
+        busy = bus_free[channel]
+        xfer_start = cell_end if cell_end > busy else busy
         end = xfer_start + self._xfer
-        self.bus_free[channel] = end
-        self.plane_free[plane] = end
+        bus_free[channel] = end
+        plane_free[plane] = end
         self.bus_busy_ms[channel] += self._xfer
         self.plane_busy_ms[plane] += end - cell_start
         return OpTimes(cell_start, end, end)
@@ -134,7 +158,7 @@ class ResourceTimelines:
         then transfer out over the bus — but the cell time comes from
         the retry ladder instead of the datasheet read latency.
         """
-        channel = self.channel_of_plane(plane)
+        channel = self._chan_of[plane]
         cell_start = max(now, self.plane_free[plane])
         cell_end = cell_start + cell_latency_ms
         xfer_start = max(cell_end, self.bus_free[channel])
@@ -148,9 +172,9 @@ class ResourceTimelines:
     def schedule_erase(self, plane: int, now: float) -> OpTimes:
         """One block erase on ``plane``; occupies only the plane."""
         start = max(now, self.plane_free[plane])
-        end = start + self.config.erase_latency_ms
+        end = start + self._erase_ms
         self.plane_free[plane] = end
-        self.plane_busy_ms[plane] += self.config.erase_latency_ms
+        self.plane_busy_ms[plane] += self._erase_ms
         return OpTimes(start, end, end)
 
     # ------------------------------------------------------------------

@@ -10,7 +10,11 @@ from repro.traces.patterns import (
     zipf_writes,
 )
 from repro.traces.stats import TraceSpec, characterize, mean_request_pages
-from repro.traces.synthetic import SyntheticConfig, SyntheticTraceGenerator, generate_trace
+from repro.traces.synthetic import (
+    SyntheticConfig,
+    SyntheticTraceGenerator,
+    generate_trace,
+)
 from repro.traces.transform import (
     filter_ops,
     merge_traces,

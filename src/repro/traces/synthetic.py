@@ -255,7 +255,11 @@ class SyntheticTraceGenerator:
             if is_write[i]:
                 if is_small[i]:
                     lpn, npages = self._small_write(
-                        cfg, hot_base, slot_perm, int(slot_ranks[i]), int(small_sizes[i])
+                        cfg,
+                        hot_base,
+                        slot_perm,
+                        int(slot_ranks[i]),
+                        int(small_sizes[i]),
                     )
                     recent_small.append((lpn, npages))
                 else:

@@ -114,14 +114,20 @@ class DoublyLinkedList(Generic[T]):
 
     def push_head(self, node: T) -> None:
         """Insert ``node`` at the head (MRU position)."""
-        self._claim(node)
+        if node.owner is not None:
+            raise ValueError(
+                f"node already belongs to list {node.owner.name!r}; "
+                f"remove it before inserting into {self.name!r}"
+            )
+        node.owner = self
+        head = self._head
         node.prev = None
-        node.next = self._head
-        if self._head is not None:
-            self._head.prev = node
-        self._head = node
-        if self._tail is None:
+        node.next = head
+        if head is not None:
+            head.prev = node
+        else:
             self._tail = node
+        self._head = node
         self._len += 1
 
     def push_tail(self, node: T) -> None:
@@ -157,48 +163,97 @@ class DoublyLinkedList(Generic[T]):
                 f"cannot remove node from {self.name!r}: it belongs to "
                 f"{node.owner.name if node.owner else None!r}"
             )
-        if node.prev is not None:
-            node.prev.next = node.next
+        prev = node.prev
+        nxt = node.next
+        if prev is not None:
+            prev.next = nxt
         else:
-            self._head = node.next  # type: ignore[assignment]
-        if node.next is not None:
-            node.next.prev = node.prev
+            self._head = nxt  # type: ignore[assignment]
+        if nxt is not None:
+            nxt.prev = prev
         else:
-            self._tail = node.prev  # type: ignore[assignment]
+            self._tail = prev  # type: ignore[assignment]
         node.prev = node.next = None
         node.owner = None
         self._len -= 1
 
     def move_to_head(self, node: T) -> None:
-        """Promote ``node`` (already in this list) to the head."""
+        """Promote ``node`` (already in this list) to the head.
+
+        Pointer surgery is inlined (no remove + push pair): this is the
+        single hottest list operation of every replay, so it avoids the
+        ownership churn and the two extra function calls.
+        """
         if node.owner is not self:
             raise ValueError("node is not in this list")
-        if self._head is node:
+        head = self._head
+        if head is node:
             return
-        self.remove(node)
-        self.push_head(node)
+        # Unlink; node is not the head, so node.prev is a real node.
+        prev = node.prev
+        nxt = node.next
+        prev.next = nxt
+        if nxt is not None:
+            nxt.prev = prev
+        else:
+            self._tail = prev
+        # Relink in front of the old head.
+        node.prev = None
+        node.next = head
+        head.prev = node
+        self._head = node
 
     def move_to_tail(self, node: T) -> None:
         """Demote ``node`` (already in this list) to the tail."""
         if node.owner is not self:
             raise ValueError("node is not in this list")
-        if self._tail is node:
+        tail = self._tail
+        if tail is node:
             return
-        self.remove(node)
-        self.push_tail(node)
+        # Unlink; node is not the tail, so node.next is a real node.
+        prev = node.prev
+        nxt = node.next
+        nxt.prev = prev
+        if prev is not None:
+            prev.next = nxt
+        else:
+            self._head = nxt
+        # Relink behind the old tail.
+        node.next = None
+        node.prev = tail
+        tail.next = node
+        self._tail = node
 
     def pop_head(self) -> Optional[T]:
         """Remove and return the head node, or ``None`` if empty."""
         node = self._head
-        if node is not None:
-            self.remove(node)
+        if node is None:
+            return None
+        nxt = node.next
+        if nxt is not None:
+            nxt.prev = None
+        else:
+            self._tail = None
+        self._head = nxt  # type: ignore[assignment]
+        node.prev = node.next = None
+        node.owner = None
+        self._len -= 1
         return node
 
     def pop_tail(self) -> Optional[T]:
         """Remove and return the tail node, or ``None`` if empty."""
         node = self._tail
-        if node is not None:
-            self.remove(node)
+        if node is None:
+            return None
+        prev = node.prev
+        if prev is not None:
+            prev.next = None
+        else:
+            self._head = None
+        self._tail = prev  # type: ignore[assignment]
+        node.prev = node.next = None
+        node.owner = None
+        self._len -= 1
         return node
 
     def clear(self) -> None:
@@ -232,6 +287,8 @@ class DoublyLinkedList(Generic[T]):
             count += 1
             assert count <= self._len, "cycle detected or length undercount"
         assert prev is self._tail, "tail pointer mismatch"
-        assert count == self._len, f"length mismatch: walked {count}, stored {self._len}"
+        assert (
+            count == self._len
+        ), f"length mismatch: walked {count}, stored {self._len}"
         if self._len == 0:
             assert self._head is None and self._tail is None

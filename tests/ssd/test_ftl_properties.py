@@ -95,7 +95,7 @@ class TestFTLModelEquivalence:
             ftl.write_page(rng.choice(hot), t)
         erased_before = flash.total_erases
         assert erased_before > 0, "workload should have triggered GC"
-        for lpn in set(hot) & set(ftl._map):
+        for lpn in set(hot) & set(ftl.mapped_lpns()):
             ppn = ftl.lookup(lpn)
             assert flash.page_state[ppn] == PageState.VALID
         ftl.validate()

@@ -87,9 +87,77 @@ def _print_profile(phase_profile: Dict[str, Dict[str, float]]) -> None:
     )
 
 
+def _replay_sharded_cmd(args: argparse.Namespace, trace: Trace, cache_bytes: int) -> int:
+    """``replay --jobs N``: segment-shard one trace across workers.
+
+    Trace-segment sharding replays independent slices on cold caches
+    and merges the metrics (deterministic for a fixed shard count, but
+    hit ratios are approximate near segment boundaries — see
+    docs/parallel.md), so the whole-replay observability/injection
+    flags are rejected rather than silently reinterpreted per shard.
+    """
+    incompatible = [
+        flag
+        for flag, is_set in (
+            ("--trace-out", args.trace_out is not None),
+            ("--check-invariants", args.check_invariants),
+            ("--metrics-out", args.metrics_out is not None),
+            ("--profile", args.profile),
+            ("--power-loss-at", args.power_loss_at is not None),
+            ("--queue-depth", args.queue_depth is not None),
+        )
+        if is_set
+    ]
+    if incompatible:
+        print(
+            f"--jobs shards the trace into independent segments and is "
+            f"incompatible with {', '.join(incompatible)} "
+            f"(see docs/parallel.md)",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.sim.parallel import replay_sharded, resolve_jobs
+
+    config = ReplayConfig(
+        policy=args.policy,
+        cache_bytes=cache_bytes,
+        fault_profile=args.fault_profile,
+        fault_seed=args.fault_seed,
+        capacitor_pages=args.capacitor_pages,
+    )
+    jobs = resolve_jobs(args.jobs, len(trace))
+    n_shards = args.shards if args.shards is not None else jobs
+    metrics = replay_sharded(trace, config, n_shards=n_shards, jobs=jobs)
+    rows = [(k, v) for k, v in metrics.summary().items()]
+    print(format_table(("Metric", "Value"), rows, float_fmt="{:.4f}"))
+    if metrics.durability is not None:
+        print()
+        print(
+            format_table(
+                ("Durability", "Value"),
+                metrics.durability.rows(),
+                float_fmt="{:.4f}",
+            )
+        )
+    print(
+        f"[sharded replay: {n_shards} segments over {jobs} workers; "
+        f"hit ratios are approximate near segment boundaries]"
+    )
+    if metrics.aborted:
+        print(
+            f"replay aborted at request {metrics.aborted_at_request}: "
+            f"{metrics.aborted_reason}",
+            file=sys.stderr,
+        )
+        return EXIT_ABORTED
+    return 0
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     trace = _load_trace(args)
     cache_bytes = scaled_cache_bytes(args.cache_mb, args.scale)
+    if args.jobs is not None and args.jobs != 1:
+        return _replay_sharded_cmd(args, trace, cache_bytes)
     tracer = None
     if args.trace_out is not None:
         from repro.obs.tracer import JsonlTracer
@@ -166,21 +234,44 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    if args.jobs is not None and args.jobs != 1 and args.profile:
+        print("--jobs is incompatible with --profile", file=sys.stderr)
+        return 2
     trace = _load_trace(args)
     cache_bytes = scaled_cache_bytes(args.cache_mb, args.scale)
     rows = []
-    all_metrics = []
-    for policy in args.policies:
-        m = replay_trace(
-            trace,
-            ReplayConfig(
-                policy=policy, cache_bytes=cache_bytes, profile=args.profile
-            ),
+    if args.jobs is not None and args.jobs != 1:
+        # One sweep cell per policy; each worker's replay is
+        # bit-identical to the serial loop below (workers reload the
+        # workload by name / MSR path, so jobs ship as plain values).
+        from repro.sim.sweep import SweepJob, run_jobs
+
+        all_metrics = run_jobs(
+            [
+                SweepJob(
+                    workload=args.workload,
+                    policy=policy,
+                    cache_bytes=cache_bytes,
+                    scale=args.scale,
+                )
+                for policy in args.policies
+            ],
+            processes=args.jobs,
         )
-        all_metrics.append(m)
+    else:
+        all_metrics = [
+            replay_trace(
+                trace,
+                ReplayConfig(
+                    policy=policy, cache_bytes=cache_bytes, profile=args.profile
+                ),
+            )
+            for policy in args.policies
+        ]
+    for m in all_metrics:
         rows.append(
             (
-                policy,
+                m.policy_name,
                 m.hit_ratio,
                 m.mean_response_ms,
                 m.mean_eviction_pages,
@@ -245,7 +336,10 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     module = importlib.import_module(_EXPERIMENTS[args.name])
     settings = ExperimentSettings(
-        scale=args.scale, workloads=list(args.workloads), processes=args.processes
+        scale=args.scale,
+        workloads=list(args.workloads),
+        processes=args.processes,
+        start_method=args.start_method,
     )
     module.run(settings)
     return 0
@@ -343,6 +437,18 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: open loop at trace timestamps)",
     )
     p.add_argument(
+        "--jobs", "-j", type=int, default=None, metavar="N",
+        help="segment-shard the trace across N worker processes and "
+             "merge the metrics (deterministic per shard count; hit "
+             "ratios approximate near segment boundaries — see "
+             "docs/parallel.md; default: unsharded single process)",
+    )
+    p.add_argument(
+        "--shards", type=int, default=None, metavar="M",
+        help="number of trace segments for --jobs (default: N, one "
+             "per worker; results depend on M but never on N)",
+    )
+    p.add_argument(
         "--trace-out", default=None, metavar="PATH",
         help="write every cache/FTL/GC event as JSON lines to PATH "
              "(see docs/observability.md for the schema)",
@@ -389,6 +495,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="print a wall-clock phase-profile table per policy",
     )
+    p.add_argument(
+        "--jobs", "-j", type=int, default=None, metavar="N",
+        help="replay the policies in N worker processes (results "
+             "byte-identical to the serial path; incompatible with "
+             "--profile; default: serial)",
+    )
     p.set_defaults(func=_cmd_compare)
 
     p = sub.add_parser(
@@ -405,7 +517,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name", choices=sorted(_EXPERIMENTS))
     p.add_argument("--scale", type=float, default=DEFAULT_SCALE)
     p.add_argument("--workloads", nargs="+", default=list(WORKLOAD_ORDER))
-    p.add_argument("--processes", type=int, default=None)
+    p.add_argument(
+        "--jobs", "-j", dest="processes", type=int, default=None, metavar="N",
+        help="worker processes for the experiment grid "
+             "(default: all cores; 1 = inline)",
+    )
+    p.add_argument(
+        "--processes", dest="processes", type=int, default=None,
+        help=argparse.SUPPRESS,  # legacy spelling of --jobs
+    )
+    p.add_argument(
+        "--start-method", default=None,
+        choices=("fork", "spawn", "forkserver"),
+        help="pool start method (default: fork where available, else spawn)",
+    )
     p.set_defaults(func=_cmd_experiment)
 
     p = sub.add_parser(

@@ -42,8 +42,14 @@ class ExperimentSettings:
     cache_sizes_mb: List[int] = field(
         default_factory=lambda: list(PAPER_CACHE_SIZES_MB)
     )
-    #: Worker processes for sweeps (None = auto, 1 = inline).
+    #: Worker processes for sweeps (None = auto, 1 = inline).  Every
+    #: experiment's grid fans out through the sharded engine
+    #: (:mod:`repro.sim.parallel`) at this width — the ``--jobs`` CLI
+    #: flag lands here, so no per-experiment parallel plumbing exists.
     processes: Optional[int] = None
+    #: Pool start method (None = auto: fork where available, else
+    #: spawn; see :func:`repro.sim.parallel.resolve_start_method`).
+    start_method: Optional[str] = None
     #: Sink for human-readable output.
     out: Callable[[str], None] = print
 
@@ -89,7 +95,9 @@ def run_grid(
                     )
                 )
                 keys.append((w, mb, p))
-    results = run_jobs(jobs, processes=settings.processes)
+    results = run_jobs(
+        jobs, processes=settings.processes, start_method=settings.start_method
+    )
     return dict(zip(keys, results))
 
 
@@ -109,10 +117,26 @@ def add_standard_args(parser: argparse.ArgumentParser) -> None:
         help="paper workloads to replay",
     )
     parser.add_argument(
-        "--processes",
+        "--jobs",
+        "-j",
+        dest="processes",
         type=int,
         default=None,
-        help="sweep worker processes (1 = inline)",
+        help="worker processes for the experiment grid "
+        "(default: all cores; 1 = inline)",
+    )
+    parser.add_argument(
+        "--processes",
+        dest="processes",
+        type=int,
+        default=None,
+        help=argparse.SUPPRESS,  # legacy spelling of --jobs
+    )
+    parser.add_argument(
+        "--start-method",
+        default=None,
+        choices=("fork", "spawn", "forkserver"),
+        help="pool start method (default: fork where available, else spawn)",
     )
 
 
@@ -122,4 +146,5 @@ def settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
         scale=args.scale,
         workloads=list(args.workloads),
         processes=args.processes,
+        start_method=getattr(args, "start_method", None),
     )

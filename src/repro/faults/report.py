@@ -7,7 +7,7 @@ paths.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 __all__ = ["PowerLossReport", "DurabilityReport"]
@@ -69,6 +69,41 @@ class DurabilityReport:
     extra: Dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
+    def merge(self, other: "DurabilityReport") -> "DurabilityReport":
+        """Fold another shard's report into this one; returns ``self``.
+
+        Shards run independent devices, so the event counters simply
+        add (spares_remaining included: it is the sum of what each
+        shard's device had left).  Identity fields keep the first
+        non-default value; ``degraded`` is sticky and keeps the first
+        reason; the first power-loss report wins (segment-sharded
+        replay rejects power-loss injection, so in practice at most one
+        shard carries one).  ``other`` is not modified.
+        """
+        if self.fault_profile == "none":
+            self.fault_profile = other.fault_profile
+            self.fault_seed = other.fault_seed
+        self.program_fails += other.program_fails
+        self.erase_fails += other.erase_fails
+        self.read_retries += other.read_retries
+        self.reads_with_retry += other.reads_with_retry
+        self.unrecoverable_reads += other.unrecoverable_reads
+        self.blocks_retired += other.blocks_retired
+        self.spares_consumed += other.spares_consumed
+        self.spares_remaining += other.spares_remaining
+        if self.power_loss is None and other.power_loss is not None:
+            self.power_loss = replace(other.power_loss)
+        if other.degraded and not self.degraded:
+            self.degraded = True
+            self.degraded_reason = other.degraded_reason
+            self.degraded_at_ms = other.degraded_at_ms
+        self.writes_rejected_requests += other.writes_rejected_requests
+        self.writes_rejected_pages += other.writes_rejected_pages
+        self.flush_pages_dropped += other.flush_pages_dropped
+        for key, value in other.extra.items():
+            self.extra[key] = self.extra.get(key, 0.0) + value
+        return self
+
     @property
     def lost_writes(self) -> int:
         """Total host pages whose durability was lost: dirty pages that

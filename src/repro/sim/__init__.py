@@ -4,7 +4,18 @@ export and bootstrap statistics."""
 from repro.sim.bootstrap import BootstrapResult, bootstrap_ci, paired_improvement
 from repro.sim.closed_loop import replay_closed_loop
 from repro.sim.export import metrics_to_rows, write_csv, write_json
-from repro.sim.metrics import ReplayMetrics
+from repro.sim.metrics import ReplayMetrics, merge_metrics
+from repro.sim.parallel import (
+    ShardError,
+    ShardPlan,
+    ShardSpec,
+    derive_shard_seed,
+    plan_segments,
+    replay_sharded,
+    resolve_start_method,
+    run_shards,
+    shard_trace,
+)
 from repro.sim.replay import (
     ReplayConfig,
     replay_cache_only,
@@ -25,6 +36,16 @@ __all__ = [
     "write_csv",
     "write_json",
     "ReplayMetrics",
+    "merge_metrics",
+    "ShardError",
+    "ShardPlan",
+    "ShardSpec",
+    "derive_shard_seed",
+    "plan_segments",
+    "replay_sharded",
+    "resolve_start_method",
+    "run_shards",
+    "shard_trace",
     "ReplayConfig",
     "replay_cache_only",
     "replay_trace",

@@ -13,22 +13,45 @@ figures report, in O(1) memory per request:
 
 from __future__ import annotations
 
+import copy
+import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.cache.base import AccessOutcome
+from repro.cache.base import AccessOutcome, FlushBatch
 from repro.faults.report import DurabilityReport
 from repro.obs.metrics import DEFAULT_SAMPLE_INTERVAL, MetricsRegistry
 from repro.ssd.controller import RequestRecord
 from repro.traces.model import IORequest, OpType
 from repro.utils.stats import Histogram, RatioCounter, ReservoirQuantiles, RunningStats
 
-__all__ = ["MetricsRecorder", "ReplayMetrics"]
+__all__ = [
+    "MetricsRecorder",
+    "ReplayMetrics",
+    "fold_eviction_digest",
+    "merge_metrics",
+]
 
 #: Fig. 13: "logged once for every 10,000 requests".  Shared with the
 #: metrics time-series cadence (``repro.obs.metrics``) so the list log
 #: and the telemetry snapshots land on the same request indices.
 LIST_LOG_INTERVAL = DEFAULT_SAMPLE_INTERVAL
+
+
+def fold_eviction_digest(hasher: "hashlib._Hash", flushes: Iterable[FlushBatch]) -> None:
+    """Fold one access's flush batches into an eviction-sequence hash.
+
+    The encoding — ``repr((tuple(lpns), pin_key))`` per non-empty batch,
+    in emission order — is the same one the optimisation-equivalence
+    suite (``tests/sim/test_optimized_equivalence.py``) pins against the
+    seed implementations, so replay digests are directly comparable to
+    those goldens.  Order-sensitive by construction: any reordered,
+    dropped, or recomposed batch changes the digest.
+    """
+    for batch in flushes:
+        lpns = batch.lpns
+        if lpns:
+            hasher.update(repr((tuple(lpns), batch.pin_key)).encode())
 
 
 class MetricsRecorder:
@@ -176,6 +199,16 @@ class ReplayMetrics:
     metrics_series: List[Dict[str, float]] = field(default_factory=list)
     phase_profile: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
+    #: Hex sha256 over the eviction sequence (see
+    #: :func:`fold_eviction_digest`), populated when the replay ran with
+    #: ``ReplayConfig.digest_evictions``; empty otherwise.  Kept out of
+    #: :meth:`summary` so enabling digests never changes reported
+    #: numbers.  Merging shards chains the per-shard digests in shard
+    #: order, so a merged digest is reproducible but — unlike every
+    #: other field — only comparable between runs that used the same
+    #: shard boundaries.
+    eviction_digest: str = ""
+
     n_requests: int = 0
 
     # Robustness (see repro.faults).  ``aborted_reason`` is set when a
@@ -267,6 +300,104 @@ class ReplayMetrics:
                     buckets[k] = buckets_get(k, 0.0) + 1.0
 
     # ------------------------------------------------------------------
+    # Parallel reduction
+    # ------------------------------------------------------------------
+    def merge(self, other: "ReplayMetrics") -> "ReplayMetrics":
+        """Fold another shard's metrics into this one; returns ``self``.
+
+        The parallel engine reduces shard results with a left fold in
+        shard-index order, so ``merge`` only has to be deterministic for
+        a *fixed* fold order — worker completion order never reaches it.
+        Integer counters, histograms and the hit/total ratios combine
+        exactly (they are associative); the Welford accumulators merge
+        with the standard pooled-moment formulas, which agree with the
+        serial fold on count/min/max/total exactly and on mean/variance
+        to floating-point reassociation error; the quantile reservoirs
+        concatenate (exact while the combined sample count stays within
+        capacity, deterministic stride-thinning beyond).
+
+        ``other``'s request-indexed logs (``list_log``,
+        ``metrics_series``, ``aborted_at_request``) are shifted by the
+        requests already folded into ``self``, so merged indices match a
+        serial replay's numbering.  A fresh ``ReplayMetrics()`` is the
+        identity element.  ``other`` is not modified.
+        """
+        offset = self.n_requests
+        if not self.trace_name:
+            self.trace_name = other.trace_name
+        if not self.policy_name:
+            self.policy_name = other.policy_name
+        if not self.cache_pages:
+            self.cache_pages = other.cache_pages
+
+        self.pages.merge(other.pages)
+        self.read_pages.merge(other.read_pages)
+        self.write_pages.merge(other.write_pages)
+        self.response_ms.merge(other.response_ms)
+        self.read_response_ms.merge(other.read_response_ms)
+        self.write_response_ms.merge(other.write_response_ms)
+        self.response_quantiles.merge(other.response_quantiles)
+        self.eviction_hist.merge(other.eviction_hist)
+        self.metadata_bytes.merge(other.metadata_bytes)
+
+        self.host_flush_pages += other.host_flush_pages
+        self.gc_migrated_pages += other.gc_migrated_pages
+        self.gc_erases += other.gc_erases
+        self.flash_total_writes += other.flash_total_writes
+
+        # Device utilisation: request-weighted mean of means, max of
+        # maxes (each shard ran its own device over its own horizon).
+        total = self.n_requests + other.n_requests
+        if total:
+            w_self, w_other = self.n_requests / total, other.n_requests / total
+            self.mean_plane_utilisation = (
+                w_self * self.mean_plane_utilisation
+                + w_other * other.mean_plane_utilisation
+            )
+            self.mean_bus_utilisation = (
+                w_self * self.mean_bus_utilisation
+                + w_other * other.mean_bus_utilisation
+            )
+        self.max_plane_utilisation = max(
+            self.max_plane_utilisation, other.max_plane_utilisation
+        )
+
+        self.list_log.extend(
+            (offset + i, dict(counts)) for i, counts in other.list_log
+        )
+        for snapshot in other.metrics_series:
+            shifted = dict(snapshot)
+            if "index" in shifted:
+                shifted["index"] = offset + shifted["index"]
+            self.metrics_series.append(shifted)
+        for phase, cells in other.phase_profile.items():
+            mine = self.phase_profile.setdefault(phase, {})
+            for key, value in cells.items():
+                mine[key] = mine.get(key, 0.0) + value
+
+        if other.eviction_digest:
+            if self.eviction_digest:
+                h = hashlib.sha256()
+                h.update(self.eviction_digest.encode())
+                h.update(other.eviction_digest.encode())
+                self.eviction_digest = h.hexdigest()
+            else:
+                self.eviction_digest = other.eviction_digest
+
+        if other.aborted and not self.aborted:
+            self.aborted_reason = other.aborted_reason
+            self.aborted_at_request = offset + other.aborted_at_request
+
+        if other.durability is not None:
+            if self.durability is None:
+                self.durability = copy.deepcopy(other.durability)
+            else:
+                self.durability.merge(other.durability)
+
+        self.n_requests = total
+        return self
+
+    # ------------------------------------------------------------------
     # Derived figures
     # ------------------------------------------------------------------
     @property
@@ -329,3 +460,17 @@ class ReplayMetrics:
             "mean_metadata_kb": self.mean_metadata_kb,
             "mean_plane_utilisation": self.mean_plane_utilisation,
         }
+
+
+def merge_metrics(parts: Sequence[ReplayMetrics]) -> ReplayMetrics:
+    """Left-fold shard metrics, in sequence order, into a fresh instance.
+
+    The single reduction point of the parallel engine: callers sort
+    shard results by shard index *before* reducing, so the outcome is
+    independent of worker scheduling.  An empty sequence yields an
+    all-zero :class:`ReplayMetrics`; the inputs are never modified.
+    """
+    merged = ReplayMetrics()
+    for part in parts:
+        merged.merge(part)
+    return merged

@@ -13,6 +13,7 @@ and the 3-4x speedup buys a denser parameter grid.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
@@ -26,7 +27,7 @@ from repro.obs.invariants import InvariantChecker
 from repro.obs.metrics import DEFAULT_SAMPLE_INTERVAL, MetricsRegistry, Sampler
 from repro.obs.profile import NULL_PROFILER, PhaseProfiler
 from repro.obs.tracer import TeeTracer, Tracer
-from repro.sim.metrics import MetricsRecorder, ReplayMetrics
+from repro.sim.metrics import MetricsRecorder, ReplayMetrics, fold_eviction_digest
 from repro.ssd.config import SSDConfig
 from repro.ssd.controller import RequestRecord, SSDController
 from repro.ssd.flash import FlashOutOfSpace
@@ -122,6 +123,13 @@ class ReplayConfig:
     #: Profile wall-clock time by phase (replay / cache_access / flush /
     #: ftl / gc / read) into ``ReplayMetrics.phase_profile``.
     profile: bool = False
+    #: Hash the eviction sequence (every non-empty flush batch, in
+    #: order) into ``ReplayMetrics.eviction_digest`` — the same sha256
+    #: encoding the optimisation-equivalence goldens use.  The
+    #: serial-vs-parallel test suite relies on this to prove the
+    #: parallel engine behaviourally invisible; costs one branch per
+    #: request when off.
+    digest_evictions: bool = False
 
     @property
     def cache_pages(self) -> int:
@@ -200,6 +208,7 @@ def replay_trace(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
         cache_pages=config.cache_pages,
     )
     recorder, sampler = _resolve_recorder(config)
+    digest = hashlib.sha256() if config.digest_evictions else None
     track_lists = config.log_lists and isinstance(policy, ReqBlockCache)
     base_flush = base_migrated = base_erases = base_programs = 0
     power_report = None
@@ -245,6 +254,8 @@ def replay_trace(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
             if i < warmup:
                 continue
             record_metrics(request, record)
+            if digest is not None:
+                fold_eviction_digest(digest, record.outcome.flushes)
             if recorder is not None:
                 recorder.record(request, record)
                 sampler.maybe_sample(i, request.time)
@@ -264,6 +275,8 @@ def replay_trace(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
         metrics.metrics_series = sampler.series
     if profiler.enabled:
         metrics.phase_profile = profiler.as_dict()
+    if digest is not None:
+        metrics.eviction_digest = digest.hexdigest()
 
     metrics.host_flush_pages = controller.flushed_pages - base_flush
     metrics.gc_migrated_pages = controller.gc.stats.pages_migrated - base_migrated
@@ -319,6 +332,7 @@ def replay_cache_only(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
         cache_pages=config.cache_pages,
     )
     recorder, sampler = _resolve_recorder(config)
+    digest = hashlib.sha256() if config.digest_evictions else None
     track_lists = config.log_lists and isinstance(policy, ReqBlockCache)
     flushed = 0
     last_index, last_time = -1, 0.0
@@ -350,6 +364,8 @@ def replay_cache_only(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
                 continue
             record = RequestRecord(response_ms=0.0, outcome=outcome)
             record_metrics(request, record)
+            if digest is not None:
+                fold_eviction_digest(digest, outcome.flushes)
             if recorder is not None:
                 recorder.record(request, record)
                 sampler.maybe_sample(i, request.time)
@@ -367,6 +383,8 @@ def replay_cache_only(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
         metrics.metrics_series = sampler.series
     if profiler.enabled:
         metrics.phase_profile = profiler.as_dict()
+    if digest is not None:
+        metrics.eviction_digest = digest.hexdigest()
     metrics.host_flush_pages = flushed
     metrics.flash_total_writes = flushed
     if checker is not None:

@@ -1,26 +1,37 @@
 """Parallel parameter sweeps over (trace x policy x cache size) grids.
 
 The figure-8/9 grids multiply 6 traces x 4 policies x 3 cache sizes;
-runs are embarrassingly parallel, so the sweep fans jobs out over a
-:class:`multiprocessing.Pool`.  Jobs are specified by *names and
-numbers* (workload name, scale, policy name, kwargs) rather than live
-objects so they pickle cheaply; each worker process regenerates and
-memoises traces via :func:`repro.traces.workloads.get_workload`.
+runs are embarrassingly parallel, so the sweep fans jobs out through
+the sharded engine (:mod:`repro.sim.parallel`).  Jobs are specified by
+*names and numbers* (workload name, scale, policy name, kwargs) rather
+than live objects so they pickle cheaply; each worker process
+regenerates and memoises traces via
+:func:`repro.traces.workloads.get_workload` (an MSR CSV path is loaded
+from disk instead).
+
+Each job is one self-contained deterministic replay, so a worker-run
+cell is bit-identical to an inline one — the serial-vs-parallel
+equivalence suite (``tests/sim/test_parallel_equivalence.py``) pins
+this for every registered policy.
 
 Set ``processes=1`` (or ``REPRO_SWEEP_PROCESSES=1``) for in-process
 execution — required under pytest-benchmark and handy for debugging.
+The start method follows :func:`repro.sim.parallel.resolve_start_method`
+(``fork`` where available, ``spawn`` otherwise; override with
+``REPRO_START_METHOD``).
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from multiprocessing import get_context
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.sim.metrics import ReplayMetrics
+from repro.sim.parallel import run_shards
 from repro.sim.replay import ReplayConfig, replay_cache_only, replay_trace
-from repro.traces.workloads import DEFAULT_SCALE, get_workload
+from repro.traces.model import Trace
+from repro.traces.workloads import DEFAULT_SCALE, PAPER_WORKLOADS, get_workload
 
 __all__ = ["SweepJob", "run_jobs", "grid_jobs"]
 
@@ -45,8 +56,17 @@ class SweepJob:
         return (self.workload, self.policy, self.cache_bytes)
 
 
+def _job_trace(job: SweepJob) -> Trace:
+    """The job's trace: a memoised paper workload, or an MSR CSV path."""
+    if job.workload in PAPER_WORKLOADS:
+        return get_workload(job.workload, job.scale)
+    from repro.traces.msr import load_msr_trace
+
+    return load_msr_trace(job.workload)
+
+
 def _run_one(job: SweepJob) -> ReplayMetrics:
-    trace = get_workload(job.workload, job.scale)
+    trace = _job_trace(job)
     config = ReplayConfig(
         policy=job.policy,
         cache_bytes=job.cache_bytes,
@@ -59,25 +79,23 @@ def _run_one(job: SweepJob) -> ReplayMetrics:
 
 
 def run_jobs(
-    jobs: Iterable[SweepJob], processes: Optional[int] = None
+    jobs: Iterable[SweepJob],
+    processes: Optional[int] = None,
+    start_method: Optional[str] = None,
 ) -> List[ReplayMetrics]:
     """Run jobs (in order) and return their metrics (same order).
 
-    ``processes`` defaults to ``REPRO_SWEEP_PROCESSES`` or the CPU
-    count, capped at the job count; 1 means run inline.
+    ``processes`` defaults to ``REPRO_SWEEP_PROCESSES``, then the
+    engine's resolution (``REPRO_JOBS`` or the CPU count), capped at
+    the job count; 1 means run inline with no pool.  Worker failures
+    raise :class:`repro.sim.parallel.ShardError` with the failing job
+    and its traceback.
     """
     jobs = list(jobs)
     if processes is None:
         env = os.environ.get("REPRO_SWEEP_PROCESSES")
-        processes = int(env) if env else (os.cpu_count() or 1)
-    processes = max(1, min(processes, len(jobs) or 1))
-    if processes == 1 or len(jobs) <= 1:
-        return [_run_one(job) for job in jobs]
-    # 'fork' shares the already-imported package with workers; traces
-    # are regenerated per worker and memoised there.
-    ctx = get_context("fork")
-    with ctx.Pool(processes) as pool:
-        return pool.map(_run_one, jobs)
+        processes = int(env) if env else None
+    return run_shards(_run_one, jobs, jobs=processes, start_method=start_method)
 
 
 def grid_jobs(

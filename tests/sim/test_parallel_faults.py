@@ -1,0 +1,184 @@
+"""Fault and edge-path tests for the sharded engine.
+
+A worker dying mid-shard must surface as a clean :class:`ShardError`
+carrying the shard index and worker traceback — never a hang or a
+silent partial result.  A ``KeyboardInterrupt`` hit inside a worker
+must propagate as ``KeyboardInterrupt`` in the parent with the pool
+torn down.  And ``jobs=1`` must be the legacy serial path: exceptions
+propagate raw, and no pool is ever constructed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import parallel
+from repro.sim.parallel import ShardError, run_shards
+from repro.sim.replay import ReplayConfig
+from repro.sim.sweep import SweepJob, run_jobs
+from repro.traces.workloads import get_workload
+
+SCALE = 1 / 256
+CACHE = 64 * 4096
+
+
+# Module-level so they pickle into pool workers.
+def _ok_or_boom(payload):
+    if payload == "boom":
+        raise ValueError("synthetic worker failure")
+    return payload
+
+
+def _interrupt_on(payload):
+    if payload == "ctrl-c":
+        raise KeyboardInterrupt
+    return payload
+
+
+class TestWorkerError:
+    def test_shard_error_carries_index_and_traceback(self):
+        with pytest.raises(ShardError) as excinfo:
+            run_shards(_ok_or_boom, ["fine", "boom", "fine"], jobs=2)
+        err = excinfo.value
+        assert err.shard_index == 1
+        assert "ValueError" in err.detail
+        assert "synthetic worker failure" in err.detail
+        assert "boom" in str(err)
+
+    def test_error_does_not_hang_remaining_shards(self):
+        # Plenty of healthy shards queued behind the poisoned one; the
+        # call must still return promptly (pytest would time the suite
+        # out on a hang) and raise rather than return partial results.
+        payloads = ["ok"] * 20 + ["boom"] + ["ok"] * 20
+        with pytest.raises(ShardError):
+            run_shards(_ok_or_boom, payloads, jobs=2)
+
+    def test_bad_policy_in_sweep_is_a_shard_error(self):
+        jobs = [
+            SweepJob(
+                workload="ts_0",
+                policy=p,
+                cache_bytes=CACHE,
+                scale=SCALE,
+                cache_only=True,
+            )
+            for p in ("lru", "no-such-policy")
+        ]
+        with pytest.raises(ShardError) as excinfo:
+            run_jobs(jobs, processes=2)
+        assert excinfo.value.shard_index == 1
+        assert "no-such-policy" in excinfo.value.detail
+
+    def test_long_payload_repr_truncated(self):
+        payloads = ["x" * 10_000, "boom"]
+        with pytest.raises(ShardError) as excinfo:
+            run_shards(_ok_or_boom, list(reversed(payloads)), jobs=2)
+        assert len(str(excinfo.value)) < 5_000
+
+
+def _spy_on_terminate(monkeypatch):
+    """Wrap pool construction so calls to ``terminate`` are recorded."""
+    terminated = []
+    real_get_context = parallel.get_context
+
+    class SpyPool:
+        def __init__(self, pool):
+            self._pool = pool
+
+        # ``with pool:`` resolves dunders on the type, so delegate
+        # explicitly rather than via __getattr__.
+        def __enter__(self):
+            self._pool.__enter__()
+            return self
+
+        def __exit__(self, *exc):
+            return self._pool.__exit__(*exc)
+
+        def __getattr__(self, name):
+            if name == "terminate":
+                terminated.append(True)
+            return getattr(self._pool, name)
+
+    class SpyContext:
+        def __init__(self, ctx):
+            self._ctx = ctx
+
+        def Pool(self, *a, **kw):
+            return SpyPool(self._ctx.Pool(*a, **kw))
+
+    monkeypatch.setattr(
+        parallel, "get_context", lambda m: SpyContext(real_get_context(m))
+    )
+    return terminated
+
+
+class TestKeyboardInterrupt:
+    def test_worker_interrupt_propagates(self):
+        with pytest.raises(KeyboardInterrupt):
+            run_shards(_interrupt_on, ["a", "ctrl-c", "b", "c"], jobs=2)
+
+    def test_pool_terminated_on_interrupt(self, monkeypatch):
+        terminated = _spy_on_terminate(monkeypatch)
+        with pytest.raises(KeyboardInterrupt):
+            run_shards(_interrupt_on, ["a", "ctrl-c", "b"], jobs=2)
+        assert terminated
+
+    def test_pool_terminated_on_shard_error(self, monkeypatch):
+        terminated = _spy_on_terminate(monkeypatch)
+        with pytest.raises(ShardError):
+            run_shards(_ok_or_boom, ["a", "boom", "b"], jobs=2)
+        assert terminated
+
+
+class TestJobsOneIsLegacySerial:
+    def test_no_pool_constructed(self, monkeypatch):
+        monkeypatch.setattr(
+            parallel,
+            "get_context",
+            lambda *_a: pytest.fail("jobs=1 must never build a pool"),
+        )
+        jobs = [
+            SweepJob(
+                workload="ts_0",
+                policy="lru",
+                cache_bytes=CACHE,
+                scale=SCALE,
+                cache_only=True,
+            )
+        ]
+        run_jobs(jobs, processes=1)
+
+    def test_exceptions_propagate_raw_inline(self):
+        """jobs=1 keeps legacy semantics: the original exception type,
+        not a ShardError wrapper."""
+        with pytest.raises(ValueError, match="synthetic worker failure"):
+            run_shards(_ok_or_boom, ["fine", "boom"], jobs=1)
+
+    def test_matches_direct_replay_byte_identical(self, monkeypatch):
+        from repro.sim.replay import replay_cache_only
+
+        monkeypatch.setattr(
+            parallel,
+            "get_context",
+            lambda *_a: pytest.fail("jobs=1 must never build a pool"),
+        )
+        trace = get_workload("ts_0", SCALE)
+        direct = replay_cache_only(
+            trace,
+            ReplayConfig(policy="lru", cache_bytes=CACHE, digest_evictions=True),
+        )
+        (via_engine,) = run_jobs(
+            [
+                SweepJob(
+                    workload="ts_0",
+                    policy="lru",
+                    cache_bytes=CACHE,
+                    scale=SCALE,
+                    cache_only=True,
+                    replay_kwargs=(("digest_evictions", True),),
+                )
+            ],
+            processes=1,
+        )
+        assert via_engine.summary() == direct.summary()
+        assert via_engine.eviction_digest == direct.eviction_digest

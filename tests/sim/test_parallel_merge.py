@@ -1,0 +1,225 @@
+"""Property tests for ``ReplayMetrics.merge`` — the parallel reduction.
+
+The sharded engine is only shippable because the metric folds are
+(near-)associative: reducing per-shard metrics in shard order must give
+the same answer as one serial fold.  These tests pin the three algebra
+laws the engine relies on, over randomized request streams:
+
+* **identity** — merging a fresh ``ReplayMetrics()`` (either side) is a
+  no-op;
+* **merge-of-splits == serial fold** — splitting a stream at arbitrary
+  boundaries, folding the pieces separately and merging equals folding
+  the whole stream: exactly for every integer aggregate, min/max and
+  histogram bucket, and to float-reassociation tolerance for the
+  Welford mean/variance;
+* **associativity** — ``(a+b)+c == a+(b+c)`` under the same
+  exact/approx split (the chained eviction digest is deliberately a
+  left-fold construct and is excluded; the engine always reduces
+  left-to-right in shard-index order).
+
+Streams are generated hypothesis-style — randomized but from fixed
+seeds through ``repro.utils.rng.resolve_rng``, no module-level RNG — so
+failures replay deterministically.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cache.base import AccessOutcome, FlushBatch
+from repro.sim.metrics import ReplayMetrics, merge_metrics
+from repro.ssd.controller import RequestRecord
+from repro.traces.model import IORequest, OpType
+from repro.utils.rng import resolve_rng
+
+#: Number of randomized stream instances per property.
+N_CASES = 8
+REL_TOL = 1e-9
+
+
+def random_stream(seed: int, n: int = 400):
+    """A randomized (request, record) stream, deterministic in ``seed``."""
+    rng = resolve_rng(seed=seed)
+    stream = []
+    t = 0.0
+    for _ in range(n):
+        t += float(rng.exponential(0.3))
+        npages = int(rng.integers(1, 32))
+        request = IORequest(
+            time=t,
+            op=OpType.WRITE if rng.random() < 0.7 else OpType.READ,
+            lpn=int(rng.integers(0, 10_000)),
+            npages=npages,
+        )
+        hits = int(rng.integers(0, npages + 1))
+        flushes = []
+        for _ in range(int(rng.integers(0, 3))):
+            batch = [int(x) for x in rng.integers(0, 10_000, int(rng.integers(0, 6)))]
+            pin = int(rng.integers(0, 64)) if rng.random() < 0.5 else None
+            flushes.append(FlushBatch(lpns=batch, pin_key=pin))
+        outcome = AccessOutcome(
+            page_hits=hits,
+            page_misses=npages - hits,
+            read_miss_lpns=(
+                [request.lpn] if request.op is OpType.READ and hits < npages else []
+            ),
+            inserted_pages=npages - hits if request.op is OpType.WRITE else 0,
+            flushes=flushes,
+        )
+        record = RequestRecord(response_ms=float(rng.gamma(2.0, 0.2)), outcome=outcome)
+        stream.append((request, record))
+    return stream
+
+
+def fold(stream) -> ReplayMetrics:
+    m = ReplayMetrics(trace_name="prop", policy_name="prop", cache_pages=64)
+    for request, record in stream:
+        m.record(request, record)
+    return m
+
+
+def split_points(rng, n: int, k: int):
+    """``k`` sorted cut indices inside [0, n] (may be degenerate)."""
+    cuts = sorted(int(x) for x in rng.integers(0, n + 1, k))
+    return [0, *cuts, n]
+
+
+def assert_metrics_equal(a: ReplayMetrics, b: ReplayMetrics, exact_floats=False):
+    """Field-by-field equality: exact integers, tolerant Welford floats."""
+    assert a.n_requests == b.n_requests
+    for attr in ("pages", "read_pages", "write_pages"):
+        ra, rb = getattr(a, attr), getattr(b, attr)
+        assert (ra.hits, ra.total) == (rb.hits, rb.total), attr
+    for attr in ("response_ms", "read_response_ms", "write_response_ms",
+                 "metadata_bytes"):
+        sa, sb = getattr(a, attr), getattr(b, attr)
+        assert sa.count == sb.count, attr
+        assert sa.min == sb.min and sa.max == sb.max, attr
+        if exact_floats:
+            assert sa.total == sb.total and sa.mean == sb.mean, attr
+            assert sa._m2 == sb._m2, attr
+        else:
+            assert math.isclose(sa.total, sb.total, rel_tol=REL_TOL, abs_tol=1e-12)
+            assert math.isclose(sa.mean, sb.mean, rel_tol=REL_TOL, abs_tol=1e-12)
+            assert math.isclose(sa._m2, sb._m2, rel_tol=1e-6, abs_tol=1e-9)
+    assert a.eviction_hist.items() == b.eviction_hist.items()
+    assert a.response_quantiles.count == b.response_quantiles.count
+    assert (
+        a.host_flush_pages,
+        a.gc_migrated_pages,
+        a.gc_erases,
+        a.flash_total_writes,
+    ) == (
+        b.host_flush_pages,
+        b.gc_migrated_pages,
+        b.gc_erases,
+        b.flash_total_writes,
+    )
+    assert a.list_log == b.list_log
+
+
+class TestIdentity:
+    @pytest.mark.parametrize("seed", range(N_CASES))
+    def test_right_identity(self, seed):
+        m = fold(random_stream(seed))
+        reference = fold(random_stream(seed))
+        m.merge(ReplayMetrics())
+        assert_metrics_equal(m, reference, exact_floats=True)
+        assert m.summary() == reference.summary()
+
+    @pytest.mark.parametrize("seed", range(N_CASES))
+    def test_left_identity(self, seed):
+        m = ReplayMetrics()
+        m.merge(fold(random_stream(seed)))
+        assert_metrics_equal(m, fold(random_stream(seed)), exact_floats=True)
+        assert m.trace_name == "prop" and m.cache_pages == 64
+
+    def test_identity_digest_and_names(self):
+        m = ReplayMetrics()
+        part = ReplayMetrics(trace_name="t", policy_name="p")
+        part.eviction_digest = "abc123"
+        m.merge(part)
+        m.merge(ReplayMetrics())
+        assert m.eviction_digest == "abc123"
+        assert (m.trace_name, m.policy_name) == ("t", "p")
+
+
+class TestMergeOfSplits:
+    @pytest.mark.parametrize("seed", range(N_CASES))
+    def test_two_way_split(self, seed):
+        stream = random_stream(seed)
+        cut_rng = resolve_rng(seed=seed + 1000)
+        for cut in (int(x) for x in cut_rng.integers(0, len(stream) + 1, 4)):
+            merged = merge_metrics([fold(stream[:cut]), fold(stream[cut:])])
+            assert_metrics_equal(merged, fold(stream))
+
+    @pytest.mark.parametrize("seed", range(N_CASES))
+    def test_k_way_split(self, seed):
+        stream = random_stream(seed)
+        bounds = split_points(resolve_rng(seed=seed + 2000), len(stream), 5)
+        parts = [
+            fold(stream[lo:hi]) for lo, hi in zip(bounds, bounds[1:])
+        ]
+        assert_metrics_equal(merge_metrics(parts), fold(stream))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_reservoir_exact_under_capacity(self, seed):
+        """While total samples fit the reservoir, merge == serial fold."""
+        stream = random_stream(seed, n=300)  # well under the 4096 capacity
+        cut = len(stream) // 3
+        merged = merge_metrics([fold(stream[:cut]), fold(stream[cut:])])
+        serial = fold(stream)
+        assert merged.response_quantiles._samples == serial.response_quantiles._samples
+        for q in (0.5, 0.95, 0.99):
+            assert merged.response_percentile(q) == serial.response_percentile(q)
+
+    def test_list_log_reindexed(self):
+        a = ReplayMetrics(n_requests=100)
+        a.list_log.append((50, {"IRL": 1}))
+        b = ReplayMetrics(n_requests=40)
+        b.list_log.append((10, {"IRL": 2}))
+        a.merge(b)
+        assert a.list_log == [(50, {"IRL": 1}), (110, {"IRL": 2})]
+        assert a.n_requests == 140
+
+    def test_abort_reindexed_first_wins(self):
+        a = ReplayMetrics(n_requests=100)
+        b = ReplayMetrics(n_requests=40)
+        b.aborted_reason = "out of space"
+        b.aborted_at_request = 7
+        a.merge(b)
+        assert a.aborted and a.aborted_at_request == 107
+        c = ReplayMetrics(n_requests=10)
+        c.aborted_reason = "later failure"
+        c.aborted_at_request = 1
+        a.merge(c)
+        assert a.aborted_reason == "out of space"
+
+
+class TestAssociativity:
+    @pytest.mark.parametrize("seed", range(N_CASES))
+    def test_three_way(self, seed):
+        stream = random_stream(seed)
+        third = len(stream) // 3
+        pieces = [stream[:third], stream[third : 2 * third], stream[2 * third :]]
+
+        left = merge_metrics([fold(p) for p in pieces])  # (a+b)+c
+        b_c = fold(pieces[1]).merge(fold(pieces[2]))
+        right = fold(pieces[0]).merge(b_c)  # a+(b+c)
+        assert_metrics_equal(left, right)
+        # The headline numbers agree bit-exactly on integer fields.
+        ls, rs = left.summary(), right.summary()
+        for key in ("requests", "evictions", "host_flush_pages",
+                    "flash_total_writes"):
+            assert ls[key] == rs[key]
+
+    def test_inputs_not_modified(self):
+        a, b = fold(random_stream(0)), fold(random_stream(1))
+        b_requests, b_log = b.n_requests, list(b.list_log)
+        b_summary = b.summary()
+        a.merge(b)
+        assert b.n_requests == b_requests
+        assert b.list_log == b_log
+        assert b.summary() == b_summary

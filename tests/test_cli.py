@@ -209,3 +209,94 @@ class TestClosedLoopReplay:
         )
         assert rc == 0
         assert "hit_ratio" in capsys.readouterr().out
+
+
+class TestParallelCli:
+    """The --jobs / --shards / --start-method surface added with the
+    sharded engine."""
+
+    def test_replay_jobs_flag_parsed(self):
+        args = build_parser().parse_args(["replay", "ts_0", "-j", "4"])
+        assert args.jobs == 4
+        args = build_parser().parse_args(
+            ["replay", "ts_0", "--jobs", "2", "--shards", "8"]
+        )
+        assert (args.jobs, args.shards) == (2, 8)
+
+    def test_replay_sharded(self, capsys):
+        rc = main(
+            ["replay", "ts_0", "--scale", SCALE, "--policy", "lru",
+             "--jobs", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "hit_ratio" in out
+        assert "sharded replay" in out
+
+    def test_replay_jobs_one_is_plain_serial(self, capsys):
+        """--jobs 1 takes the classic path: no shard note, identical
+        output to omitting the flag entirely."""
+        main(["replay", "ts_0", "--scale", SCALE, "--policy", "lru"])
+        plain = capsys.readouterr().out
+        main(["replay", "ts_0", "--scale", SCALE, "--policy", "lru",
+              "--jobs", "1"])
+        assert capsys.readouterr().out == plain
+
+    def test_replay_sharded_rejects_tracer(self, tmp_path, capsys):
+        rc = main(
+            ["replay", "ts_0", "--scale", SCALE, "--jobs", "2",
+             "--trace-out", str(tmp_path / "t.jsonl")]
+        )
+        assert rc == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_replay_sharded_rejects_profile(self, capsys):
+        rc = main(
+            ["replay", "ts_0", "--scale", SCALE, "--jobs", "2", "--profile"]
+        )
+        assert rc == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_compare_jobs(self, capsys):
+        rc = main(
+            ["compare", "ts_0", "--scale", SCALE,
+             "--policies", "lru", "reqblock", "--jobs", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "lru" in out and "reqblock" in out
+        assert "HitRatio" in out
+
+    def test_compare_jobs_matches_serial(self, capsys):
+        argv = ["compare", "ts_0", "--scale", SCALE,
+                "--policies", "lru", "reqblock"]
+        main(argv)
+        serial = capsys.readouterr().out
+        main([*argv, "--jobs", "2"])
+        assert capsys.readouterr().out == serial
+
+    def test_compare_jobs_rejects_profile(self, capsys):
+        rc = main(
+            ["compare", "ts_0", "--scale", SCALE, "--policies", "lru",
+             "--jobs", "2", "--profile"]
+        )
+        assert rc == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_experiment_jobs_alias(self, capsys):
+        rc = main(
+            ["experiment", "fig10", "--scale", SCALE,
+             "--workloads", "ts_0", "--jobs", "1"]
+        )
+        assert rc == 0
+        assert "Figure 10" in capsys.readouterr().out
+
+    def test_experiment_start_method_choices(self):
+        args = build_parser().parse_args(
+            ["experiment", "fig10", "--start-method", "spawn"]
+        )
+        assert args.start_method == "spawn"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["experiment", "fig10", "--start-method", "thread"]
+            )

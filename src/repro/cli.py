@@ -25,8 +25,14 @@ import sys
 from typing import Dict, List, Optional
 
 from repro.cache.registry import PAPER_COMPARISON, available_policies
-from repro.experiments.common import ExperimentSettings
+from repro.experiments.common import (
+    add_resilience_args,
+    finish_experiment,
+    settings_from_args,
+    supervision_from_args,
+)
 from repro.faults.profile import FAULT_PROFILES
+from repro.sim.supervisor import EXIT_SALVAGED, SupervisorReport
 from repro.sim.replay import ReplayConfig, replay_trace
 from repro.sim.report import format_table
 from repro.traces.model import Trace
@@ -63,8 +69,21 @@ _EXPERIMENTS: Dict[str, str] = {
 }
 
 #: Exit code for a replay cut short by a device-fatal error (distinct
-#: from argparse's 2 and the generic 1).
+#: from argparse's 2 and the generic 1).  A *salvaged* run — shards
+#: dropped by the supervisor, surviving results merged — exits with
+#: :data:`repro.sim.supervisor.EXIT_SALVAGED` (4) instead.
 EXIT_ABORTED = 3
+
+
+def _wants_supervision(args: argparse.Namespace) -> bool:
+    """Whether any resilience flag asks for the supervised engine."""
+    return (
+        args.max_retries is not None
+        or args.shard_timeout is not None
+        or args.checkpoint is not None
+        or args.resume is not None
+        or args.salvage
+    )
 
 
 def _load_trace(args: argparse.Namespace) -> Trace:
@@ -117,6 +136,7 @@ def _replay_sharded_cmd(args: argparse.Namespace, trace: Trace, cache_bytes: int
         )
         return 2
     from repro.sim.parallel import replay_sharded, resolve_jobs
+    from repro.sim.progress import make_progress_printer
 
     config = ReplayConfig(
         policy=args.policy,
@@ -127,7 +147,16 @@ def _replay_sharded_cmd(args: argparse.Namespace, trace: Trace, cache_bytes: int
     )
     jobs = resolve_jobs(args.jobs, len(trace))
     n_shards = args.shards if args.shards is not None else jobs
-    metrics = replay_sharded(trace, config, n_shards=n_shards, jobs=jobs)
+    metrics = replay_sharded(
+        trace,
+        config,
+        n_shards=n_shards,
+        jobs=jobs,
+        supervision=supervision_from_args(args),
+        checkpoint_path=args.resume or args.checkpoint,
+        resume=args.resume is not None,
+        progress=make_progress_printer() if args.progress else None,
+    )
     rows = [(k, v) for k, v in metrics.summary().items()]
     print(format_table(("Metric", "Value"), rows, float_fmt="{:.4f}"))
     if metrics.durability is not None:
@@ -143,6 +172,16 @@ def _replay_sharded_cmd(args: argparse.Namespace, trace: Trace, cache_bytes: int
         f"[sharded replay: {n_shards} segments over {jobs} workers; "
         f"hit ratios are approximate near segment boundaries]"
     )
+    if metrics.salvaged:
+        durability = metrics.durability
+        print(
+            f"warning: salvaged run — shards "
+            f"{list(durability.shards_failed)} of {durability.shards_planned} "
+            f"failed (coverage {durability.shard_coverage:.2f}); "
+            f"metrics above cover the surviving segments only",
+            file=sys.stderr,
+        )
+        return EXIT_SALVAGED
     if metrics.aborted:
         print(
             f"replay aborted at request {metrics.aborted_at_request}: "
@@ -154,9 +193,21 @@ def _replay_sharded_cmd(args: argparse.Namespace, trace: Trace, cache_bytes: int
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
+    if _wants_supervision(args) and args.jobs is None:
+        print(
+            "--max-retries/--shard-timeout/--checkpoint/--resume/--salvage "
+            "supervise the sharded engine and require --jobs "
+            "(use --jobs 1 for one supervised worker)",
+            file=sys.stderr,
+        )
+        return 2
+    return _cmd_replay_inner(args)
+
+
+def _cmd_replay_inner(args: argparse.Namespace) -> int:
     trace = _load_trace(args)
     cache_bytes = scaled_cache_bytes(args.cache_mb, args.scale)
-    if args.jobs is not None and args.jobs != 1:
+    if args.jobs is not None and (args.jobs != 1 or _wants_supervision(args)):
         return _replay_sharded_cmd(args, trace, cache_bytes)
     tracer = None
     if args.trace_out is not None:
@@ -237,13 +288,23 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     if args.jobs is not None and args.jobs != 1 and args.profile:
         print("--jobs is incompatible with --profile", file=sys.stderr)
         return 2
+    supervised = _wants_supervision(args)
+    if supervised and args.jobs is None:
+        print(
+            "--max-retries/--shard-timeout/--checkpoint/--resume/--salvage "
+            "require --jobs (the supervised parallel path)",
+            file=sys.stderr,
+        )
+        return 2
     trace = _load_trace(args)
     cache_bytes = scaled_cache_bytes(args.cache_mb, args.scale)
     rows = []
-    if args.jobs is not None and args.jobs != 1:
+    report = SupervisorReport()
+    if args.jobs is not None and (args.jobs != 1 or supervised):
         # One sweep cell per policy; each worker's replay is
         # bit-identical to the serial loop below (workers reload the
         # workload by name / MSR path, so jobs ship as plain values).
+        from repro.sim.progress import make_progress_printer
         from repro.sim.sweep import SweepJob, run_jobs
 
         all_metrics = run_jobs(
@@ -257,6 +318,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                 for policy in args.policies
             ],
             processes=args.jobs,
+            supervision=supervision_from_args(args),
+            checkpoint_path=args.resume or args.checkpoint,
+            resume=args.resume is not None,
+            progress=make_progress_printer() if args.progress else None,
+            report=report if supervised else None,
         )
     else:
         all_metrics = [
@@ -268,6 +334,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             )
             for policy in args.policies
         ]
+    # A salvaged-away policy leaves None in its slot: keep the table
+    # aligned with an explicit hole rather than dropping the row.
+    salvaged_policies = [
+        policy for policy, m in zip(args.policies, all_metrics) if m is None
+    ]
+    all_metrics = [m for m in all_metrics if m is not None]
     for m in all_metrics:
         rows.append(
             (
@@ -278,6 +350,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                 m.flash_total_writes,
             )
         )
+    rows.extend(
+        (policy, "salvaged", "-", "-", "-") for policy in salvaged_policies
+    )
     print(
         format_table(
             ("Policy", "HitRatio", "MeanResp(ms)", "Evict(pages)", "FlashWrites"),
@@ -299,6 +374,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             if m.phase_profile:
                 print(f"\nphase profile: {m.policy_name}")
                 _print_profile(m.phase_profile)
+    if report.salvaged:
+        print(
+            f"warning: salvaged run — {report.describe()}",
+            file=sys.stderr,
+        )
+        return EXIT_SALVAGED
     return 0
 
 
@@ -335,14 +416,9 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     module = importlib.import_module(_EXPERIMENTS[args.name])
-    settings = ExperimentSettings(
-        scale=args.scale,
-        workloads=list(args.workloads),
-        processes=args.processes,
-        start_method=args.start_method,
-    )
+    settings = settings_from_args(args)
     module.run(settings)
-    return 0
+    return finish_experiment(settings)
 
 
 def _cmd_policies(_args: argparse.Namespace) -> int:
@@ -479,6 +555,7 @@ def build_parser() -> argparse.ArgumentParser:
              "capacitors can still flush (default: 0)",
     )
     _add_metrics_args(p)
+    add_resilience_args(p)
     p.set_defaults(func=_cmd_replay)
 
     p = sub.add_parser("compare", help="compare several policies on one workload")
@@ -501,6 +578,7 @@ def build_parser() -> argparse.ArgumentParser:
              "byte-identical to the serial path; incompatible with "
              "--profile; default: serial)",
     )
+    add_resilience_args(p)
     p.set_defaults(func=_cmd_compare)
 
     p = sub.add_parser(
@@ -531,6 +609,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("fork", "spawn", "forkserver"),
         help="pool start method (default: fork where available, else spawn)",
     )
+    add_resilience_args(p)
     p.set_defaults(func=_cmd_experiment)
 
     p = sub.add_parser(

@@ -23,10 +23,12 @@ from typing import Dict, List, Sequence, Tuple
 from repro.experiments.common import (
     ExperimentSettings,
     add_standard_args,
+    finish_experiment,
     settings_from_args,
 )
 from repro.sim.replay import ReplayConfig, replay_cache_only
 from repro.sim.report import banner, format_table, sparkline
+from repro.sim.sweep import SweepJob
 from repro.traces.workloads import get_workload, scaled_cache_bytes
 
 __all__ = ["run", "main", "CACHE_LADDER_MB", "lru_curve_matches_mattson"]
@@ -74,21 +76,33 @@ def run(
             f"sizes {list(CACHE_LADDER_MB)} MB-equivalent)"
         )
     )
+    # The full (workload x policy x ladder) product fans out through
+    # the sharded engine in one go (cache-only replays pickle as plain
+    # job specs); the Mattson cross-check below stays inline because it
+    # pairs a replay with an analytic pass over the same trace object.
+    grid = [
+        SweepJob(
+            workload=name,
+            policy=policy,
+            cache_bytes=scaled_cache_bytes(mb, settings.scale),
+            scale=settings.scale,
+            cache_only=True,
+        )
+        for name in settings.workloads
+        for policy in POLICIES
+        for mb in CACHE_LADDER_MB
+    ]
+    metrics = settings.run_jobs(grid)
     curves: Dict[Tuple[str, str], List[float]] = {}
+    cursor = 0
     for name in settings.workloads:
-        trace = get_workload(name, settings.scale)
         rows = []
         for policy in POLICIES:
-            curve = []
-            for mb in CACHE_LADDER_MB:
-                m = replay_cache_only(
-                    trace,
-                    ReplayConfig(
-                        policy=policy,
-                        cache_bytes=scaled_cache_bytes(mb, settings.scale),
-                    ),
-                )
-                curve.append(m.hit_ratio)
+            curve = [
+                m.hit_ratio
+                for m in metrics[cursor : cursor + len(CACHE_LADDER_MB)]
+            ]
+            cursor += len(CACHE_LADDER_MB)
             curves[(name, policy)] = curve
             rows.append(
                 (policy, *(f"{h:.3f}" for h in curve), sparkline(curve, 16))
@@ -112,12 +126,14 @@ def run(
     return curves
 
 
-def main() -> None:
+def main() -> int:
     """CLI entry point (argparse wrapper around :func:`run`)."""
     parser = argparse.ArgumentParser(description=__doc__)
     add_standard_args(parser)
-    run(settings_from_args(parser.parse_args()))
+    settings = settings_from_args(parser.parse_args())
+    run(settings)
+    return finish_experiment(settings)
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

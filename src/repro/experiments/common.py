@@ -11,10 +11,13 @@ from __future__ import annotations
 
 import argparse
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.sim.metrics import ReplayMetrics
+from repro.sim.progress import make_progress_printer
+from repro.sim.supervisor import Supervision, SupervisorReport
 from repro.sim.sweep import SweepJob, run_jobs
+from repro.traces.model import PAGE_SIZE_BYTES
 from repro.traces.workloads import (
     DEFAULT_SCALE,
     PAPER_CACHE_SIZES_MB,
@@ -26,7 +29,10 @@ __all__ = [
     "ExperimentSettings",
     "run_grid",
     "add_standard_args",
+    "add_resilience_args",
+    "supervision_from_args",
     "settings_from_args",
+    "finish_experiment",
 ]
 
 
@@ -53,6 +59,18 @@ class ExperimentSettings:
     #: Sink for human-readable output.
     out: Callable[[str], None] = print
 
+    # Resilience knobs (see docs/resilience.md).  ``supervision`` being
+    # set — or a checkpoint/resume request — routes every grid through
+    # the shard supervisor instead of the plain pool.
+    supervision: Optional[Supervision] = None
+    checkpoint_path: Optional[str] = None
+    resume: bool = False
+    #: Per-shard progress lines to stderr (``--progress``).
+    progress: bool = False
+    #: Accumulates supervised outcomes across this experiment's grids so
+    #: ``main()`` can settle one exit code (salvaged -> EXIT_SALVAGED).
+    report: SupervisorReport = field(default_factory=SupervisorReport)
+
     def cache_bytes(self, paper_mb: int) -> int:
         """Scaled cache size for a paper-quoted MB figure."""
         return scaled_cache_bytes(paper_mb, self.scale)
@@ -62,6 +80,45 @@ class ExperimentSettings:
         from dataclasses import replace
 
         return replace(self, out=lambda _s: None)
+
+    # ------------------------------------------------------------------
+    def run_jobs(self, jobs: Sequence[SweepJob]) -> List[ReplayMetrics]:
+        """Fan a job list out with this settings' parallel/resilience
+        knobs; results in job order.
+
+        A shard the supervisor salvaged away comes back not as ``None``
+        but as an all-zero placeholder ``ReplayMetrics`` carrying the
+        job's identity and a ``salvaged:`` abort reason, so experiment
+        modules can keep printing their tables (the missing cell shows
+        zeros) while ``settings.report`` carries the damage for the
+        exit code.
+        """
+        supervised = (
+            self.supervision is not None
+            or self.checkpoint_path is not None
+            or self.resume
+        )
+        results = run_jobs(
+            list(jobs),
+            processes=self.processes,
+            start_method=self.start_method,
+            supervision=self.supervision,
+            checkpoint_path=self.checkpoint_path,
+            resume=self.resume,
+            progress=make_progress_printer() if self.progress else None,
+            report=self.report if supervised else None,
+        )
+        out: List[ReplayMetrics] = []
+        for job, metrics in zip(jobs, results):
+            if metrics is None:
+                metrics = ReplayMetrics(
+                    trace_name=job.workload,
+                    policy_name=job.policy,
+                    cache_pages=job.cache_bytes // PAGE_SIZE_BYTES,
+                    aborted_reason="salvaged: shard failed, result dropped",
+                )
+            out.append(metrics)
+        return out
 
 
 def run_grid(
@@ -95,9 +152,7 @@ def run_grid(
                     )
                 )
                 keys.append((w, mb, p))
-    results = run_jobs(
-        jobs, processes=settings.processes, start_method=settings.start_method
-    )
+    results = settings.run_jobs(jobs)
     return dict(zip(keys, results))
 
 
@@ -138,13 +193,103 @@ def add_standard_args(parser: argparse.ArgumentParser) -> None:
         choices=("fork", "spawn", "forkserver"),
         help="pool start method (default: fork where available, else spawn)",
     )
+    add_resilience_args(parser)
+
+
+def add_resilience_args(parser: argparse.ArgumentParser) -> None:
+    """Attach the supervisor knobs (shared with the replay/compare CLI).
+
+    Semantics in ``docs/resilience.md``; any of them routes the fan-out
+    through :func:`repro.sim.supervisor.run_shards_supervised`.
+    """
+    group = parser.add_argument_group("resilience")
+    group.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="relaunch a failed/hung shard up to N times (default: 0)",
+    )
+    group.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and reschedule a shard running longer than this",
+    )
+    group.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="journal each completed shard to PATH (crash-safe appends)",
+    )
+    group.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help="resume from an interrupted run's journal at PATH "
+        "(implies --checkpoint PATH; a missing file starts fresh)",
+    )
+    group.add_argument(
+        "--salvage",
+        action="store_true",
+        help="when a shard exhausts its retries, merge the surviving "
+        "shards as a degraded result (exit code 4) instead of failing",
+    )
+    group.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one line per shard completion/retry with an ETA",
+    )
+
+
+def supervision_from_args(args: argparse.Namespace) -> Optional[Supervision]:
+    """The ``Supervision`` the resilience flags ask for (None = plain run)."""
+    if (
+        args.max_retries is None
+        and args.shard_timeout is None
+        and not args.salvage
+    ):
+        return None
+    return Supervision(
+        max_retries=args.max_retries or 0,
+        shard_timeout=args.shard_timeout,
+        salvage=args.salvage,
+    )
+
+
+def finish_experiment(settings: ExperimentSettings) -> int:
+    """The exit code an experiment ``main()`` should return.
+
+    0 for a clean run; :data:`repro.sim.supervisor.EXIT_SALVAGED` (4)
+    when any grid was salvaged — with a one-line damage report on
+    stderr so the degradation is visible even when stdout is captured
+    into a figure pipeline.
+    """
+    import sys
+
+    from repro.sim.supervisor import EXIT_SALVAGED
+
+    if not settings.report.salvaged:
+        return 0
+    print(
+        f"warning: salvaged run — {settings.report.describe()}",
+        file=sys.stderr,
+    )
+    return EXIT_SALVAGED
 
 
 def settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
     """Build settings from the standard argparse options."""
+    checkpoint = getattr(args, "checkpoint", None)
+    resume = getattr(args, "resume", None)
     return ExperimentSettings(
         scale=args.scale,
         workloads=list(args.workloads),
         processes=args.processes,
         start_method=getattr(args, "start_method", None),
+        supervision=supervision_from_args(args),
+        checkpoint_path=resume or checkpoint,
+        resume=resume is not None,
+        progress=bool(getattr(args, "progress", False)),
     )

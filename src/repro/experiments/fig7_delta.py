@@ -11,14 +11,16 @@ from __future__ import annotations
 import argparse
 from typing import Dict, List, Sequence
 
-from repro.core.tuning import DeltaPoint, recommend_delta, sweep_delta
+from repro.core.tuning import DeltaPoint, recommend_delta
 from repro.experiments.common import (
     ExperimentSettings,
     add_standard_args,
+    finish_experiment,
     settings_from_args,
 )
 from repro.experiments.paper_reference import BEST_DELTA
-from repro.sim.report import banner, format_series, format_table
+from repro.sim.report import banner, format_series
+from repro.sim.sweep import SweepJob
 
 __all__ = ["run", "main", "DELTAS"]
 
@@ -38,16 +40,30 @@ def run(
             f"(normalised to delta=1; paper picks delta={BEST_DELTA})"
         )
     )
+    # One flat (workload x delta) grid through the sharded engine —
+    # every cell is an independent deterministic replay, so the fan-out
+    # (and any supervision knobs on ``settings``) never changes the
+    # numbers relative to the old per-workload loop.
+    grid = [
+        SweepJob(
+            workload=name,
+            policy="reqblock",
+            cache_bytes=cache_bytes,
+            scale=settings.scale,
+            policy_kwargs=(("delta", d),),
+        )
+        for name in settings.workloads
+        for d in DELTAS
+    ]
+    metrics = settings.run_jobs(grid)
     results: Dict[str, List[DeltaPoint]] = {}
     votes: Dict[int, int] = {}
-    for name in settings.workloads:
-        points = sweep_delta(
-            name,
-            cache_bytes,
-            deltas=DELTAS,
-            scale=settings.scale,
-            processes=settings.processes,
-        )
+    for w_index, name in enumerate(settings.workloads):
+        chunk = metrics[w_index * len(DELTAS) : (w_index + 1) * len(DELTAS)]
+        points = [
+            DeltaPoint(d, m.hit_ratio, m.mean_response_ms)
+            for d, m in zip(DELTAS, chunk)
+        ]
         results[name] = points
         base_hit = points[0].hit_ratio or 1.0
         base_rt = points[0].mean_response_ms or 1.0
@@ -73,12 +89,14 @@ def run(
     return results
 
 
-def main() -> None:
+def main() -> int:
     """CLI entry point (argparse wrapper around :func:`run`)."""
     parser = argparse.ArgumentParser(description=__doc__)
     add_standard_args(parser)
-    run(settings_from_args(parser.parse_args()))
+    settings = settings_from_args(parser.parse_args())
+    run(settings)
+    return finish_experiment(settings)
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -11,18 +11,17 @@ excluding zero means the win is robust to the generator's randomness.
 from __future__ import annotations
 
 import argparse
-import dataclasses
 from typing import Dict, List, Tuple
 
 from repro.experiments.common import (
     ExperimentSettings,
     add_standard_args,
+    finish_experiment,
     settings_from_args,
 )
 from repro.sim.bootstrap import BootstrapResult, bootstrap_ci, paired_improvement
-from repro.sim.replay import ReplayConfig, replay_cache_only
 from repro.sim.report import banner, format_table
-from repro.traces.synthetic import generate_trace
+from repro.sim.sweep import SweepJob
 from repro.traces.workloads import get_config, scaled_cache_bytes
 
 __all__ = ["run", "main", "BASELINES"]
@@ -45,19 +44,35 @@ def run(
             f"({cache_mb}MB-equivalent, scale={settings.scale:g})"
         )
     )
+    # One flat (workload x seed x policy) grid: each job regenerates
+    # its workload under its own seed in the worker
+    # (``SweepJob.workload_seed``), so the whole study fans out through
+    # the sharded engine while producing the exact numbers of the old
+    # inline regenerate-and-replay loop.
+    policies = ("reqblock", *BASELINES)
+    grid = [
+        SweepJob(
+            workload=name,
+            policy=policy,
+            cache_bytes=cache_bytes,
+            scale=settings.scale,
+            cache_only=True,
+            workload_seed=get_config(name, settings.scale).seed + 7919 * k,
+        )
+        for name in settings.workloads
+        for k in range(n_seeds)
+        for policy in policies
+    ]
+    metrics = settings.run_jobs(grid)
     results: Dict[Tuple[str, str], BootstrapResult] = {}
     rows = []
+    cursor = 0
     for name in settings.workloads:
-        base_cfg = get_config(name, settings.scale)
-        hit: Dict[str, List[float]] = {p: [] for p in ("reqblock", *BASELINES)}
-        for k in range(n_seeds):
-            cfg = dataclasses.replace(base_cfg, seed=base_cfg.seed + 7919 * k)
-            trace = generate_trace(cfg)
-            for policy in hit:
-                m = replay_cache_only(
-                    trace, ReplayConfig(policy=policy, cache_bytes=cache_bytes)
-                )
-                hit[policy].append(m.hit_ratio)
+        hit: Dict[str, List[float]] = {p: [] for p in policies}
+        for _k in range(n_seeds):
+            for policy in policies:
+                hit[policy].append(metrics[cursor].hit_ratio)
+                cursor += 1
         row: List[object] = [name]
         for baseline in BASELINES:
             gains = paired_improvement(hit["reqblock"], hit[baseline])
@@ -79,14 +94,16 @@ def run(
     return results
 
 
-def main() -> None:
+def main() -> int:
     """CLI entry point (argparse wrapper around :func:`run`)."""
     parser = argparse.ArgumentParser(description=__doc__)
     add_standard_args(parser)
     parser.add_argument("--seeds", type=int, default=5)
     args = parser.parse_args()
-    run(settings_from_args(args), n_seeds=args.seeds)
+    settings = settings_from_args(args)
+    run(settings, n_seeds=args.seeds)
+    return finish_experiment(settings)
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

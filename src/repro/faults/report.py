@@ -65,6 +65,16 @@ class DurabilityReport:
     writes_rejected_pages: int = 0
     flush_pages_dropped: int = 0
 
+    # Harness resilience (set by the shard supervisor on merged
+    # results, not by any device): how the *experiment run itself*
+    # degraded.  ``shards_planned == 0`` means the run was unsupervised
+    # or clean — these fields then stay out of rows()/summaries so a
+    # clean supervised run reports identically to a plain one.
+    shards_planned: int = 0
+    shards_failed: Tuple[int, ...] = ()
+    shard_retries: int = 0
+    shard_timeouts: int = 0
+
     #: Free-form counters contributed by components (extensible).
     extra: Dict[str, float] = field(default_factory=dict)
 
@@ -100,9 +110,27 @@ class DurabilityReport:
         self.writes_rejected_requests += other.writes_rejected_requests
         self.writes_rejected_pages += other.writes_rejected_pages
         self.flush_pages_dropped += other.flush_pages_dropped
+        self.shards_planned += other.shards_planned
+        self.shards_failed = tuple(
+            sorted(set(self.shards_failed) | set(other.shards_failed))
+        )
+        self.shard_retries += other.shard_retries
+        self.shard_timeouts += other.shard_timeouts
         for key, value in other.extra.items():
             self.extra[key] = self.extra.get(key, 0.0) + value
         return self
+
+    @property
+    def salvaged(self) -> bool:
+        """Whether the harness dropped shards to finish this run."""
+        return bool(self.shards_failed)
+
+    @property
+    def shard_coverage(self) -> float:
+        """Fraction of planned shards whose results made it in."""
+        if self.shards_planned <= 0:
+            return 1.0
+        return 1.0 - len(self.shards_failed) / self.shards_planned
 
     @property
     def lost_writes(self) -> int:
@@ -118,6 +146,8 @@ class DurabilityReport:
         """JSON-friendly flat-ish form (power loss nested when present)."""
         d = asdict(self)
         d["lost_writes"] = self.lost_writes
+        d["shards_failed"] = list(self.shards_failed)
+        d["shard_coverage"] = self.shard_coverage
         return d
 
     def rows(self) -> List[Tuple[str, object]]:
@@ -151,5 +181,13 @@ class DurabilityReport:
                 ("power_loss_lost_pages", p.lost_pages),
                 ("recovery_ms", p.recovery_ms),
                 ("recovery_scanned_pages", p.scanned_pages),
+            ]
+        if self.shards_planned:
+            rows += [
+                ("shards_planned", self.shards_planned),
+                ("shards_failed", list(self.shards_failed)),
+                ("shard_coverage", round(self.shard_coverage, 4)),
+                ("shard_retries", self.shard_retries),
+                ("shard_timeouts", self.shard_timeouts),
             ]
         return rows

@@ -1,0 +1,294 @@
+"""Crash-safe shard checkpoint journal.
+
+The supervisor (:mod:`repro.sim.supervisor`) appends every completed
+shard's pickled result to a journal so an interrupted run — crash,
+``kill -9``, power loss — can resume without recomputing finished
+shards.  The on-disk discipline mirrors the power-loss story the
+simulator itself models (:mod:`repro.faults.powerloss`): the journal
+*header* is created atomically (tmp file + ``os.replace`` + directory
+fsync), and every record append is flushed and fsynced before the
+shard is considered durable.  A crash can therefore leave at most one
+*torn record* at the tail; recovery verifies each record's checksum,
+keeps the intact prefix, and truncates the tail so the journal is
+append-clean again — exactly how the simulated FTL's OOB mount scan
+drops the half-programmed page.
+
+Framing (all little-endian):
+
+``b"SHRD" | uint32 body length | sha256(body)[:16] | body``
+
+where ``body`` is ``pickle`` of the header dict (first record) or of a
+``(shard index, payload digest, result)`` tuple.  The header carries a
+*run key* — a hash over the worker's qualified name and every payload's
+pickle — so a journal can never resume a different run's shards; each
+record additionally carries its own payload digest, so a reordered or
+edited payload list invalidates exactly the shards it changed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import struct
+from dataclasses import dataclass, field
+from typing import Any, BinaryIO, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CheckpointError",
+    "JournalRecord",
+    "JournalState",
+    "CheckpointJournal",
+    "payload_digest",
+    "run_key",
+]
+
+#: Per-record framing magic.
+RECORD_MAGIC = b"SHRD"
+#: Truncated sha256 prefix guarding each record body.
+DIGEST_LEN = 16
+#: Journal format identity, stored in the header record.
+JOURNAL_MAGIC = "repro-shard-journal"
+JOURNAL_VERSION = 1
+#: Pickle protocol pinned so digests are stable across interpreter runs.
+PICKLE_PROTOCOL = 4
+
+_LEN = struct.Struct("<I")
+_FRAME_OVERHEAD = len(RECORD_MAGIC) + _LEN.size + DIGEST_LEN
+
+
+class CheckpointError(RuntimeError):
+    """The journal cannot be used for this run (wrong run, bad header)."""
+
+
+def payload_digest(payload: Any) -> str:
+    """Stable content digest of one shard payload (hex sha256)."""
+    return hashlib.sha256(
+        pickle.dumps(payload, protocol=PICKLE_PROTOCOL)
+    ).hexdigest()
+
+
+def run_key(worker: Any, payload_digests: Sequence[str]) -> str:
+    """Identity of one fan-out: the worker plus every payload digest.
+
+    Two runs share a run key exactly when they would execute the same
+    worker over the same payload values — the condition under which
+    resuming one from the other's journal is sound.
+    """
+    h = hashlib.sha256()
+    name = (
+        f"{getattr(worker, '__module__', '?')}."
+        f"{getattr(worker, '__qualname__', repr(worker))}"
+    )
+    h.update(name.encode())
+    h.update(_LEN.pack(len(payload_digests)))
+    for digest in payload_digests:
+        h.update(digest.encode())
+    return h.hexdigest()
+
+
+def _frame(body: bytes) -> bytes:
+    return (
+        RECORD_MAGIC
+        + _LEN.pack(len(body))
+        + hashlib.sha256(body).digest()[:DIGEST_LEN]
+        + body
+    )
+
+
+def _fsync_dir(path: str) -> None:
+    """fsync the directory so a rename survives power loss (best effort)."""
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One durable shard result."""
+
+    index: int
+    payload_digest: str
+    result: Any
+
+
+@dataclass
+class JournalState:
+    """Everything recovery learned from reading a journal."""
+
+    header: Dict[str, Any]
+    records: List[JournalRecord] = field(default_factory=list)
+    #: Byte offset of the end of the last intact record — where an
+    #: append-after-recovery must resume writing.
+    intact_bytes: int = 0
+    #: True when a torn/garbage tail was dropped during the scan.
+    truncated_tail: bool = False
+
+
+def _read_record(fh: BinaryIO) -> Optional[bytes]:
+    """The next intact record body, or None at EOF / first torn record."""
+    head = fh.read(_FRAME_OVERHEAD)
+    if len(head) < _FRAME_OVERHEAD:
+        return None
+    if head[: len(RECORD_MAGIC)] != RECORD_MAGIC:
+        return None
+    (length,) = _LEN.unpack(
+        head[len(RECORD_MAGIC) : len(RECORD_MAGIC) + _LEN.size]
+    )
+    checksum = head[_FRAME_OVERHEAD - DIGEST_LEN :]
+    body = fh.read(length)
+    if len(body) < length:
+        return None
+    if hashlib.sha256(body).digest()[:DIGEST_LEN] != checksum:
+        return None
+    return body
+
+
+def read_journal(path: str) -> JournalState:
+    """Scan a journal, keeping the intact record prefix.
+
+    Any framing anomaly — short read, bad magic, checksum mismatch,
+    unpicklable body — ends the scan: everything before it is kept,
+    everything after is a torn tail to be truncated and re-run.  The
+    header record must be intact and well-formed, otherwise the file is
+    not a journal at all (:class:`CheckpointError`).
+    """
+    with open(path, "rb") as fh:
+        body = _read_record(fh)
+        if body is None:
+            raise CheckpointError(f"{path}: missing or corrupt journal header")
+        try:
+            header = pickle.loads(body)
+        except Exception as exc:
+            raise CheckpointError(f"{path}: unreadable journal header") from exc
+        if (
+            not isinstance(header, dict)
+            or header.get("magic") != JOURNAL_MAGIC
+            or header.get("version") != JOURNAL_VERSION
+        ):
+            raise CheckpointError(
+                f"{path}: not a version-{JOURNAL_VERSION} shard journal"
+            )
+        state = JournalState(header=header, intact_bytes=fh.tell())
+        while True:
+            body = _read_record(fh)
+            if body is None:
+                break
+            try:
+                index, digest, result = pickle.loads(body)
+            except Exception:
+                break
+            state.records.append(JournalRecord(int(index), str(digest), result))
+            state.intact_bytes = fh.tell()
+        fh.seek(0, os.SEEK_END)
+        state.truncated_tail = fh.tell() != state.intact_bytes
+    return state
+
+
+class CheckpointJournal:
+    """Append handle over one run's journal file.
+
+    Use :meth:`create` for a fresh run and :meth:`resume` to pick an
+    interrupted run back up; both return a journal positioned for
+    crash-safe appends.
+    """
+
+    def __init__(self, path: str, header: Dict[str, Any], fh: BinaryIO) -> None:
+        self.path = path
+        self.header = header
+        self._fh: Optional[BinaryIO] = fh
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, path: str, key: str, n_shards: int) -> "CheckpointJournal":
+        """Start a fresh journal, atomically (tmp + rename + fsync)."""
+        header = {
+            "magic": JOURNAL_MAGIC,
+            "version": JOURNAL_VERSION,
+            "run_key": key,
+            "n_shards": int(n_shards),
+        }
+        tmp = f"{path}.tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(_frame(pickle.dumps(header, protocol=PICKLE_PROTOCOL)))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        _fsync_dir(path)
+        return cls(path, header, open(path, "ab"))
+
+    @classmethod
+    def resume(
+        cls, path: str, key: str, n_shards: int
+    ) -> Tuple["CheckpointJournal", Dict[int, Any], bool]:
+        """Reopen an interrupted run's journal.
+
+        Returns ``(journal, completed, truncated_tail)`` where
+        ``completed`` maps shard index -> durable result for every
+        intact record whose index is in range (first record wins on the
+        crash-window duplicate).  Records left torn by the interruption
+        are dropped and the file is truncated back to the intact
+        prefix, so subsequent appends extend a clean journal.  A run
+        key or shard count mismatch raises :class:`CheckpointError` —
+        resuming a different run's journal silently would merge wrong
+        results.
+        """
+        state = read_journal(path)
+        if state.header.get("run_key") != key:
+            raise CheckpointError(
+                f"{path}: journal belongs to a different run "
+                "(worker or payloads changed); delete it or pass a fresh "
+                "--checkpoint path"
+            )
+        if state.header.get("n_shards") != int(n_shards):
+            raise CheckpointError(
+                f"{path}: journal plans {state.header.get('n_shards')} shards, "
+                f"this run plans {n_shards}"
+            )
+        completed: Dict[int, Any] = {}
+        for record in state.records:
+            if 0 <= record.index < n_shards and record.index not in completed:
+                completed[record.index] = record
+        if state.truncated_tail:
+            with open(path, "r+b") as fh:
+                fh.truncate(state.intact_bytes)
+                fh.flush()
+                os.fsync(fh.fileno())
+        return (
+            cls(path, state.header, open(path, "ab")),
+            {
+                index: record.result
+                for index, record in completed.items()
+            },
+            state.truncated_tail,
+        )
+
+    # ------------------------------------------------------------------
+    def append(self, index: int, digest: str, result: Any) -> None:
+        """Durably record one completed shard (write + flush + fsync)."""
+        if self._fh is None:
+            raise CheckpointError(f"{self.path}: journal is closed")
+        body = pickle.dumps(
+            (int(index), digest, result), protocol=PICKLE_PROTOCOL
+        )
+        self._fh.write(_frame(body))
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        """Release the file handle; idempotent."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()

@@ -225,6 +225,20 @@ class ReplayMetrics:
         """Whether the replay ended early on a device-fatal error."""
         return bool(self.aborted_reason)
 
+    @property
+    def salvaged(self) -> bool:
+        """Whether the shard supervisor dropped failed shards to finish
+        this run (see :mod:`repro.sim.supervisor`)."""
+        return self.durability is not None and self.durability.salvaged
+
+    @property
+    def shard_coverage(self) -> float:
+        """Fraction of planned shards represented in these metrics
+        (1.0 for unsupervised and clean supervised runs)."""
+        if self.durability is None:
+            return 1.0
+        return self.durability.shard_coverage
+
     # ------------------------------------------------------------------
     def record(self, request: IORequest, record: RequestRecord) -> None:
         """Fold one serviced request into the aggregates.

@@ -37,14 +37,18 @@ to an unsharded replay, since each segment starts cold — see
 from __future__ import annotations
 
 import os
+import signal
+import threading
 import traceback
+from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from multiprocessing import get_all_start_methods, get_context
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.sim.metrics import ReplayMetrics, merge_metrics
+from repro.sim.progress import EtaTracker, ProgressCallback
 from repro.sim.replay import ReplayConfig, replay_cache_only, replay_trace
 from repro.traces.model import Trace
 
@@ -87,6 +91,13 @@ class ShardError(RuntimeError):
         super().__init__(
             f"shard {index} ({shown}) failed in worker:\n{detail}"
         )
+
+    def __reduce__(self) -> Tuple[Any, Tuple[Any, ...]]:
+        # RuntimeError's default reduce replays __init__ with the
+        # formatted message as the only argument, which crashes the
+        # three-argument signature above; rebuild from the real fields
+        # so the error crosses a spawn boundary with its traceback.
+        return (ShardError, (self.shard_index, self.payload, self.detail))
 
 
 def resolve_start_method(preferred: Optional[str] = None) -> str:
@@ -137,6 +148,31 @@ def derive_shard_seed(seed: int, index: int) -> int:
     return int(ss.generate_state(1, dtype=np.uint64)[0])
 
 
+@contextmanager
+def _sigterm_as_interrupt() -> Iterator[None]:
+    """Convert SIGTERM to KeyboardInterrupt for the duration of a block.
+
+    A pool parent killed by plain SIGTERM (batch scheduler, ``kill``)
+    would otherwise die without running its ``except`` / ``finally``
+    teardown, orphaning live workers.  Routing the signal through
+    ``KeyboardInterrupt`` reuses the existing interrupt path:
+    terminate, join, re-raise.  Signal handlers can only be installed
+    from the main thread; elsewhere this is a no-op.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _raise(_signum: int, _frame: Any) -> None:
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _raise)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
 # ----------------------------------------------------------------------
 # Generic pool engine
 # ----------------------------------------------------------------------
@@ -170,6 +206,7 @@ def run_shards(
     payloads: Sequence[Any],
     jobs: Optional[int] = None,
     start_method: Optional[str] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> List[Any]:
     """Run ``worker`` over ``payloads``; results in payload order.
 
@@ -180,30 +217,52 @@ def run_shards(
     path.  With ``jobs>1`` results are collected as workers finish
     (``imap_unordered``) but slotted back by index, so callers observe
     completion-order-independent output; a failing shard raises
-    :class:`ShardError` and a ``KeyboardInterrupt`` anywhere terminates
-    the pool before re-raising.
+    :class:`ShardError` and a ``KeyboardInterrupt`` anywhere (including
+    a SIGTERM to the parent) terminates *and joins* the pool before
+    re-raising — no orphaned workers on any exit path.
+
+    ``progress`` receives one ``"done"``
+    :class:`~repro.sim.progress.ProgressEvent` per completed shard (in
+    completion order), on the inline path too.
     """
     payloads = list(payloads)
     n = len(payloads)
     if n == 0:
         return []
     jobs = resolve_jobs(jobs, n)
+    tracker = EtaTracker(n) if progress is not None else None
+
+    def _mark(index: int) -> None:
+        if tracker is not None:
+            tracker.mark_done()
+            progress(tracker.event("done", index, 1))
+
     if jobs == 1:
-        return [worker(payload) for payload in payloads]
+        results = []
+        for i, payload in enumerate(payloads):
+            results.append(worker(payload))
+            _mark(i)
+        return results
     ctx = get_context(resolve_start_method(start_method))
     tasks = [(worker, i, payload) for i, payload in enumerate(payloads)]
-    results: List[Any] = [None] * n
-    with ctx.Pool(jobs) as pool:
-        try:
+    results = [None] * n
+    pool = ctx.Pool(jobs)
+    try:
+        with _sigterm_as_interrupt():
             for index, status, value in pool.imap_unordered(_run_shard, tasks):
                 if status == _FAILED:
                     raise ShardError(index, payloads[index], value)
                 if status == _INTERRUPTED:
                     raise KeyboardInterrupt
                 results[index] = value
-        except (KeyboardInterrupt, ShardError):
-            pool.terminate()
-            raise
+                _mark(index)
+    except BaseException:
+        pool.terminate()
+        pool.join()
+        raise
+    else:
+        pool.close()
+        pool.join()
     return results
 
 
@@ -328,6 +387,12 @@ def replay_sharded(
     jobs: Optional[int] = None,
     start_method: Optional[str] = None,
     cache_only: bool = False,
+    supervision: Optional[Any] = None,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
+    progress: Optional[ProgressCallback] = None,
+    metrics: Optional[Any] = None,
+    tracer: Optional[Any] = None,
 ) -> ReplayMetrics:
     """Replay one trace as independent segments and merge the metrics.
 
@@ -345,6 +410,15 @@ def replay_sharded(
 
     ``n_shards`` defaults to the effective job count, so the default
     decomposition exactly fills the pool.
+
+    ``supervision`` / ``checkpoint_path`` / ``resume`` route the
+    fan-out through :func:`repro.sim.supervisor.run_shards_supervised`
+    (retry, watchdog timeouts, crash-safe checkpointing, salvage).  A
+    salvaged run merges the surviving segments only and reports the
+    damage on the merged metrics' :class:`~repro.faults.report
+    .DurabilityReport` (``shards_failed``, ``shard_coverage``); a clean
+    supervised run — including one resumed from a journal — merges
+    byte-identically to an unsupervised one.
     """
     _check_shardable(config)
     if n_shards is None:
@@ -360,10 +434,53 @@ def replay_sharded(
         )
         for s in plan.shards
     ]
-    parts = run_shards(_replay_segment, payloads, jobs=jobs, start_method=start_method)
+    supervised = (
+        supervision is not None or checkpoint_path is not None or resume
+    )
+    outcome = None
+    if supervised:
+        from repro.sim.supervisor import run_shards_supervised
+
+        outcome = run_shards_supervised(
+            _replay_segment,
+            payloads,
+            jobs=jobs,
+            start_method=start_method,
+            supervision=supervision,
+            checkpoint_path=checkpoint_path,
+            resume=resume,
+            progress=progress,
+            metrics=metrics,
+            tracer=tracer,
+        )
+        parts = [part for part in outcome.results if part is not None]
+    else:
+        parts = run_shards(
+            _replay_segment,
+            payloads,
+            jobs=jobs,
+            start_method=start_method,
+            progress=progress,
+        )
     merged = merge_metrics(parts)
     merged.trace_name = trace.name
     merged.policy_name = config.policy
     if len(trace):
         merged.cache_pages = config.cache_pages
+    if outcome is not None and (
+        outcome.failures or outcome.retries or outcome.timeouts
+    ):
+        # Only a damaged or bumpy run earns durability shard fields —
+        # a clean resumed run must merge byte-identically to a plain
+        # one, summary() included.
+        from repro.faults.report import DurabilityReport
+
+        durability = merged.durability or DurabilityReport()
+        merged.durability = replace(
+            durability,
+            shards_planned=outcome.n_shards,
+            shards_failed=outcome.failed_indices,
+            shard_retries=outcome.retries,
+            shard_timeouts=outcome.timeouts,
+        )
     return merged

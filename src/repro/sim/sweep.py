@@ -24,11 +24,12 @@ The start method follows :func:`repro.sim.parallel.resolve_start_method`
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.sim.metrics import ReplayMetrics
 from repro.sim.parallel import run_shards
+from repro.sim.progress import ProgressCallback
 from repro.sim.replay import ReplayConfig, replay_cache_only, replay_trace
 from repro.traces.model import Trace
 from repro.traces.workloads import DEFAULT_SCALE, PAPER_WORKLOADS, get_workload
@@ -50,6 +51,9 @@ class SweepJob:
     replay_kwargs: Tuple[Tuple[str, Any], ...] = ()
     cache_only: bool = False
     drain_at_end: bool = False
+    #: Regenerate the workload under this seed instead of its default
+    #: (seed-sensitivity studies); ``None`` uses the memoised trace.
+    workload_seed: Optional[int] = None
 
     def key(self) -> Tuple[str, str, int]:
         """(workload, policy, cache bytes) — the figure-grid cell key."""
@@ -59,6 +63,14 @@ class SweepJob:
 def _job_trace(job: SweepJob) -> Trace:
     """The job's trace: a memoised paper workload, or an MSR CSV path."""
     if job.workload in PAPER_WORKLOADS:
+        if job.workload_seed is not None:
+            from repro.traces.synthetic import generate_trace
+            from repro.traces.workloads import get_config
+
+            cfg = replace(
+                get_config(job.workload, job.scale), seed=job.workload_seed
+            )
+            return generate_trace(cfg)
         return get_workload(job.workload, job.scale)
     from repro.traces.msr import load_msr_trace
 
@@ -82,6 +94,11 @@ def run_jobs(
     jobs: Iterable[SweepJob],
     processes: Optional[int] = None,
     start_method: Optional[str] = None,
+    supervision: Optional[Any] = None,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
+    progress: Optional[ProgressCallback] = None,
+    report: Optional[Any] = None,
 ) -> List[ReplayMetrics]:
     """Run jobs (in order) and return their metrics (same order).
 
@@ -90,12 +107,51 @@ def run_jobs(
     the job count; 1 means run inline with no pool.  Worker failures
     raise :class:`repro.sim.parallel.ShardError` with the failing job
     and its traceback.
+
+    ``supervision`` / ``checkpoint_path`` / ``resume`` switch the
+    fan-out to :func:`repro.sim.supervisor.run_shards_supervised`
+    (retry/timeout/checkpoint/salvage — see ``docs/resilience.md``);
+    a salvaged job's slot holds ``None``.  ``report`` (a
+    :class:`~repro.sim.supervisor.SupervisorReport`) accumulates the
+    outcome so multi-sweep callers can settle one exit code at the end.
     """
     jobs = list(jobs)
     if processes is None:
         env = os.environ.get("REPRO_SWEEP_PROCESSES")
         processes = int(env) if env else None
-    return run_shards(_run_one, jobs, jobs=processes, start_method=start_method)
+    supervised = (
+        supervision is not None
+        or checkpoint_path is not None
+        or resume
+        or report is not None
+    )
+    if not supervised:
+        return run_shards(
+            _run_one,
+            jobs,
+            jobs=processes,
+            start_method=start_method,
+            progress=progress,
+        )
+    from repro.sim.supervisor import run_shards_supervised
+
+    if checkpoint_path is not None and report is not None and report.calls:
+        # One journal per fan-out: later sweeps of the same command get
+        # numbered siblings instead of clobbering the first journal.
+        checkpoint_path = f"{checkpoint_path}.{report.calls}"
+    outcome = run_shards_supervised(
+        _run_one,
+        jobs,
+        jobs=processes,
+        start_method=start_method,
+        supervision=supervision,
+        checkpoint_path=checkpoint_path,
+        resume=resume,
+        progress=progress,
+    )
+    if report is not None:
+        report.add(outcome)
+    return outcome.results
 
 
 def grid_jobs(

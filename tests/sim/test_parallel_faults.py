@@ -182,3 +182,127 @@ class TestJobsOneIsLegacySerial:
         )
         assert via_engine.summary() == direct.summary()
         assert via_engine.eviction_digest == direct.eviction_digest
+
+
+def _spy_on_teardown(monkeypatch):
+    """Record terminate/close/join calls on every constructed pool."""
+    calls = []
+    real_get_context = parallel.get_context
+
+    class SpyPool:
+        def __init__(self, pool):
+            self._pool = pool
+
+        def __getattr__(self, name):
+            if name in ("terminate", "close", "join"):
+                calls.append(name)
+            return getattr(self._pool, name)
+
+    class SpyContext:
+        def __init__(self, ctx):
+            self._ctx = ctx
+
+        def Pool(self, *a, **kw):
+            return SpyPool(self._ctx.Pool(*a, **kw))
+
+    monkeypatch.setattr(
+        parallel, "get_context", lambda m: SpyContext(real_get_context(m))
+    )
+    return calls
+
+
+class TestPoolTeardown:
+    """The teardown-hardening contract: every exit path of the pooled
+    engine terminates-or-closes AND joins the workers."""
+
+    def test_clean_run_closes_and_joins(self, monkeypatch):
+        calls = _spy_on_teardown(monkeypatch)
+        run_shards(_ok_or_boom, ["a", "b", "c"], jobs=2)
+        assert calls == ["close", "join"]
+
+    def test_shard_error_terminates_and_joins(self, monkeypatch):
+        calls = _spy_on_teardown(monkeypatch)
+        with pytest.raises(ShardError):
+            run_shards(_ok_or_boom, ["a", "boom", "b"], jobs=2)
+        assert calls == ["terminate", "join"]
+
+    def test_interrupt_terminates_and_joins(self, monkeypatch):
+        calls = _spy_on_teardown(monkeypatch)
+        with pytest.raises(KeyboardInterrupt):
+            run_shards(_interrupt_on, ["a", "ctrl-c", "b"], jobs=2)
+        assert calls == ["terminate", "join"]
+
+
+class TestSigterm:
+    def test_sigterm_raises_interrupt_and_restores_handler(self):
+        import os
+        import signal
+
+        before = signal.getsignal(signal.SIGTERM)
+        with pytest.raises(KeyboardInterrupt):
+            with parallel._sigterm_as_interrupt():
+                os.kill(os.getpid(), signal.SIGTERM)
+        assert signal.getsignal(signal.SIGTERM) is before
+
+    def test_sigterm_mid_run_tears_pool_down(self, monkeypatch):
+        """A SIGTERM to the pool parent converts to KeyboardInterrupt
+        and takes the terminate+join path instead of killing the parent
+        with live workers orphaned."""
+        calls = _spy_on_teardown(monkeypatch)
+        with pytest.raises(KeyboardInterrupt):
+            run_shards(_sigterm_parent, ["a", "sigterm", "b"], jobs=2)
+        assert "terminate" in calls and "join" in calls
+
+
+def _sigterm_parent(payload):
+    if payload == "sigterm":
+        import os
+        import signal
+        import time
+
+        os.kill(os.getppid(), signal.SIGTERM)
+        time.sleep(30)  # hold the result back so the parent stays blocked
+    return payload
+
+
+class TestShardErrorPickling:
+    """ShardError must cross a spawn boundary with its diagnosis intact
+    (spawn pools pickle exceptions back to the parent)."""
+
+    def test_round_trip_preserves_fields(self):
+        import pickle
+
+        err = ShardError(7, ("payload", 123), "Traceback: ValueError: boom")
+        clone = pickle.loads(pickle.dumps(err))
+        assert isinstance(clone, ShardError)
+        assert clone.shard_index == 7
+        assert clone.payload == ("payload", 123)
+        assert clone.detail == "Traceback: ValueError: boom"
+        assert str(clone) == str(err)
+
+    def test_round_trip_with_unpicklable_payload_repr(self):
+        import pickle
+
+        # Payloads are arbitrary; the pickle path must not depend on
+        # the payload being simple (it already reached the parent).
+        err = ShardError(0, {"k": (1, 2)}, "tb")
+        clone = pickle.loads(pickle.dumps(err))
+        assert clone.payload == {"k": (1, 2)}
+
+    def test_raised_across_spawn_pool(self):
+        """End-to-end: a spawn worker that raises ShardError itself —
+        the exception type must survive the pool's result pickling."""
+        import multiprocessing
+
+        if "spawn" not in multiprocessing.get_all_start_methods():
+            pytest.skip("spawn unavailable")
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(1) as pool:
+            with pytest.raises(ShardError) as excinfo:
+                pool.apply(_raise_shard_error, ())
+        assert excinfo.value.shard_index == 3
+        assert "worker traceback" in excinfo.value.detail
+
+
+def _raise_shard_error():
+    raise ShardError(3, "payload", "worker traceback")

@@ -1,0 +1,129 @@
+"""Microbenchmark: DoublyLinkedList vs the arena IndexList.
+
+Times the four list operations the cache policies lean on — insert,
+remove, move_to_head, and full iteration — over the same workload
+shapes, and prints a side-by-side table.  Run directly::
+
+    PYTHONPATH=src python benchmarks/micro_list.py [n_nodes]
+
+The numbers quoted in docs/arena.md come from this script.  Method:
+each cell is the best of ``REPEATS`` timed rounds (min filters scheduler
+noise), each round performing ``n_nodes`` operations, with an untimed
+reset between rounds restoring the starting state; results are reported
+in nanoseconds per operation.
+
+This is a *structure* benchmark, intentionally free of policy logic:
+it isolates what replacing pointer-chasing node objects with parallel
+index arrays buys (or costs) per operation, independent of the fused
+access loops layered on top (benchmarks/test_baseline.py measures
+those end to end).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.utils.dll import DLLNode, DoublyLinkedList  # noqa: E402
+from repro.utils.index_list import IndexArena  # noqa: E402
+
+REPEATS = 7
+
+
+class _Node(DLLNode):
+    __slots__ = ()
+
+
+def _best(fn, n_ops: int, reset=None) -> float:
+    """Best-of-REPEATS wall time of ``fn`` in ns/op; ``reset`` runs
+    untimed between rounds to restore the starting state."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        fn()
+        dt = time.perf_counter() - t0
+        if dt < best:
+            best = dt
+        if reset is not None:
+            reset()
+    return best * 1e9 / n_ops
+
+
+def bench_dll(n: int) -> dict:
+    nodes = [_Node() for _ in range(n)]
+    dll: DoublyLinkedList = DoublyLinkedList("bench")
+
+    def push_all():
+        for node in nodes:
+            dll.push_head(node)
+
+    def remove_all():
+        for node in nodes:
+            dll.remove(node)
+
+    def move_all():
+        for node in nodes:
+            dll.move_to_head(node)
+
+    def iterate():
+        total = 0
+        for _node in dll:
+            total += 1
+        assert total == n
+
+    out = {"insert": _best(push_all, n, reset=remove_all)}
+    push_all()  # populated for the in-place operations below
+    out["move_to_head"] = _best(move_all, n)
+    out["iterate"] = _best(iterate, n)
+    out["remove"] = _best(remove_all, n, reset=push_all)
+    return out
+
+
+def bench_index_list(n: int) -> dict:
+    arena = IndexArena(n)
+    slots = [arena.alloc() for _ in range(n)]
+    lst = arena.new_list("bench")
+
+    def push_all():
+        for slot in slots:
+            lst.push_head(slot)
+
+    def remove_all():
+        for slot in slots:
+            lst.remove(slot)
+
+    def move_all():
+        for slot in slots:
+            lst.move_to_head(slot)
+
+    def iterate():
+        total = 0
+        for _slot in lst:
+            total += 1
+        assert total == n
+
+    out = {"insert": _best(push_all, n, reset=remove_all)}
+    push_all()
+    out["move_to_head"] = _best(move_all, n)
+    out["iterate"] = _best(iterate, n)
+    out["remove"] = _best(remove_all, n, reset=push_all)
+    return out
+
+
+def main() -> int:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 4096
+    dll = bench_dll(n)
+    arena = bench_index_list(n)
+    print(f"# list microbenchmark: {n} nodes, best of {REPEATS} rounds")
+    print(f"{'operation':<14} {'DLL ns/op':>10} {'IndexList ns/op':>16} {'ratio':>7}")
+    for op in ("insert", "remove", "move_to_head", "iterate"):
+        ratio = dll[op] / arena[op] if arena[op] else float("inf")
+        print(f"{op:<14} {dll[op]:>10.1f} {arena[op]:>16.1f} {ratio:>6.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

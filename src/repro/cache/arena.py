@@ -1,0 +1,682 @@
+"""Arena-native write-buffer policies: LRU, BPLRU and VBBMS.
+
+These are drop-in ``*-arena`` variants of the object-per-node policies
+in :mod:`repro.cache.lru`, :mod:`repro.cache.bplru` and
+:mod:`repro.cache.vbbms`, rebuilt on :class:`repro.utils.index_list
+.IndexArena`: list links live in parallel ``prev``/``next``/``owner``
+int arrays, and per-slot policy metadata (page LPN, block bitmask,
+last-offset, in-order flag) lives in flat columns instead of node
+attributes.  Page membership of a block/virtual block is a bitmask
+column rather than a per-page ``set`` + per-page index dict, which is
+where most of the speedup comes from: inserting or evicting a page
+touches two array cells instead of allocating nodes and churning
+dicts.
+
+Behaviour is pinned byte-identical to the object implementations —
+same hit/miss/eviction decisions, same ``FlushBatch`` ordering
+(ascending-bit iteration over an aligned bitmask *is* ``sorted()``),
+same traced event stream — by the object-vs-arena lockstep suite in
+``tests/sim/test_optimized_equivalence.py`` and the shared property
+and fuzz suites.  Select them explicitly by name or via the engine
+switch (``create_policy(..., engine="arena")`` / ``REPRO_ENGINE=arena``,
+see ``docs/arena.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.cache.base import AccessOutcome, FlushBatch, WriteBufferPolicy
+from repro.cache.vbbms import VBBMSCache, _Region
+from repro.traces.model import IORequest, OpType
+from repro.utils.index_list import IndexArena
+
+__all__ = ["LRUArenaCache", "BPLRUArenaCache", "VBBMSArenaCache"]
+
+
+class LRUArenaCache(WriteBufferPolicy):
+    """Page-level LRU over an index arena: one slot per cached page.
+
+    The arena is sized exactly ``capacity_pages`` — the eviction loop
+    keeps occupancy below capacity before every insert, so the free
+    stack can never run dry and the fused loop allocates by a bare
+    ``pop()``.
+    """
+
+    name = "lru-arena"
+    node_bytes = 12  # same replacement metadata as the object LRU
+
+    def __init__(self, capacity_pages: int) -> None:
+        super().__init__(capacity_pages)
+        arena = IndexArena(capacity_pages)
+        self._arena = arena
+        self._list = arena.new_list("lru")
+        self._lpn: List[int] = arena.new_column(fill=-1)
+        self._index: Dict[int, int] = {}  # lpn -> slot
+
+    # ------------------------------------------------------------------
+    def contains(self, lpn: int) -> bool:
+        """Whether ``lpn`` is currently cached."""
+        return lpn in self._index
+
+    def cached_lpns(self) -> Iterable[int]:
+        """All cached LPNs (order unspecified)."""
+        return self._index.keys()
+
+    def metadata_nodes(self) -> int:
+        """Live replacement-metadata node count."""
+        return len(self._index)
+
+    # ------------------------------------------------------------------
+    def access(self, request: IORequest) -> AccessOutcome:
+        """Fused fast path: the whole LRU protocol is pointer surgery on
+        four flat arrays, with head/tail/len carried in locals for the
+        duration of the request.  Must stay behaviourally identical to
+        the template loop (the traced path runs it via the hooks); the
+        lockstep equivalence suite pins the eviction sequence against
+        the object LRU.
+        """
+        if self.tracer.enabled:
+            return self._access_traced(request)
+        self._req_seq += 1
+        outcome = AccessOutcome()
+        index = self._index
+        index_get = index.get
+        arena = self._arena
+        aprev = arena.prev
+        anext = arena.next
+        aowner = arena.owner
+        free_stack = arena._free
+        free_pop = free_stack.pop
+        free_push = free_stack.append
+        lpn_col = self._lpn
+        lst = self._list
+        lid = lst.lid
+        head = lst.head
+        tail = lst.tail
+        length = lst._len
+        capacity = self.capacity_pages
+        is_write = request.op is OpType.WRITE
+        flushes = outcome.flushes
+        read_misses = outcome.read_miss_lpns
+        hits = misses = inserted = 0
+        occ = self._occupancy
+        for lpn in request.pages():
+            s = index_get(lpn, -1)
+            if s >= 0:
+                hits += 1
+                if s != head:
+                    # Unlink (s is not the head, so aprev[s] is real)...
+                    p = aprev[s]
+                    n = anext[s]
+                    anext[p] = n
+                    if n >= 0:
+                        aprev[n] = p
+                    else:
+                        tail = p
+                    # ...and relink at the MRU head.
+                    aprev[s] = -1
+                    anext[s] = head
+                    aprev[head] = s
+                    head = s
+            elif is_write:
+                misses += 1
+                while occ >= capacity:
+                    v = tail  # pop_tail, inlined
+                    assert v >= 0, "evict called on empty cache"
+                    p = aprev[v]
+                    if p >= 0:
+                        anext[p] = -1
+                    else:
+                        head = -1
+                    tail = p
+                    aprev[v] = -1
+                    aowner[v] = -2  # FREE
+                    free_push(v)
+                    length -= 1
+                    victim_lpn = lpn_col[v]
+                    del index[victim_lpn]
+                    occ -= 1
+                    flushes.append(FlushBatch([victim_lpn]))
+                s = free_pop()  # never empty: occ < capacity == n_slots
+                aowner[s] = lid
+                lpn_col[s] = lpn
+                index[lpn] = s
+                aprev[s] = -1
+                anext[s] = head
+                if head >= 0:
+                    aprev[head] = s
+                else:
+                    tail = s
+                head = s
+                length += 1
+                occ += 1
+                inserted += 1
+            else:
+                misses += 1
+                read_misses.append(lpn)
+        lst.head = head
+        lst.tail = tail
+        lst._len = length
+        self._occupancy = occ
+        outcome.page_hits = hits
+        outcome.page_misses = misses
+        outcome.inserted_pages = inserted
+        return outcome
+
+    def _on_hit(self, lpn: int, request: IORequest) -> None:
+        self._list.move_to_head(self._index[lpn])
+
+    def _insert(self, lpn: int, request: IORequest, outcome: AccessOutcome) -> None:
+        s = self._arena.alloc()
+        self._lpn[s] = lpn
+        self._index[lpn] = s
+        self._list.push_head(s)
+        self._occupancy += 1
+
+    def _evict_one(self, outcome: AccessOutcome) -> None:
+        s = self._list.pop_tail()
+        assert s >= 0, "evict called on empty cache"
+        lpn = self._lpn[s]
+        self._arena.free(s)
+        del self._index[lpn]
+        self._occupancy -= 1
+        outcome.flushes.append(FlushBatch([lpn]))
+
+    # ------------------------------------------------------------------
+    def flush_all(self) -> FlushBatch:
+        """Drain the cache; returns one batch of the dirty pages."""
+        arena = self._arena
+        lpn_col = self._lpn
+        lpns = []
+        slots = []
+        for s in self._list:
+            lpns.append(lpn_col[s])
+            slots.append(s)
+        self._list.clear()
+        for s in slots:
+            arena.free(s)
+        self._index.clear()
+        self._occupancy = 0
+        return FlushBatch(lpns, reason="drain")
+
+    def validate(self) -> None:
+        """Check structural invariants (tests); see CachePolicy."""
+        super().validate()
+        self._arena.validate()
+        assert len(self._list) == len(self._index) == self._occupancy
+        for s in self._list:
+            assert self._index.get(self._lpn[s]) == s
+
+
+class BPLRUArenaCache(WriteBufferPolicy):
+    """Block-padding LRU over an index arena: one slot per block.
+
+    A block's cached pages are a bitmask over its ``pages_per_block``
+    offsets — membership tests, page counts (``bit_count``) and the
+    sorted eviction order (ascending-bit walk) all come straight off
+    the mask, replacing the object policy's per-page index dict and
+    per-block ``set``.
+    """
+
+    name = "bplru-arena"
+    node_bytes = 24  # same replacement metadata as the object BPLRU
+
+    def __init__(
+        self,
+        capacity_pages: int,
+        pages_per_block: int = 64,
+        page_padding: bool = False,
+    ) -> None:
+        super().__init__(capacity_pages)
+        self.pages_per_block = pages_per_block
+        self.page_padding = page_padding
+        self._full_mask = (1 << pages_per_block) - 1
+        # Blocks, not pages: start at a fraction of capacity and grow.
+        arena = IndexArena(max(8, capacity_pages // 8))
+        self._arena = arena
+        self._list = arena.new_list("bplru")
+        self._lbn: List[int] = arena.new_column(fill=-1)
+        self._mask: List[int] = arena.new_column(fill=0)
+        self._last_off: List[int] = arena.new_column(fill=-1)
+        self._in_order: List[bool] = arena.new_column(fill=True)
+        self._blocks: Dict[int, int] = {}  # lbn -> slot
+
+    # ------------------------------------------------------------------
+    def contains(self, lpn: int) -> bool:
+        """Whether ``lpn`` is currently cached."""
+        s = self._blocks.get(lpn // self.pages_per_block, -1)
+        return s >= 0 and (self._mask[s] >> (lpn % self.pages_per_block)) & 1 != 0
+
+    def cached_lpns(self) -> Iterable[int]:
+        """All cached LPNs (order unspecified)."""
+        ppb = self.pages_per_block
+        mask_col = self._mask
+        out = []
+        for lbn, s in self._blocks.items():
+            base = lbn * ppb
+            m = mask_col[s]
+            while m:
+                low = m & -m
+                out.append(base + low.bit_length() - 1)
+                m ^= low
+        return out
+
+    def metadata_nodes(self) -> int:
+        """Live replacement-metadata node count."""
+        return len(self._blocks)
+
+    # ------------------------------------------------------------------
+    def access(self, request: IORequest) -> AccessOutcome:
+        """Fused fast path over the flat block arrays.  One ``divmod``
+        and one dict probe per page; inserts and hits are pure array
+        writes.  Mirrors the object BPLRU loop exactly (the traced path
+        runs the hooks); pinned by the lockstep equivalence suite.
+        """
+        if self.tracer.enabled:
+            return self._access_traced(request)
+        self._req_seq += 1
+        outcome = AccessOutcome()
+        blocks = self._blocks
+        blocks_get = blocks.get
+        arena = self._arena
+        aprev = arena.prev
+        anext = arena.next
+        alloc = arena.alloc
+        lbn_col = self._lbn
+        mask_col = self._mask
+        last_off = self._last_off
+        in_order = self._in_order
+        lst = self._list
+        lid = lst.lid
+        move_to_tail = lst.move_to_tail
+        evict_one = self._evict_one
+        ppb = self.pages_per_block
+        full_mask = self._full_mask
+        capacity = self.capacity_pages
+        is_write = request.op is OpType.WRITE
+        read_misses = outcome.read_miss_lpns
+        occ = self._occupancy
+        hits = misses = inserted = 0
+        for lpn in request.pages():
+            lbn, offset = divmod(lpn, ppb)
+            s = blocks_get(lbn, -1)
+            if s >= 0 and (mask_col[s] >> offset) & 1:
+                hits += 1
+                # A rewrite breaks the "written once, sequentially"
+                # pattern, so the block rejoins the MRU end.
+                in_order[s] = False
+                if s != lst.head:
+                    p = aprev[s]
+                    n = anext[s]
+                    anext[p] = n
+                    if n >= 0:
+                        aprev[n] = p
+                    else:
+                        lst.tail = p
+                    h = lst.head
+                    aprev[s] = -1
+                    anext[s] = h
+                    aprev[h] = s
+                    lst.head = s
+            elif is_write:
+                misses += 1
+                while occ >= capacity:
+                    self._occupancy = occ
+                    evict_one(outcome)
+                    occ = self._occupancy
+                # Re-probe: the eviction loop may have flushed this lbn.
+                s = blocks_get(lbn, -1)
+                if s < 0:
+                    s = alloc()
+                    arena.owner[s] = lid
+                    lbn_col[s] = lbn
+                    mask_col[s] = 0
+                    last_off[s] = -1
+                    in_order[s] = True
+                    blocks[lbn] = s
+                    h = lst.head
+                    aprev[s] = -1
+                    anext[s] = h
+                    if h >= 0:
+                        aprev[h] = s
+                    else:
+                        lst.tail = s
+                    lst.head = s
+                    lst._len += 1
+                else:
+                    if offset != last_off[s] + 1:
+                        in_order[s] = False
+                    if s != lst.head:
+                        p = aprev[s]
+                        n = anext[s]
+                        anext[p] = n
+                        if n >= 0:
+                            aprev[n] = p
+                        else:
+                            lst.tail = p
+                        h = lst.head
+                        aprev[s] = -1
+                        anext[s] = h
+                        aprev[h] = s
+                        lst.head = s
+                mask_col[s] |= 1 << offset
+                last_off[s] = offset
+                occ += 1
+                inserted += 1
+                # LRU compensation: a fully sequential block that just
+                # reached the block boundary joins the eviction end.
+                if in_order[s] and offset == ppb - 1 and mask_col[s] == full_mask:
+                    move_to_tail(s)
+            else:
+                misses += 1
+                read_misses.append(lpn)
+        self._occupancy = occ
+        outcome.page_hits = hits
+        outcome.page_misses = misses
+        outcome.inserted_pages = inserted
+        return outcome
+
+    def _on_hit(self, lpn: int, request: IORequest) -> None:
+        s = self._blocks[lpn // self.pages_per_block]
+        # A rewrite breaks the "written once, sequentially" pattern, so
+        # the block rejoins the MRU end like any hot block.
+        self._in_order[s] = False
+        self._list.move_to_head(s)
+
+    def _insert(self, lpn: int, request: IORequest, outcome: AccessOutcome) -> None:
+        lbn, offset = divmod(lpn, self.pages_per_block)
+        s = self._blocks.get(lbn, -1)
+        if s < 0:
+            s = self._arena.alloc()
+            self._lbn[s] = lbn
+            self._mask[s] = 0
+            self._last_off[s] = -1
+            self._in_order[s] = True
+            self._blocks[lbn] = s
+            self._list.push_head(s)
+        else:
+            if offset != self._last_off[s] + 1:
+                self._in_order[s] = False
+            self._list.move_to_head(s)
+        self._mask[s] |= 1 << offset
+        self._last_off[s] = offset
+        self._occupancy += 1
+        # LRU compensation: a fully sequential block that just reached
+        # the block boundary is demoted to the eviction end.
+        if (
+            self._in_order[s]
+            and offset == self.pages_per_block - 1
+            and self._mask[s] == self._full_mask
+        ):
+            self._list.move_to_tail(s)
+
+    def _evict_one(self, outcome: AccessOutcome) -> None:
+        s = self._list.pop_tail()
+        assert s >= 0, "evict called on empty cache"
+        ppb = self.pages_per_block
+        lbn = self._lbn[s]
+        base = lbn * ppb
+        mask = self._mask[s]
+        lpns = []
+        m = mask
+        while m:  # ascending-bit walk == sorted page order
+            low = m & -m
+            lpns.append(base + low.bit_length() - 1)
+            m ^= low
+        del self._blocks[lbn]
+        self._arena.free(s)
+        self._occupancy -= len(lpns)
+        if self.page_padding and len(lpns) < ppb:
+            padding = [base + off for off in range(ppb) if not (mask >> off) & 1]
+            # Padding pages are read from flash and written back as part
+            # of the same single-block flush.
+            outcome.read_miss_lpns.extend(padding)
+            lpns = sorted(lpns + padding)
+        outcome.flushes.append(FlushBatch(lpns, reason="capacity", pin_key=lbn))
+
+    # ------------------------------------------------------------------
+    def flush_all(self) -> FlushBatch:
+        """Drain the cache; returns one batch of the dirty pages."""
+        lpns = sorted(self.cached_lpns())
+        arena = self._arena
+        slots = list(self._list)
+        self._list.clear()
+        for s in slots:
+            arena.free(s)
+        self._blocks.clear()
+        self._occupancy = 0
+        return FlushBatch(lpns, reason="drain")
+
+    def validate(self) -> None:
+        """Check structural invariants (tests); see CachePolicy."""
+        super().validate()
+        self._arena.validate()
+        total = 0
+        for s in self._list:
+            lbn = self._lbn[s]
+            assert self._blocks[lbn] == s
+            m = self._mask[s]
+            assert m, f"empty block {lbn} retained in list"
+            assert m <= self._full_mask, "mask has bits beyond the block"
+            total += m.bit_count()
+        assert total == self._occupancy
+        assert len(self._blocks) == len(self._list)
+
+
+class VBBMSArenaCache(VBBMSCache):
+    """Two-region VBBMS over one shared index arena.
+
+    Inherits the stream detector, classification, traced mirror loop
+    and the region structs from :class:`VBBMSCache`; only the storage
+    changes — each region's DLL of virtual-block nodes becomes an
+    :class:`IndexList` over a shared arena, and a virtual block's pages
+    become a small bitmask column.  ``region.vbs`` maps vbn -> slot id
+    and ``_page_region`` keeps the same lpn -> region dict, so the
+    inherited probe paths work unchanged.
+    """
+
+    name = "vbbms-arena"
+    node_bytes = 24  # same replacement metadata as the object VBBMS
+
+    def __init__(
+        self,
+        capacity_pages: int,
+        random_fraction: float = 0.6,
+        random_vb_pages: int = 3,
+        seq_vb_pages: int = 4,
+        seq_threshold_pages: int = 16,
+        stream_table_size: int = 32,
+    ) -> None:
+        super().__init__(
+            capacity_pages,
+            random_fraction=random_fraction,
+            random_vb_pages=random_vb_pages,
+            seq_vb_pages=seq_vb_pages,
+            seq_threshold_pages=seq_threshold_pages,
+            stream_table_size=stream_table_size,
+        )
+        # Replace the regions' object DLLs with arena list views; the
+        # rest of the _Region struct (capacity, vbs dict, occupancy,
+        # evict_reason) is reused as-is with slots instead of nodes.
+        arena = IndexArena(max(8, capacity_pages // 2))
+        self._arena = arena
+        self._vbn: List[int] = arena.new_column(fill=-1)
+        self._mask: List[int] = arena.new_column(fill=0)
+        for region in (self.random, self.seq):
+            region.list = arena.new_list(region.name)
+
+    # ------------------------------------------------------------------
+    def access(self, request: IORequest) -> AccessOutcome:
+        """Fused fast path over the shared arena (see VBBMSCache.access
+        for the structure; the traced mirror is inherited and runs the
+        ``_insert_into``/``_evict_from`` overrides below)."""
+        if self.tracer.enabled:
+            return self._access_traced(request)
+        self._req_seq += 1
+        outcome = AccessOutcome()
+        is_write = request.op is OpType.WRITE
+        page_region = self._page_region
+        region_get = page_region.get
+        evict_from = self._evict_from
+        arena = self._arena
+        aprev = arena.prev
+        anext = arena.next
+        alloc = arena.alloc
+        vbn_col = self._vbn
+        mask_col = self._mask
+        read_misses = outcome.read_miss_lpns
+        hits = misses = inserted = 0
+        if is_write:
+            # The insert target is fixed for the whole request, so its
+            # region fields are bound once (the traced path still runs
+            # the ``_insert_into`` method).
+            target = self.classify(request)
+            t_cap = target.capacity
+            t_vb_pages = target.vb_pages
+            t_use_lru = target.use_lru
+            t_vbs = target.vbs
+            t_vbs_get = t_vbs.get
+            t_list = target.list
+            t_lid = t_list.lid
+        for lpn in request.pages():
+            region = region_get(lpn)
+            if region is not None:
+                hits += 1
+                # Only the random region tracks recency (LRU); the FIFO
+                # sequential region leaves hit blocks in place.
+                if region.use_lru:
+                    s = region.vbs[lpn // region.vb_pages]
+                    rl = region.list
+                    if s != rl.head:
+                        p = aprev[s]
+                        n = anext[s]
+                        anext[p] = n
+                        if n >= 0:
+                            aprev[n] = p
+                        else:
+                            rl.tail = p
+                        h = rl.head
+                        aprev[s] = -1
+                        anext[s] = h
+                        aprev[h] = s
+                        rl.head = s
+            elif is_write:
+                misses += 1
+                while target.occupancy >= t_cap:
+                    evict_from(target, outcome)
+                vbn = lpn // t_vb_pages
+                s = t_vbs_get(vbn, -1)
+                if s < 0:
+                    s = alloc()
+                    arena.owner[s] = t_lid
+                    vbn_col[s] = vbn
+                    mask_col[s] = 0
+                    t_vbs[vbn] = s
+                    h = t_list.head
+                    aprev[s] = -1
+                    anext[s] = h
+                    if h >= 0:
+                        aprev[h] = s
+                    else:
+                        t_list.tail = s
+                    t_list.head = s
+                    t_list._len += 1
+                elif t_use_lru and s != t_list.head:
+                    p = aprev[s]
+                    n = anext[s]
+                    anext[p] = n
+                    if n >= 0:
+                        aprev[n] = p
+                    else:
+                        t_list.tail = p
+                    h = t_list.head
+                    aprev[s] = -1
+                    anext[s] = h
+                    aprev[h] = s
+                    t_list.head = s
+                mask_col[s] |= 1 << (lpn - vbn * t_vb_pages)
+                target.occupancy += 1
+                page_region[lpn] = target
+                inserted += 1
+            else:
+                misses += 1
+                read_misses.append(lpn)
+        outcome.page_hits = hits
+        outcome.page_misses = misses
+        outcome.inserted_pages = inserted
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _insert_into(self, region: _Region, lpn: int) -> None:
+        vbn = lpn // region.vb_pages
+        s = region.vbs.get(vbn, -1)
+        if s < 0:
+            s = self._arena.alloc()
+            self._vbn[s] = vbn
+            self._mask[s] = 0
+            region.vbs[vbn] = s
+            region.list.push_head(s)
+        elif region.use_lru:
+            region.list.move_to_head(s)
+        self._mask[s] |= 1 << (lpn - vbn * region.vb_pages)
+        region.occupancy += 1
+        self._page_region[lpn] = region
+
+    def _evict_from(self, region: _Region, outcome: AccessOutcome) -> None:
+        s = region.list.pop_tail()
+        assert s >= 0, f"evict from empty region {region.name}"
+        vbn = self._vbn[s]
+        base = vbn * region.vb_pages
+        m = self._mask[s]
+        page_region = self._page_region
+        lpns = []
+        while m:  # ascending-bit walk == sorted page order
+            low = m & -m
+            lpn = base + low.bit_length() - 1
+            lpns.append(lpn)
+            del page_region[lpn]
+            m ^= low
+        del region.vbs[vbn]
+        self._arena.free(s)
+        region.occupancy -= len(lpns)
+        outcome.flushes.append(FlushBatch(lpns, reason=region.evict_reason))
+
+    # ------------------------------------------------------------------
+    def flush_all(self) -> FlushBatch:
+        """Drain the cache; returns one batch of the dirty pages."""
+        lpns = sorted(self._page_region.keys())
+        arena = self._arena
+        for region in (self.random, self.seq):
+            slots = list(region.list)
+            region.list.clear()
+            for s in slots:
+                arena.free(s)
+            region.vbs.clear()
+            region.occupancy = 0
+        self._page_region.clear()
+        return FlushBatch(lpns, reason="drain")
+
+    def validate(self) -> None:
+        """Check structural invariants (tests); see CachePolicy."""
+        # Regions have individual capacities; the global bound still holds.
+        assert self.occupancy() <= self.capacity_pages
+        self._arena.validate()
+        for region in (self.random, self.seq):
+            total = 0
+            for s in region.list:
+                vbn = self._vbn[s]
+                assert region.vbs[vbn] == s
+                m = self._mask[s]
+                assert m, "empty virtual block retained"
+                assert m < (1 << region.vb_pages), "mask beyond virtual block"
+                base = vbn * region.vb_pages
+                mm = m
+                while mm:
+                    low = mm & -mm
+                    lpn = base + low.bit_length() - 1
+                    assert self._page_region[lpn] is region
+                    mm ^= low
+                total += m.bit_count()
+            assert total == region.occupancy
+            assert region.occupancy <= region.capacity

@@ -24,7 +24,7 @@ import importlib
 import sys
 from typing import Dict, List, Optional
 
-from repro.cache.registry import PAPER_COMPARISON, available_policies
+from repro.cache.registry import ENGINES, PAPER_COMPARISON, available_policies
 from repro.experiments.common import (
     add_resilience_args,
     finish_experiment,
@@ -141,6 +141,7 @@ def _replay_sharded_cmd(args: argparse.Namespace, trace: Trace, cache_bytes: int
     config = ReplayConfig(
         policy=args.policy,
         cache_bytes=cache_bytes,
+        engine=args.engine,
         fault_profile=args.fault_profile,
         fault_seed=args.fault_seed,
         capacitor_pages=args.capacitor_pages,
@@ -222,6 +223,7 @@ def _cmd_replay_inner(args: argparse.Namespace) -> int:
     config = ReplayConfig(
         policy=args.policy,
         cache_bytes=cache_bytes,
+        engine=args.engine,
         tracer=tracer,
         check_invariants=args.check_invariants,
         fault_profile=args.fault_profile,
@@ -314,6 +316,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                     policy=policy,
                     cache_bytes=cache_bytes,
                     scale=args.scale,
+                    replay_kwargs=(
+                        (("engine", args.engine),) if args.engine else ()
+                    ),
                 )
                 for policy in args.policies
             ],
@@ -329,7 +334,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             replay_trace(
                 trace,
                 ReplayConfig(
-                    policy=policy, cache_bytes=cache_bytes, profile=args.profile
+                    policy=policy,
+                    cache_bytes=cache_bytes,
+                    profile=args.profile,
+                    engine=args.engine,
                 ),
             )
             for policy in args.policies
@@ -505,6 +513,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("replay", help="replay one workload through one policy")
     p.add_argument("workload", help="paper workload name or MSR CSV path")
     p.add_argument("--policy", default="reqblock", choices=available_policies())
+    p.add_argument(
+        "--engine", default=None, choices=ENGINES,
+        help="data-plane implementation for the policy (arena resolves "
+             "<policy>-arena when registered; default: REPRO_ENGINE "
+             "env var, then object — see docs/arena.md)",
+    )
     p.add_argument("--cache-mb", type=int, default=16)
     p.add_argument("--scale", type=float, default=DEFAULT_SCALE)
     p.add_argument(
@@ -563,6 +577,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--policies", nargs="+", default=list(PAPER_COMPARISON),
         choices=available_policies(),
+    )
+    p.add_argument(
+        "--engine", default=None, choices=ENGINES,
+        help="data-plane implementation for every compared policy "
+             "(see docs/arena.md; default: REPRO_ENGINE, then object)",
     )
     p.add_argument("--cache-mb", type=int, default=16)
     p.add_argument("--scale", type=float, default=DEFAULT_SCALE)

@@ -1,0 +1,587 @@
+"""Req-block over an index arena: ``reqblock-arena``.
+
+Drop-in variant of :class:`repro.core.policy.ReqBlockCache` with the
+three-level lists and per-block metadata rebuilt on
+:class:`repro.utils.index_list.IndexArena`.  A request block is one
+arena slot; its request id, access count, insert time and origin
+pointer live in flat columns, and its page set is a per-slot reused
+``set`` column (page membership is the one piece that stays a Python
+container — blocks are unbounded and unaligned, so a bitmask does not
+apply).
+
+The one semantic subtlety of slot reuse is the **origin pointer** used
+by downgraded merging (Fig. 6): in the object implementation a split
+block holds a Python reference to its origin, and an origin that was
+emptied, evicted or promoted simply fails the merge preconditions.  A
+recycled arena slot would alias a *new* block under the same integer,
+so origins are stored as ``(slot, generation)`` pairs and every slot's
+generation is bumped on free — a stale origin fails the generation
+check exactly where the object policy's checks fail, which the
+object-vs-arena lockstep suite pins.
+
+Selected by name or via ``create_policy(..., engine="arena")`` /
+``REPRO_ENGINE=arena``; see ``docs/arena.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.cache.base import AccessOutcome, FlushBatch
+from repro.core.multilist import ListLevel
+from repro.core.policy import DEFAULT_DELTA, ReqBlockCache
+from repro.obs.events import CacheHit, CacheMiss, DowngradeMerge, Evict, Insert, ListMove, Split
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.traces.model import IORequest, OpType
+from repro.utils.index_list import IndexArena, IndexList
+
+__all__ = ["ReqBlockArenaCache"]
+
+
+class _LevelIndexList(IndexList):
+    """One of the three lists: an IndexList that knows its level and
+    running page count (mirrors ``multilist._LevelList``)."""
+
+    __slots__ = ("level", "pages")
+
+    def __init__(self, arena: IndexArena, lid: int, name: str = "") -> None:
+        super().__init__(arena, lid, name)
+        self.pages = 0
+
+
+class _BlockView:
+    """Read-only block facade for validators and the invariant checker
+    (which duck-types ``policy.lists.blocks(level)`` -> ``.pages``)."""
+
+    __slots__ = ("slot", "req_id", "pages")
+
+    def __init__(self, slot: int, req_id: int, pages: Set[int]) -> None:
+        self.slot = slot
+        self.req_id = req_id
+        self.pages = pages
+
+    @property
+    def page_num(self) -> int:
+        return len(self.pages)
+
+
+class _ArenaLists:
+    """IRL/SRL/DRL container over one arena (mirrors ThreeLevelLists).
+
+    Holds the same query surface the object container exposes to the
+    policy's inherited code paths (metrics collectors, Figure-13 page
+    counts, the invariant checker) but addresses blocks by slot id.
+    """
+
+    __slots__ = ("_irl", "_srl", "_drl", "_by_lid", "_pages", "_req", "_tracer", "_clock_fn")
+
+    def __init__(
+        self, arena: IndexArena, pages_col: List[Set[int]], req_col: List[int]
+    ) -> None:
+        self._irl: _LevelIndexList = arena.new_list("IRL", cls=_LevelIndexList)
+        self._srl: _LevelIndexList = arena.new_list("SRL", cls=_LevelIndexList)
+        self._drl: _LevelIndexList = arena.new_list("DRL", cls=_LevelIndexList)
+        self._irl.level = ListLevel.IRL
+        self._srl.level = ListLevel.SRL
+        self._drl.level = ListLevel.DRL
+        self._by_lid: Dict[int, _LevelIndexList] = {
+            lst.lid: lst for lst in (self._irl, self._srl, self._drl)
+        }
+        self._pages = pages_col
+        self._req = req_col
+        self._tracer: Tracer = NULL_TRACER
+        self._clock_fn: Callable[[], int] = lambda: 0
+
+    def set_tracer(
+        self, tracer: Optional[Tracer], clock_fn: Optional[Callable[[], int]] = None
+    ) -> None:
+        """Attach an event tracer; ``clock_fn`` supplies the event time
+        (the owning policy's logical clock)."""
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        if clock_fn is not None:
+            self._clock_fn = clock_fn
+
+    def _list_for(self, level: ListLevel) -> _LevelIndexList:
+        if level is ListLevel.IRL:
+            return self._irl
+        if level is ListLevel.SRL:
+            return self._srl
+        return self._drl
+
+    def _all_lists(self) -> Tuple[_LevelIndexList, ...]:
+        return (self._irl, self._srl, self._drl)
+
+    # -- queries ----------------------------------------------------------
+
+    def level_of(self, slot: int) -> Optional[ListLevel]:
+        """The list currently holding ``slot`` (None if detached)."""
+        owner = self._irl.arena.owner[slot]
+        return self._by_lid[owner].level if owner >= 0 else None
+
+    def blocks(self, level: ListLevel) -> Iterator[_BlockView]:
+        """Iterate ``level`` head -> tail as block views."""
+        pages = self._pages
+        req = self._req
+        for slot in self._list_for(level):
+            yield _BlockView(slot, req[slot], pages[slot])
+
+    def block_count(self, level: ListLevel) -> int:
+        """Request blocks currently on ``level``."""
+        return len(self._list_for(level))
+
+    def page_count(self, level: ListLevel) -> int:
+        """Cached pages currently on ``level`` (Fig. 13's series)."""
+        return self._list_for(level).pages
+
+    def total_blocks(self) -> int:
+        """Request blocks across all three lists."""
+        return len(self._irl) + len(self._srl) + len(self._drl)
+
+    def total_pages(self) -> int:
+        """Cached pages across all three lists."""
+        return self._irl.pages + self._srl.pages + self._drl.pages
+
+    # -- mutation ---------------------------------------------------------
+
+    def push_head(self, level: ListLevel, slot: int) -> None:
+        """Insert a detached slot at ``level``'s head."""
+        lst = self._list_for(level)
+        lst.push_head(slot)
+        lst.pages += len(self._pages[slot])
+
+    def remove(self, slot: int) -> ListLevel:
+        """Detach ``slot`` from whichever list holds it."""
+        owner = self._irl.arena.owner[slot]
+        if owner < 0:
+            raise ValueError("block is not on any list")
+        lst = self._by_lid[owner]
+        lst.remove(slot)
+        lst.pages -= len(self._pages[slot])
+        return lst.level
+
+    def move_to_head(self, level: ListLevel, slot: int) -> None:
+        """Move ``slot`` (possibly across lists) to ``level``'s head."""
+        lst = self._list_for(level)
+        owner = self._irl.arena.owner[slot]
+        n = len(self._pages[slot])
+        if self._tracer.enabled:
+            from_level = self._by_lid[owner].level.value if owner >= 0 else ""
+            self._tracer.emit(
+                ListMove(
+                    self._clock_fn(), self._req[slot], from_level, level.value, n
+                )
+            )
+        if owner == lst.lid:
+            lst.move_to_head(slot)
+            return
+        if owner >= 0:
+            prev_lst = self._by_lid[owner]
+            prev_lst.remove(slot)
+            prev_lst.pages -= n
+        lst.push_head(slot)
+        lst.pages += n
+
+    # -- integrity --------------------------------------------------------
+
+    def validate(self) -> None:
+        """Structural invariants: list membership and page counts agree."""
+        for lst in self._all_lists():
+            lst.validate()
+            pages = 0
+            for slot in lst:
+                n = len(self._pages[slot])
+                assert n > 0, f"empty block retained on {lst.level}"
+                pages += n
+            assert pages == lst.pages, (
+                f"{lst.level}: counted {pages} pages, cached {lst.pages}"
+            )
+
+
+class ReqBlockArenaCache(ReqBlockCache):
+    """Request-granularity write buffer over flat arrays (Algorithm 1)."""
+
+    name = "reqblock-arena"
+    node_bytes = 32  # same replacement metadata as the object Req-block
+
+    def __init__(
+        self,
+        capacity_pages: int,
+        delta: int = DEFAULT_DELTA,
+        merge_on_evict: bool = True,
+        split_large_hits: bool = True,
+        refresh_age_on_promote: bool = True,
+    ) -> None:
+        super().__init__(
+            capacity_pages,
+            delta=delta,
+            merge_on_evict=merge_on_evict,
+            split_large_hits=split_large_hits,
+            refresh_age_on_promote=refresh_age_on_promote,
+        )
+        # self._index becomes lpn -> slot id; rebuilt fresh by _build_arena.
+        self._build_arena()
+
+    def _build_arena(self) -> None:
+        """(Re)create the arena, columns and the three-level lists.
+
+        Live blocks never outnumber cached pages (every block holds at
+        least one page, except the in-flight head of the current
+        request), so ``capacity + 2`` slots suffice; the arena grows if
+        a pathological sequence needs more.
+        """
+        arena = IndexArena(self.capacity_pages + 2)
+        self._arena = arena
+        self._pages: List[Set[int]] = arena.new_column(factory=set)
+        self._req: List[int] = arena.new_column(fill=0)
+        self._acc: List[int] = arena.new_column(fill=0)
+        self._tins: List[int] = arena.new_column(fill=0)
+        self._origin: List[int] = arena.new_column(fill=-1)
+        self._ogen: List[int] = arena.new_column(fill=0)
+        self._gen: List[int] = arena.new_column(fill=0)
+        self.lists = _ArenaLists(arena, self._pages, self._req)
+        self.lists.set_tracer(self.tracer, clock_fn=lambda: self._clock)
+
+    def _free_slot(self, slot: int) -> None:
+        """Recycle a block slot; the generation bump invalidates any
+        origin pointers still referring to it."""
+        self._gen[slot] += 1
+        self._arena.free(slot)
+
+    # ------------------------------------------------------------------
+    # Main routine (Algorithm 1) — mirrors ReqBlockCache.access with
+    # slots in place of RequestBlock objects.
+    # ------------------------------------------------------------------
+    def access(self, request: IORequest) -> AccessOutcome:
+        """Serve one request through the cache (see ReqBlockCache)."""
+        if self.tracer.enabled:
+            return self._access_traced(request)
+        outcome = AccessOutcome()
+        req_id = self._req_seq
+        self._req_seq += 1
+        index = self._index
+        index_get = index.get
+        split_hit = self._split_hit
+        evict = self._evict
+        capacity = self.capacity_pages
+        is_write = request.op is OpType.WRITE
+        read_misses = outcome.read_miss_lpns
+        lists = self.lists
+        irl = lists._irl
+        srl = lists._srl
+        by_lid = lists._by_lid
+        arena = self._arena
+        aprev = arena.prev
+        anext = arena.next
+        aowner = arena.owner
+        alloc = arena.alloc
+        srl_lid = srl.lid
+        irl_lid = irl.lid
+        pages_col = self._pages
+        req_col = self._req
+        acc_col = self._acc
+        tins_col = self._tins
+        origin_col = self._origin
+        delta = self.delta
+        split_large = self.split_large_hits
+        refresh_age = self.refresh_age_on_promote
+        hits = misses = inserted = 0
+        clock = self._clock
+        for lpn in request.pages():
+            clock += 1
+            self._clock = clock
+            s = index_get(lpn, -1)
+            if s >= 0:
+                hits += 1
+                acc_col[s] += 1
+                ps = pages_col[s]
+                if len(ps) <= delta or not split_large:
+                    # Small block (or no-split ablation): promote whole
+                    # to SRL (inlined _ArenaLists.move_to_head).
+                    if refresh_age:
+                        tins_col[s] = clock
+                    owner = aowner[s]
+                    if owner == srl_lid:
+                        if s != srl.head:
+                            p = aprev[s]
+                            n = anext[s]
+                            anext[p] = n
+                            if n >= 0:
+                                aprev[n] = p
+                            else:
+                                srl.tail = p
+                            h = srl.head
+                            aprev[s] = -1
+                            anext[s] = h
+                            aprev[h] = s
+                            srl.head = s
+                    else:
+                        n_pages = len(ps)
+                        if owner >= 0:
+                            prev_lst = by_lid[owner]
+                            prev_lst.remove(s)
+                            prev_lst.pages -= n_pages
+                        srl.push_head(s)
+                        srl.pages += n_pages
+                else:
+                    split_hit(lpn, s, req_id)
+            elif is_write:
+                misses += 1
+                while len(index) >= capacity:
+                    evict(outcome)
+                # Inlined ``_insert``: join the current request's IRL
+                # head block, or open a new one.
+                head = irl.head
+                if head < 0 or req_col[head] != req_id:
+                    head = alloc()
+                    aowner[head] = irl_lid  # push_head, inlined
+                    req_col[head] = req_id
+                    acc_col[head] = 1
+                    tins_col[head] = clock
+                    origin_col[head] = -1
+                    h = irl.head
+                    aprev[head] = -1
+                    anext[head] = h
+                    if h >= 0:
+                        aprev[h] = head
+                    else:
+                        irl.tail = head
+                    irl.head = head
+                    irl._len += 1
+                pages_col[head].add(lpn)
+                irl.pages += 1
+                index[lpn] = head
+                inserted += 1
+            else:
+                misses += 1
+                read_misses.append(lpn)
+        outcome.page_hits = hits
+        outcome.page_misses = misses
+        outcome.inserted_pages = inserted
+        return outcome
+
+    def _access_traced(self, request: IORequest) -> AccessOutcome:
+        """The Algorithm-1 loop with event emission; mirrors ``access``."""
+        outcome = AccessOutcome()
+        tracer = self.tracer
+        req_id = self._req_seq
+        self._req_seq += 1
+        index = self._index
+        for lpn in request.pages():
+            self._clock += 1
+            s = index.get(lpn, -1)
+            if s >= 0:
+                outcome.page_hits += 1
+                level = self.lists.level_of(s)
+                tracer.emit(
+                    CacheHit(
+                        self._clock,
+                        req_id,
+                        lpn,
+                        level.value if level is not None else "",
+                    )
+                )
+                self._handle_hit(lpn, s, req_id)
+            else:
+                outcome.page_misses += 1
+                tracer.emit(CacheMiss(self._clock, req_id, lpn, request.is_write))
+                if request.is_write:
+                    while len(index) >= self.capacity_pages:
+                        self._evict(outcome)
+                    self._insert(lpn, req_id)
+                    outcome.inserted_pages += 1
+                    tracer.emit(Insert(self._clock, req_id, lpn, ListLevel.IRL.value))
+                else:
+                    outcome.read_miss_lpns.append(lpn)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Hit handling (§3.2)
+    # ------------------------------------------------------------------
+    def _handle_hit(self, lpn: int, slot: int, req_id: int) -> None:
+        self._acc[slot] += 1
+        if len(self._pages[slot]) <= self.delta or not self.split_large_hits:
+            # Small block (or no-split ablation): promote whole to SRL.
+            if self.refresh_age_on_promote:
+                self._tins[slot] = self._clock
+            self.lists.move_to_head(ListLevel.SRL, slot)
+            return
+        self._split_hit(lpn, slot, req_id)
+
+    def _split_hit(self, lpn: int, slot: int, req_id: int) -> None:
+        lists = self.lists
+        # Large block: extract the hit page into the DRL head block of
+        # the current request (creating it if this request has none yet).
+        if self.tracer.enabled:
+            self.tracer.emit(Split(self._clock, req_id, lpn, self._req[slot]))
+        if self._m_splits is not None:
+            self._m_splits.inc()
+        arena = self._arena
+        ps = self._pages[slot]
+        ps.discard(lpn)
+        owner_lst = lists._by_lid[arena.owner[slot]]
+        owner_lst.pages -= 1  # note_page_removed
+        if ps:
+            origin_slot = slot
+            origin_gen = self._gen[slot]
+        else:
+            # The emptied origin forwards its own origin (mirroring
+            # ``block.origin`` in the object path) and leaves its list;
+            # the slot is recycled, stale references die via the gen.
+            origin_slot = self._origin[slot]
+            origin_gen = self._ogen[slot]
+            owner_lst.remove(slot)
+            self._free_slot(slot)
+        drl = lists._drl
+        target = drl.head
+        if target < 0 or self._req[target] != req_id:
+            target = arena.alloc()
+            self._req[target] = req_id
+            self._acc[target] = 1
+            self._tins[target] = self._clock
+            self._origin[target] = origin_slot
+            self._ogen[target] = origin_gen
+            drl.push_head(target)
+        else:
+            self._acc[target] += 1
+        self._pages[target].add(lpn)
+        drl.pages += 1  # note_page_added
+        self._index[lpn] = target
+
+    # ------------------------------------------------------------------
+    # Miss handling: insertion into IRL
+    # ------------------------------------------------------------------
+    def _insert(self, lpn: int, req_id: int) -> None:
+        lists = self.lists
+        irl = lists._irl
+        head = irl.head
+        if head < 0 or self._req[head] != req_id:
+            head = self._arena.alloc()
+            self._req[head] = req_id
+            self._acc[head] = 1
+            self._tins[head] = self._clock
+            self._origin[head] = -1
+            lists.push_head(ListLevel.IRL, head)
+        self._pages[head].add(lpn)
+        irl.pages += 1  # note_page_added
+        self._index[lpn] = head
+
+    # ------------------------------------------------------------------
+    # Eviction (§3.3)
+    # ------------------------------------------------------------------
+    def _evict(self, outcome: AccessOutcome) -> None:
+        lists = self.lists
+        arena = self._arena
+        pages_col = self._pages
+        clock = self._clock
+        acc_col = self._acc
+        tins_col = self._tins
+        # Victim selection (Eq. 1) over the three tails, strict <.
+        best = -1
+        best_freq = float("inf")
+        for lst in (lists._irl, lists._srl, lists._drl):
+            t = lst.tail
+            if t >= 0:
+                n = len(pages_col[t])
+                if n:
+                    dt = clock - tins_col[t]
+                    f = acc_col[t] / (n * (dt if dt >= 1 else 1))
+                else:
+                    f = float("inf")
+                if f < best_freq:
+                    best_freq = f
+                    best = t
+        assert best >= 0, "evict called on empty cache"
+        victim = best
+        tracer = self.tracer
+        traced = tracer.enabled
+        victim_level = lists.level_of(victim) if traced else None
+        victim_req = self._req[victim]
+        vps = pages_col[victim]
+        lpns = list(vps)
+        # Downgraded merging: a split victim drags its origin block out
+        # of IRL with it, evicting the spatially related cold pages in
+        # the same batch (Fig. 6).  The generation check rejects origins
+        # whose slot was recycled since the split.
+        if self.merge_on_evict:
+            o = self._origin[victim]
+            if (
+                o >= 0
+                and self._gen[o] == self._ogen[victim]
+                and arena.owner[o] == lists._irl.lid
+                and pages_col[o]
+            ):
+                origin_pages = pages_col[o]
+                if traced:
+                    tracer.emit(
+                        DowngradeMerge(
+                            self._clock,
+                            victim_req,
+                            self._req[o],
+                            tuple(sorted(origin_pages)),
+                        )
+                    )
+                if self._m_merges is not None:
+                    self._m_merges.inc()
+                    self._m_merged_pages.inc(len(origin_pages))
+                lpns.extend(origin_pages)
+                irl = lists._irl
+                irl.remove(o)
+                irl.pages -= len(origin_pages)
+                index = self._index
+                for lpn in origin_pages:
+                    del index[lpn]
+                origin_pages.clear()
+                self._free_slot(o)
+        victim_lst = lists._by_lid[arena.owner[victim]]
+        victim_lst.remove(victim)
+        victim_lst.pages -= len(vps)
+        index = self._index
+        for lpn in vps:
+            del index[lpn]
+        vps.clear()
+        self._free_slot(victim)
+        batch_lpns = sorted(lpns)
+        outcome.flushes.append(FlushBatch(batch_lpns))
+        if traced:
+            tracer.emit(
+                Evict(
+                    self._clock,
+                    victim_req,
+                    tuple(batch_lpns),
+                    victim_level.value if victim_level is not None else "",
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def flush_all(self) -> FlushBatch:
+        """Drain the cache; returns one batch of the dirty pages."""
+        lpns = sorted(self._index.keys())
+        self._build_arena()  # fresh lists, like the object policy
+        self._index.clear()
+        return FlushBatch(lpns, reason="drain")
+
+    def validate(self) -> None:
+        """Check structural invariants (tests); see CachePolicy."""
+        assert self.occupancy() <= self.capacity_pages
+        self._arena.validate()
+        self.lists.validate()
+        # Every cached LPN belongs to exactly one block, and that block
+        # is on exactly one list.
+        total_block_pages = self.lists.total_pages()
+        assert total_block_pages == len(self._index), (
+            f"blocks hold {total_block_pages} pages, index has {len(self._index)}"
+        )
+        aowner = self._arena.owner
+        for lpn, slot in self._index.items():
+            assert lpn in self._pages[slot], (
+                f"index points lpn {lpn} at wrong block"
+            )
+            assert aowner[slot] >= 0, f"lpn {lpn}'s block is not on any list"
+        # SRL may only hold small blocks (see ReqBlockCache.validate).
+        if self.split_large_hits:
+            bound = self._srl_size_bound()
+            for slot in self.lists._srl:
+                n = len(self._pages[slot])
+                assert n <= bound, (
+                    f"SRL holds a block of {n} pages (bound={bound})"
+                )

@@ -77,6 +77,11 @@ class ReplayConfig:
     policy: str = "lru"
     cache_bytes: int = 16 * 1024 * 1024
     policy_kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: Data-plane engine for the policy (``"object"`` / ``"arena"``;
+    #: None consults ``REPRO_ENGINE`` and defaults to ``"object"``).
+    #: See :func:`repro.cache.registry.resolve_policy` and
+    #: ``docs/arena.md``.
+    engine: Optional[str] = None
     ssd: Optional[SSDConfig] = None  # auto-sized for the trace when None
     over_provisioning: float = 0.5
     cache_service_ms_per_page: float = 0.01
@@ -140,7 +145,12 @@ class ReplayConfig:
 
 
 def _build_policy(config: ReplayConfig) -> CachePolicy:
-    return create_policy(config.policy, config.cache_pages, **config.policy_kwargs)
+    return create_policy(
+        config.policy,
+        config.cache_pages,
+        engine=config.engine,
+        **config.policy_kwargs,
+    )
 
 
 def _resolve_recorder(

@@ -195,8 +195,16 @@ class SSDController:
         # implementation directly.
         if type(self.ftl) is PageFTL and not self.profiler.enabled:
             self._write_page = self.ftl._write_page_impl
+            # Bulk flush entry point: one ``write_batch`` call per batch
+            # (and one per *request* when every batch is unpinned)
+            # instead of a Python-level call per page.  Gated exactly
+            # like ``_write_page``: the base FTL only, profiling off —
+            # the batch path reproduces the per-page sequence, so
+            # phase accounting is the only thing it would blur.
+            self._use_batch = True
         else:
             self._write_page = self.ftl.write_page
+            self._use_batch = False
         # Cost-aware policies (ECR) may ask the device for flush
         # backlog estimates; inject the narrow feedback adapter.
         if hasattr(policy, "set_device_feedback"):
@@ -321,11 +329,26 @@ class SSDController:
         if flushes:
             # Single-page policies (LRU) emit one batch per evicted
             # page; skip the profiler wrapper per batch when it's off.
-            flush = self._flush_impl if not prof.enabled else self._flush
-            for batch in flushes:
-                t = flush(batch, now)
-                if t > space_ready:
-                    space_ready = t
+            combined: "list | None" = None
+            if len(flushes) > 1 and self._use_batch:
+                # All-unpinned eviction burst: concatenating preserves
+                # the page program order, the arrival time and the
+                # accounting of the per-batch loop exactly (see
+                # _flush_impl), so collapse it into one FTL call.
+                combined = []
+                for b in flushes:
+                    if b.pin_key is not None:
+                        combined = None
+                        break
+                    combined.extend(b.lpns)
+            if combined is not None:
+                space_ready = self._flush_impl(FlushBatch(combined), now)
+            else:
+                flush = self._flush_impl if not prof.enabled else self._flush
+                for batch in flushes:
+                    t = flush(batch, now)
+                    if t > space_ready:
+                        space_ready = t
 
         dram_time = self.cache_service_ms * request.npages
         if is_write:
@@ -395,6 +418,17 @@ class SSDController:
             # cross-channel parallelism.
             channel = self.ftl.pinned_channel_for(batch.pin_key)
             planes = self.ftl.planes_of_channel(channel)
+        if self._use_batch:
+            # Bulk path: one call into the FTL services the whole batch
+            # with the per-page bookkeeping fused (see
+            # PageFTL.write_batch); ``done`` already excludes a page
+            # whose post-write GC raised, mirroring the loops below.
+            xfer_done, done, err = self.ftl.write_batch(lpns, now, planes)
+            if err is not None:
+                self.enter_degraded(str(err), now)
+                self.degraded.flush_pages_dropped += len(lpns) - done
+            self.flushed_pages += done
+            return xfer_done
         xfer_done = now
         write_page = self._write_page
         done = 0

@@ -167,7 +167,7 @@ class CachedMappingFTL(PageFTL):
     # charging a lookup.
     def relocate(self, ppn: int, plane: int, now: float) -> OpTimes:
         """GC relocation; dirties the mapping's translation page."""
-        lpn = self._rmap.get(ppn)
+        lpn = self.rmap_lookup(ppn)
         if lpn is not None:
             entry = self._cmt.get(self._tvpn_of(lpn))
             if entry is not None:

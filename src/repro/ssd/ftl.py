@@ -23,7 +23,7 @@ from repro.obs.events import FlashWrite, GcMigrate
 from repro.obs.profile import NULL_PROFILER, PhaseProfiler
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.ssd.config import SSDConfig
-from repro.ssd.flash import FlashArray
+from repro.ssd.flash import FlashArray, FlashOutOfSpace
 from repro.ssd.gc import GarbageCollector
 from repro.ssd.geometry import Geometry
 from repro.ssd.resources import OpTimes, ResourceTimelines
@@ -32,6 +32,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultInjector
 
 __all__ = ["FTLStats", "PageFTL"]
+
+#: Device sizes (total physical pages) up to this use a flat list for
+#: the reverse map (ppn -> lpn, -1 = none): an indexed load beats the
+#: dict probe on the per-program invalidation path, and 4 Mi entries
+#: bound the sentinel storage at ~32 MB.  Larger devices keep the
+#: sparse dict (only written PPNs are stored).
+_RMAP_LIST_MAX_PAGES = 1 << 22
 
 
 @dataclass(slots=True)
@@ -65,6 +72,7 @@ class PageFTL:
         "_map",
         "_n_mapped",
         "_rmap",
+        "_rmap_list",
         "_alloc_order",
         "_rr",
         "_ppb",
@@ -99,12 +107,16 @@ class PageFTL:
         self.stats = FTLStats()
         # Forward table: flat list indexed by LPN (-1 = unmapped), grown
         # lazily to the trace's footprint.  A list probe is ~2x cheaper
-        # than a dict hit and the key space is dense.  The reverse table
-        # stays a dict: PPNs span the whole device (tens of millions of
-        # physical pages by default) while only the written ones matter.
+        # than a dict hit and the key space is dense.
         self._map: List[int] = []
         self._n_mapped = 0
-        self._rmap: Dict[int, int] = {}
+        # Reverse table: flat when the device is small enough (see
+        # _RMAP_LIST_MAX_PAGES), sparse dict otherwise.
+        n_pages = len(flash.page_state)
+        self._rmap_list = n_pages <= _RMAP_LIST_MAX_PAGES
+        self._rmap: "Dict[int, int] | List[int]" = (
+            [-1] * n_pages if self._rmap_list else {}
+        )
         # Channel-fastest plane rotation: consecutive allocations hit
         # different channels first, then different chips, then planes —
         # maximising bus/cell overlap for batched writes.
@@ -151,6 +163,19 @@ class PageFTL:
     def mapped_lpns(self) -> List[int]:
         """All currently mapped LPNs (ascending); for tests and recovery."""
         return [lpn for lpn, ppn in enumerate(self._map) if ppn >= 0]
+
+    def rmap_lookup(self, ppn: int) -> Optional[int]:
+        """The live LPN stamped on ``ppn``, or None (either rmap shape)."""
+        if self._rmap_list:
+            lpn = self._rmap[ppn]
+            return None if lpn < 0 else lpn
+        return self._rmap.get(ppn)  # type: ignore[union-attr]
+
+    def _rmap_items(self) -> "List[tuple[int, int]]":
+        """Live ``(ppn, lpn)`` pairs (either rmap shape); cold paths only."""
+        if self._rmap_list:
+            return [(p, l) for p, l in enumerate(self._rmap) if l >= 0]
+        return list(self._rmap.items())  # type: ignore[union-attr]
 
     # ------------------------------------------------------------------
     # Host operations
@@ -267,7 +292,10 @@ class PageFTL:
         if old >= 0:
             page_state[old] = 2  # PageState.INVALID
             valid_count[old // ppb] -= 1
-            del rmap[old]
+            if self._rmap_list:
+                rmap[old] = -1
+            else:
+                del rmap[old]
         else:
             self._n_mapped += 1
         page_state[ppn] = 1  # PageState.VALID
@@ -283,6 +311,147 @@ class PageFTL:
         if len(flash.free_blocks[target_plane]) < self._gc_thr:
             self.gc.collect(self, target_plane, op.end)
         return op
+
+    def write_batch(
+        self,
+        lpns: List[int],
+        now: float,
+        planes: Optional[List[int]] = None,
+    ) -> "tuple[float, int, Optional[FlashOutOfSpace]]":
+        """Program a whole flush batch; the controller's bulk write path.
+
+        Equivalent to calling :meth:`write_page` per LPN (same
+        statements, same order per page) but with the per-page locals —
+        flash arrays, resource timelines, the mapping tables, the plane
+        rotation and the program sequence counter — hoisted out of the
+        loop, which is where most of the flush wall-clock goes.
+
+        Returns ``(xfer_done, done, err)``: the latest bus-transfer end
+        among the pages the controller should account (matching the
+        per-page loop, a page whose *post-write GC* raised is programmed
+        but neither counted in ``done`` nor folded into ``xfer_done``),
+        the number of pages to account, and the ``FlashOutOfSpace`` that
+        stopped the batch (None when it completed).
+
+        With fault injection enabled, non-plain resource timelines or an
+        attached tracer the method degrades to the per-page calls,
+        keeping the injected / event-driven / observed slow paths
+        authoritative (a tracer's invariant checker validates at every
+        ``FlashWrite``, so the counters it reads must be synced
+        per page, not per batch).
+        """
+        if self.faults.enabled or not self._res_plain or self.tracer.enabled:
+            xfer_done = now
+            done = 0
+            n_pl = len(planes) if planes else 0
+            try:
+                for i, lpn in enumerate(lpns):
+                    op = self._write_page_impl(
+                        lpn, now, planes[i % n_pl] if planes else None
+                    )
+                    if op.xfer_end > xfer_done:
+                        xfer_done = op.xfer_end
+                    done += 1
+            except FlashOutOfSpace as exc:
+                return xfer_done, done, exc
+            return xfer_done, done, None
+        flash = self.flash
+        res = self.resources
+        ppb = self._ppb
+        gc_thr = self._gc_thr
+        write_ptr = flash.write_ptr
+        active_block = flash.active_block
+        page_state = flash.page_state
+        valid_count = flash.valid_count
+        free_blocks = flash.free_blocks
+        last_seq = flash.last_program_seq
+        pop_free = flash._pop_free_block
+        chan_of = res._chan_of
+        bus_free = res.bus_free
+        plane_free = res.plane_free
+        xfer = res._xfer
+        prog_ms = res._prog_ms
+        bus_busy = res.bus_busy_ms
+        plane_busy = res.plane_busy_ms
+        m = self._map
+        rmap = self._rmap
+        rmap_list = self._rmap_list
+        order = self._alloc_order
+        n_order = len(order)
+        rr = self._rr
+        seq = flash.total_programs
+        gc_collect = self.gc.collect
+        n_pl = len(planes) if planes else 0
+        xfer_done = now
+        done = 0
+        programmed = 0  # host programs issued (== done unless GC raised)
+        n_mapped_add = 0
+        err: Optional[FlashOutOfSpace] = None
+        try:
+            for i, lpn in enumerate(lpns):
+                if planes is None:
+                    target_plane = order[rr]
+                    rr += 1
+                    if rr >= n_order:
+                        rr = 0
+                else:
+                    target_plane = planes[i % n_pl]
+                block = active_block[target_plane]
+                ptr = write_ptr[block]
+                if ptr >= ppb:
+                    block = pop_free(target_plane)
+                    active_block[target_plane] = block
+                    ptr = write_ptr[block]
+                ppn = block * ppb + ptr
+                write_ptr[block] = ptr + 1
+                channel = chan_of[target_plane]
+                busy = bus_free[channel]
+                start = now if now > busy else busy
+                xfer_end = start + xfer
+                busy = plane_free[target_plane]
+                prog_start = xfer_end if xfer_end > busy else busy
+                end = prog_start + prog_ms
+                bus_free[channel] = xfer_end
+                plane_free[target_plane] = end
+                bus_busy[channel] += xfer
+                plane_busy[target_plane] += prog_ms
+                if lpn >= len(m):
+                    m.extend([-1] * (lpn + 1 - len(m)))
+                old = m[lpn]
+                if old >= 0:
+                    page_state[old] = 2  # PageState.INVALID
+                    valid_count[old // ppb] -= 1
+                    if rmap_list:
+                        rmap[old] = -1
+                    else:
+                        del rmap[old]
+                else:
+                    n_mapped_add += 1
+                page_state[ppn] = 1  # PageState.VALID
+                valid_count[block] += 1
+                seq += 1
+                last_seq[block] = seq
+                m[lpn] = ppn
+                rmap[ppn] = lpn
+                programmed += 1
+                if len(free_blocks[target_plane]) < gc_thr:
+                    # GC relocates pages (bumping the program sequence)
+                    # and may raise: sync the hoisted counters in, run
+                    # it, and reload what it advanced.
+                    flash.total_programs = seq
+                    self._rr = rr
+                    gc_collect(self, target_plane, end)
+                    seq = flash.total_programs
+                done += 1
+                if xfer_end > xfer_done:
+                    xfer_done = xfer_end
+        except FlashOutOfSpace as exc:
+            err = exc
+        self._rr = rr
+        flash.total_programs = seq
+        self._n_mapped += n_mapped_add
+        self.stats.host_programs += programmed
+        return xfer_done, done, err
 
     def _write_page_faulty(
         self, lpn: int, now: float, plane: Optional[int] = None
@@ -311,7 +480,10 @@ class PageFTL:
         old = m[lpn]
         if old >= 0:
             flash.invalidate(old)
-            del self._rmap[old]
+            if self._rmap_list:
+                self._rmap[old] = -1
+            else:
+                del self._rmap[old]
         else:
             self._n_mapped += 1
         flash.program(ppn)
@@ -364,11 +536,14 @@ class PageFTL:
         Called only by the garbage collector, with the victim block's
         pages; never triggers nested GC.
         """
-        lpn = self._rmap.get(ppn)
+        lpn = self.rmap_lookup(ppn)
         if lpn is None:
             raise ValueError(f"relocate: ppn {ppn} holds no live LPN")
         self.flash.invalidate(ppn)
-        del self._rmap[ppn]
+        if self._rmap_list:
+            self._rmap[ppn] = -1
+        else:
+            del self._rmap[ppn]
         new_ppn = self.flash.allocate_page(plane, stream="gc")
         op = self.resources.schedule_program(plane, now)
         self.flash.program(new_ppn)
@@ -403,7 +578,7 @@ class PageFTL:
 
         state = self.flash.page_state
         rebuilt: Dict[int, int] = {}
-        for ppn, lpn in self._rmap.items():
+        for ppn, lpn in self._rmap_items():
             assert state[ppn] == PageState.VALID, (
                 f"OOB scan found lpn {lpn} stamped on non-valid ppn {ppn}"
             )
@@ -434,14 +609,14 @@ class PageFTL:
             if ppn < 0:
                 continue
             n_mapped += 1
-            assert self._rmap.get(ppn) == lpn, f"rmap mismatch at lpn {lpn}"
+            assert self.rmap_lookup(ppn) == lpn, f"rmap mismatch at lpn {lpn}"
             assert (
                 self.flash.page_state[ppn] == PageState.VALID
             ), f"lpn {lpn} maps to non-valid ppn {ppn}"
         assert n_mapped == self._n_mapped, (
             f"mapped-count cache {self._n_mapped} != scanned {n_mapped}"
         )
-        assert n_mapped == len(self._rmap), "map/rmap size mismatch"
+        assert n_mapped == len(self._rmap_items()), "map/rmap size mismatch"
         n_valid = sum(self.flash.valid_count)
         assert n_valid == n_mapped, (
             f"{n_valid} valid flash pages but {n_mapped} mapped LPNs"

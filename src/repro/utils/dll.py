@@ -273,8 +273,11 @@ class DoublyLinkedList(Generic[T]):
     def validate(self) -> None:
         """Walk the chain asserting structural invariants.
 
-        Raises ``AssertionError`` on corruption.  O(n); intended for the
-        test-suite, not for hot paths.
+        Walks forward *and* backward, checking the stored length
+        against both directions — a ``next``-chain that loses a node
+        while the ``prev``-chain keeps it (or vice versa) is invisible
+        to a single-direction walk.  Raises ``AssertionError`` on
+        corruption.  O(n); intended for the test-suite, not hot paths.
         """
         count = 0
         prev = None
@@ -290,5 +293,20 @@ class DoublyLinkedList(Generic[T]):
         assert (
             count == self._len
         ), f"length mismatch: walked {count}, stored {self._len}"
+        count_back = 0
+        nxt = None
+        node = self._tail
+        while node is not None:
+            assert node.next is nxt, "broken next pointer"
+            nxt = node
+            node = node.prev
+            count_back += 1
+            assert (
+                count_back <= self._len
+            ), "cycle detected or length undercount (backward)"
+        assert nxt is self._head, "head pointer mismatch"
+        assert count_back == self._len, (
+            f"length mismatch: walked {count_back} backward, stored {self._len}"
+        )
         if self._len == 0:
             assert self._head is None and self._tail is None

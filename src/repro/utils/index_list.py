@@ -1,0 +1,424 @@
+"""Arena-backed intrusive lists: the DLL contract over parallel int arrays.
+
+:class:`IndexArena` owns three parallel integer arrays -- ``prev``,
+``next`` and ``owner`` -- plus a free-list of reusable slot ids.  An
+:class:`IndexList` is a *view* over the arena (a head/tail/len triple
+with a list id); several lists share one arena, which is what makes
+O(1) cross-list moves possible without touching any per-node Python
+objects.  This is the engine behind the ``*-arena`` cache policies
+(see ``docs/arena.md``): one slot per cached page (LRU) or per block
+(BPLRU / VBBMS / Req-block), with policy payload stored in extra
+*columns* -- plain Python lists registered via :meth:`IndexArena
+.new_column` that grow in lockstep with the pointer arrays.
+
+The contract deliberately mirrors :class:`repro.utils.dll
+.DoublyLinkedList` operation for operation (head-insert, arbitrary
+remove, move-to-head/tail, pops, clear, validate) so the property
+suite in ``tests/utils/test_index_list.py`` can drive both through
+random op sequences and compare.  Two deviations, both deliberate:
+
+* nodes are plain ``int`` slot ids, not objects, so ``pop_head`` /
+  ``pop_tail`` return ``-1`` (:data:`NIL`) instead of ``None`` when
+  empty;
+* membership is encoded in ``owner[slot]``: ``>= 0`` is the owning
+  list's id, :data:`DETACHED` (-1) is allocated-but-unlinked, and
+  :data:`FREE` (-2) marks a slot on the free-list.
+
+Plain Python lists beat ``numpy`` arrays here: the access pattern is
+scalar pointer-chasing (one slot at a time), and a numpy scalar read
+boxes a fresh ``np.int64`` per index -- measured ~3x slower than a
+list read in ``benchmarks/micro_list.py``.  Vectorised bulk phases
+could use numpy profitably, but the cache hot loop has none.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional
+
+__all__ = ["FREE", "DETACHED", "NIL", "IndexArena", "IndexList"]
+
+#: ``owner`` value for a slot sitting on the free-list.
+FREE = -2
+#: ``owner`` value for an allocated slot not linked into any list.
+DETACHED = -1
+#: Null pointer / "no slot" sentinel for ``prev``/``next``/returns.
+NIL = -1
+
+
+class IndexArena:
+    """Slot allocator plus the shared ``prev``/``next``/``owner`` arrays.
+
+    ``n_slots`` preallocates capacity; the arena grows (doubling) when
+    :meth:`alloc` runs dry, extending every registered column in
+    lockstep so slot ids stay valid across growth.
+    """
+
+    __slots__ = ("prev", "next", "owner", "_free", "_lists", "_columns")
+
+    def __init__(self, n_slots: int = 0) -> None:
+        n = max(0, n_slots)
+        self.prev: List[int] = [NIL] * n
+        self.next: List[int] = [NIL] * n
+        self.owner: List[int] = [FREE] * n
+        # LIFO free stack, seeded in reverse so slots hand out 0, 1, 2...
+        self._free: List[int] = list(range(n - 1, -1, -1))
+        self._lists: List[IndexList] = []
+        self._columns: List[tuple[list, object]] = []
+
+    # -- layout -----------------------------------------------------------
+
+    @property
+    def n_slots(self) -> int:
+        return len(self.owner)
+
+    @property
+    def n_free(self) -> int:
+        return len(self._free)
+
+    def new_list(self, name: str = "", cls: type = None) -> "IndexList":  # type: ignore[assignment]
+        """Create a new list view over this arena.
+
+        ``cls`` may name an :class:`IndexList` subclass (e.g. one that
+        carries a per-list page counter) to instantiate instead.
+        """
+        lst = (cls or IndexList)(self, len(self._lists), name)
+        self._lists.append(lst)
+        return lst
+
+    def new_column(
+        self, fill: object = 0, factory: Optional[Callable[[], object]] = None
+    ) -> list:
+        """Register a payload column (one value per slot).
+
+        ``fill`` is the default value for new slots; pass ``factory``
+        instead for mutable payloads (e.g. ``factory=set``) so each
+        slot gets its own instance.  The returned plain list is indexed
+        by slot id and is extended automatically when the arena grows.
+        """
+        n = self.n_slots
+        col = [factory() for _ in range(n)] if factory is not None else [fill] * n
+        self._columns.append((col, factory if factory is not None else fill))
+        return col
+
+    def _grow(self) -> None:
+        old = self.n_slots
+        add = max(8, old)  # double, with a floor for tiny arenas
+        self.prev.extend([NIL] * add)
+        self.next.extend([NIL] * add)
+        self.owner.extend([FREE] * add)
+        self._free.extend(range(old + add - 1, old - 1, -1))
+        for col, default in self._columns:
+            if callable(default):
+                col.extend(default() for _ in range(add))
+            else:
+                col.extend([default] * add)
+
+    # -- slot lifecycle ---------------------------------------------------
+
+    def alloc(self) -> int:
+        """Take a slot off the free-list (growing if empty); DETACHED."""
+        free = self._free
+        if not free:
+            self._grow()
+        slot = free.pop()
+        self.owner[slot] = DETACHED
+        return slot
+
+    def free(self, slot: int) -> None:
+        """Return a slot to the free-list.  Must not be on a list."""
+        owner = self.owner[slot]
+        if owner >= 0:
+            raise ValueError(
+                f"slot {slot} still belongs to list "
+                f"{self._lists[owner].name!r}; remove it before freeing"
+            )
+        if owner == FREE:
+            raise ValueError(f"slot {slot} is already free")
+        self.owner[slot] = FREE
+        self._free.append(slot)
+
+    # -- integrity --------------------------------------------------------
+
+    def validate(self) -> None:
+        """Assert global arena consistency (every list + the free set)."""
+        n = self.n_slots
+        assert len(self.prev) == len(self.next) == n
+        for col, _ in self._columns:
+            assert len(col) == n, "column length diverged from arena"
+        free_set = set(self._free)
+        assert len(free_set) == len(self._free), "duplicate slot on free-list"
+        for slot in free_set:
+            assert self.owner[slot] == FREE, f"free-list slot {slot} not FREE"
+        n_listed = 0
+        for lst in self._lists:
+            lst.validate()
+            n_listed += len(lst)
+        n_owned = sum(1 for o in self.owner if o >= 0)
+        assert n_owned == n_listed, (
+            f"{n_owned} slots claim list ownership but lists hold {n_listed}"
+        )
+        assert sum(1 for o in self.owner if o == FREE) == len(free_set)
+
+
+class IndexList:
+    """One doubly-linked list view over an :class:`IndexArena`.
+
+    Mirrors :class:`repro.utils.dll.DoublyLinkedList` -- same method
+    names, same complexity, same double-insert error -- with ``int``
+    slots in place of node objects.  Obtain instances via
+    :meth:`IndexArena.new_list`.
+    """
+
+    __slots__ = ("arena", "lid", "name", "head", "tail", "_len", "_prev", "_next", "_owner")
+
+    def __init__(self, arena: IndexArena, lid: int, name: str = "") -> None:
+        self.arena = arena
+        self.lid = lid
+        self.name = name or f"list{lid}"
+        self.head = NIL
+        self.tail = NIL
+        self._len = 0
+        # Direct references to the arena's arrays: _grow() extends the
+        # same list objects in place, so these never go stale, and they
+        # save an attribute hop per pointer access in the hot methods.
+        self._prev = arena.prev
+        self._next = arena.next
+        self._owner = arena.owner
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __bool__(self) -> bool:
+        return self._len > 0
+
+    def __iter__(self) -> Iterator[int]:
+        nxt = self._next
+        slot = self.head
+        while slot != NIL:
+            yield slot
+            slot = nxt[slot]
+
+    def __reversed__(self) -> Iterator[int]:
+        prv = self._prev
+        slot = self.tail
+        while slot != NIL:
+            yield slot
+            slot = prv[slot]
+
+    def __contains__(self, slot: int) -> bool:
+        return 0 <= slot < self.arena.n_slots and self._owner[slot] == self.lid
+
+    # -- insertion --------------------------------------------------------
+
+    def _reject_insert(self, slot: int) -> None:
+        """Raise the right error for inserting a non-DETACHED slot."""
+        owner = self._owner[slot]
+        if owner >= 0:
+            raise ValueError(
+                f"slot {slot} already belongs to list "
+                f"{self.arena._lists[owner].name!r}; remove it before "
+                f"inserting into {self.name!r}"
+            )
+        raise ValueError(f"slot {slot} is free; alloc() it before inserting")
+
+    def push_head(self, slot: int) -> None:
+        owner = self._owner
+        if owner[slot] != DETACHED:
+            self._reject_insert(slot)
+        owner[slot] = self.lid
+        head = self.head
+        self._prev[slot] = NIL
+        self._next[slot] = head
+        if head != NIL:
+            self._prev[head] = slot
+        else:
+            self.tail = slot
+        self.head = slot
+        self._len += 1
+
+    def push_tail(self, slot: int) -> None:
+        owner = self._owner
+        if owner[slot] != DETACHED:
+            self._reject_insert(slot)
+        owner[slot] = self.lid
+        tail = self.tail
+        self._next[slot] = NIL
+        self._prev[slot] = tail
+        if tail != NIL:
+            self._next[tail] = slot
+        else:
+            self.head = slot
+        self.tail = slot
+        self._len += 1
+
+    def insert_after(self, after: int, slot: int) -> None:
+        """Insert ``slot`` immediately after ``after`` (anchor first,
+        mirroring ``DoublyLinkedList.insert_after(anchor, node)``)."""
+        owner = self._owner
+        if owner[after] != self.lid:
+            raise ValueError(f"anchor slot {after} is not on list {self.name!r}")
+        if after == self.tail:
+            self.push_tail(slot)
+            return
+        if owner[slot] != DETACHED:
+            self._reject_insert(slot)
+        owner[slot] = self.lid
+        prev, next_ = self._prev, self._next
+        nxt = next_[after]
+        prev[slot] = after
+        next_[slot] = nxt
+        next_[after] = slot
+        prev[nxt] = slot
+        self._len += 1
+
+    # -- removal ----------------------------------------------------------
+
+    def remove(self, slot: int) -> None:
+        owner = self._owner
+        if owner[slot] != self.lid:
+            raise ValueError(f"slot {slot} is not on list {self.name!r}")
+        prev, next_ = self._prev, self._next
+        prv, nxt = prev[slot], next_[slot]
+        if prv != NIL:
+            next_[prv] = nxt
+        else:
+            self.head = nxt
+        if nxt != NIL:
+            prev[nxt] = prv
+        else:
+            self.tail = prv
+        prev[slot] = NIL
+        next_[slot] = NIL
+        owner[slot] = DETACHED
+        self._len -= 1
+
+    def pop_head(self) -> int:
+        head = self.head
+        if head == NIL:
+            return NIL
+        next_ = self._next
+        nxt = next_[head]
+        self.head = nxt
+        if nxt != NIL:
+            self._prev[nxt] = NIL
+        else:
+            self.tail = NIL
+        next_[head] = NIL
+        self._owner[head] = DETACHED
+        self._len -= 1
+        return head
+
+    def pop_tail(self) -> int:
+        tail = self.tail
+        if tail == NIL:
+            return NIL
+        prev = self._prev
+        prv = prev[tail]
+        self.tail = prv
+        if prv != NIL:
+            self._next[prv] = NIL
+        else:
+            self.head = NIL
+        prev[tail] = NIL
+        self._owner[tail] = DETACHED
+        self._len -= 1
+        return tail
+
+    def clear(self) -> None:
+        """Detach every slot (owner -> DETACHED); does not free them."""
+        prev, next_, owner = self._prev, self._next, self._owner
+        slot = self.head
+        while slot != NIL:
+            nxt = next_[slot]
+            prev[slot] = NIL
+            next_[slot] = NIL
+            owner[slot] = DETACHED
+            slot = nxt
+        self.head = NIL
+        self.tail = NIL
+        self._len = 0
+
+    # -- reordering -------------------------------------------------------
+
+    def move_to_head(self, slot: int) -> None:
+        if self._owner[slot] != self.lid:
+            raise ValueError(f"slot {slot} is not on list {self.name!r}")
+        if slot == self.head:
+            return
+        prev, next_ = self._prev, self._next
+        prv, nxt = prev[slot], next_[slot]
+        next_[prv] = nxt  # prv is real: slot is not the head
+        if nxt != NIL:
+            prev[nxt] = prv
+        else:
+            self.tail = prv
+        head = self.head
+        prev[slot] = NIL
+        next_[slot] = head
+        prev[head] = slot
+        self.head = slot
+
+    def move_to_tail(self, slot: int) -> None:
+        if self._owner[slot] != self.lid:
+            raise ValueError(f"slot {slot} is not on list {self.name!r}")
+        if slot == self.tail:
+            return
+        prev, next_ = self._prev, self._next
+        prv, nxt = prev[slot], next_[slot]
+        prev[nxt] = prv  # nxt is real: slot is not the tail
+        if prv != NIL:
+            next_[prv] = nxt
+        else:
+            self.head = nxt
+        tail = self.tail
+        next_[slot] = NIL
+        prev[slot] = tail
+        next_[tail] = slot
+        self.tail = slot
+
+    # -- integrity --------------------------------------------------------
+
+    def validate(self) -> None:
+        """Walk the list forward *and* backward, asserting structure.
+
+        Mirrors :meth:`repro.utils.dll.DoublyLinkedList.validate`,
+        including the bidirectional length check.
+        """
+        arena = self.arena
+        count = 0
+        prv = NIL
+        slot = self.head
+        while slot != NIL:
+            assert arena.owner[slot] == self.lid, (
+                f"slot {slot} on list {self.name!r} has owner "
+                f"{arena.owner[slot]}, expected {self.lid}"
+            )
+            assert arena.prev[slot] == prv, "broken prev pointer"
+            prv = slot
+            slot = arena.next[slot]
+            count += 1
+            assert count <= self._len, "cycle detected or length undercount"
+        assert prv == self.tail, "tail pointer mismatch"
+        assert count == self._len, (
+            f"length mismatch: walked {count}, stored {self._len}"
+        )
+        count_back = 0
+        nxt = NIL
+        slot = self.tail
+        while slot != NIL:
+            assert arena.next[slot] == nxt, "broken next pointer"
+            nxt = slot
+            slot = arena.prev[slot]
+            count_back += 1
+            assert count_back <= self._len, (
+                "cycle detected or length undercount (backward)"
+            )
+        assert nxt == self.head, "head pointer mismatch"
+        assert count_back == self._len, (
+            f"length mismatch: walked {count_back} backward, stored {self._len}"
+        )
+        if self._len == 0:
+            assert self.head == NIL and self.tail == NIL
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IndexList({self.name!r}, len={self._len})"

@@ -35,15 +35,22 @@ from typing import Dict, List, Optional
 THROUGHPUT_SECTIONS = ("replay_req_per_s", "cache_only_req_per_s")
 
 
-def find_baseline(path: Path) -> Optional[Path]:
-    """Resolve the baseline file: the path itself, or the newest
-    ``BENCH_*.json`` (by filename, which sorts by date) in a directory."""
+def find_baseline(path: Path, engine: str = "object") -> Optional[Path]:
+    """Resolve the baseline file: the path itself, or — for a directory —
+    the newest ``BENCH_*.json`` (by filename, which sorts by date) whose
+    recorded ``engine`` matches (files without the key count as
+    ``object``), so an arena result is never gated against an object
+    baseline or vice versa."""
     if path.is_file():
         return path
     if path.is_dir():
-        candidates = sorted(path.glob("BENCH_*.json"))
-        if candidates:
-            return candidates[-1]
+        for candidate in sorted(path.glob("BENCH_*.json"), reverse=True):
+            try:
+                data = json.loads(candidate.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            if data.get("engine", "object") == engine:
+                return candidate
     return None
 
 
@@ -58,6 +65,14 @@ def compare(baseline: Dict, fresh: Dict, tolerance: float) -> List[str]:
     """Return a list of failure messages (empty = pass), printing a
     comparison table as a side effect."""
     failures: List[str] = []
+    base_engine = baseline.get("engine", "object")
+    fresh_engine = fresh.get("engine", "object")
+    if base_engine != fresh_engine:
+        print(
+            f"note: engine differs (baseline {base_engine}, fresh "
+            f"{fresh_engine}) — cross-engine comparison, not a "
+            "regression gate"
+        )
     if baseline.get("scale") != fresh.get("scale"):
         print(
             f"note: scale differs (baseline {baseline.get('scale')}, "
@@ -120,17 +135,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not 0.0 <= args.tolerance < 1.0:
         parser.error("--tolerance must be in [0, 1)")
 
-    baseline_path = find_baseline(args.baseline)
-    if baseline_path is None:
-        print(f"check_bench: no BENCH_*.json baseline under {args.baseline}")
-        return 2
     if not args.fresh.is_file():
         print(f"check_bench: fresh result {args.fresh} not found")
         return 2
+    fresh = load(args.fresh)
+    fresh_engine = fresh.get("engine", "object")
+    baseline_path = find_baseline(args.baseline, fresh_engine)
+    if baseline_path is None:
+        print(
+            f"check_bench: no BENCH_*.json baseline for engine "
+            f"{fresh_engine!r} under {args.baseline}"
+        )
+        return 2
 
     print(f"baseline: {baseline_path}")
-    print(f"fresh:    {args.fresh}")
-    failures = compare(load(baseline_path), load(args.fresh), args.tolerance)
+    print(f"fresh:    {args.fresh} (engine: {fresh_engine})")
+    failures = compare(load(baseline_path), fresh, args.tolerance)
     if failures:
         print("\nFAIL:")
         for f in failures:

@@ -21,8 +21,10 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import json
+import os
 import sys
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.cache.registry import ENGINES, PAPER_COMPARISON, available_policies
 from repro.experiments.common import (
@@ -75,6 +77,13 @@ _EXPERIMENTS: Dict[str, str] = {
 EXIT_ABORTED = 3
 
 
+#: Subcommands that only query or report — they never get a ledger
+#: entry (``repro runs list`` must not mint a run of its own).
+_LEDGER_EXEMPT = frozenset(
+    {"runs", "report", "policies", "workloads", "metrics", "analyze"}
+)
+
+
 def _wants_supervision(args: argparse.Namespace) -> bool:
     """Whether any resilience flag asks for the supervised engine."""
     return (
@@ -84,6 +93,71 @@ def _wants_supervision(args: argparse.Namespace) -> bool:
         or args.resume is not None
         or args.salvage
     )
+
+
+def _ledger_attach(
+    args: argparse.Namespace,
+    metrics: Optional[Any] = None,
+    config: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Decorate this run's ledger entry (no-op without a ledger).
+
+    Attaches the replay's summary, its durability report, and the
+    anomaly findings computed by :mod:`repro.obs.anomaly` — the ledger
+    manifest is where a later ``repro report <run>`` reads them from.
+    """
+    ledger = getattr(args, "ledger", None)
+    if ledger is None:
+        return
+    if config:
+        ledger.config.update(config)
+    if metrics is not None:
+        from repro.obs.anomaly import analyze_metrics, finding_to_dict
+
+        ledger.summary = dict(metrics.summary())
+        ledger.findings = [
+            finding_to_dict(f) for f in analyze_metrics(metrics)
+        ]
+        if metrics.durability is not None:
+            ledger.durability = metrics.durability.to_dict()
+
+
+def _ledger_artifact(args: argparse.Namespace, name: str, path: str) -> None:
+    ledger = getattr(args, "ledger", None)
+    if ledger is not None:
+        ledger.add_artifact(name, path)
+
+
+def _write_flightdumps(
+    args: argparse.Namespace, dumps: Sequence[Dict[str, Any]]
+) -> None:
+    """Persist flight dumps next to the run manifest (CWD without one).
+
+    The first dump keeps the canonical ``flightdump.json`` name; extras
+    (several shards dying in one salvaged run) get ``flightdump-N``.
+    Failures are reported on stderr but never fail the run — a dump is
+    a diagnosis aid, not a result.
+    """
+    ledger = getattr(args, "ledger", None)
+    out_dir = ledger.run_dir if ledger is not None else "."
+    from repro.obs.flight import write_flight_dump
+
+    for i, dump in enumerate(dumps):
+        name = "flightdump.json" if i == 0 else f"flightdump-{i}.json"
+        path = os.path.join(out_dir, name)
+        try:
+            write_flight_dump(dump, path)
+        except OSError as exc:
+            print(
+                f"warning: could not write flight dump {path}: {exc}",
+                file=sys.stderr,
+            )
+            continue
+        _ledger_artifact(args, name, path)
+        print(
+            f"flight dump ({dump.get('reason', '?')}): {path}",
+            file=sys.stderr,
+        )
 
 
 def _load_trace(args: argparse.Namespace) -> Trace:
@@ -148,6 +222,12 @@ def _replay_sharded_cmd(args: argparse.Namespace, trace: Trace, cache_bytes: int
     )
     jobs = resolve_jobs(args.jobs, len(trace))
     n_shards = args.shards if args.shards is not None else jobs
+    telemetry = None
+    if args.live:
+        from repro.sim.telemetry import LiveTelemetry
+
+        telemetry = LiveTelemetry()
+    dumps: List[Dict[str, Any]] = []
     metrics = replay_sharded(
         trace,
         config,
@@ -157,7 +237,27 @@ def _replay_sharded_cmd(args: argparse.Namespace, trace: Trace, cache_bytes: int
         checkpoint_path=args.resume or args.checkpoint,
         resume=args.resume is not None,
         progress=make_progress_printer() if args.progress else None,
+        flight=args.flight_recorder,
+        telemetry=telemetry,
+        flightdumps=dumps,
     )
+    _ledger_attach(
+        args,
+        metrics=metrics,
+        config={
+            "workload": args.workload,
+            "policy": args.policy,
+            "engine": args.engine,
+            "cache_mb": args.cache_mb,
+            "scale": args.scale,
+            "fault_profile": args.fault_profile,
+            "fault_seed": args.fault_seed,
+            "jobs": jobs,
+            "shards": n_shards,
+        },
+    )
+    if dumps:
+        _write_flightdumps(args, dumps)
     rows = [(k, v) for k, v in metrics.summary().items()]
     print(format_table(("Metric", "Value"), rows, float_fmt="{:.4f}"))
     if metrics.durability is not None:
@@ -220,6 +320,17 @@ def _cmd_replay_inner(args: argparse.Namespace) -> int:
         from repro.obs.metrics import MetricsRegistry
 
         registry = MetricsRegistry()
+    flight_recorder = None
+    if args.flight_recorder:
+        from repro.obs.flight import FlightRecorder
+
+        flight_recorder = FlightRecorder()
+    if args.live:
+        # Serial runs render live frames in-process: the LiveTelemetry
+        # aggregator doubles as the ambient frame sink.
+        from repro.sim.telemetry import LiveTelemetry, set_frame_sink
+
+        set_frame_sink(LiveTelemetry())
     config = ReplayConfig(
         policy=args.policy,
         cache_bytes=cache_bytes,
@@ -233,6 +344,7 @@ def _cmd_replay_inner(args: argparse.Namespace) -> int:
         metrics=registry,
         sample_interval=args.sample_interval,
         profile=args.profile,
+        flight=flight_recorder,
     )
     try:
         if args.queue_depth is not None:
@@ -244,6 +356,27 @@ def _cmd_replay_inner(args: argparse.Namespace) -> int:
     finally:
         if tracer is not None:
             tracer.close()
+        if args.live:
+            from repro.sim.telemetry import clear_frame_sink
+
+            clear_frame_sink()
+    _ledger_attach(
+        args,
+        metrics=metrics,
+        config={
+            "workload": args.workload,
+            "policy": args.policy,
+            "engine": args.engine,
+            "cache_mb": args.cache_mb,
+            "scale": args.scale,
+            "fault_profile": args.fault_profile,
+            "fault_seed": args.fault_seed,
+            "queue_depth": args.queue_depth,
+            "power_loss_at": args.power_loss_at,
+        },
+    )
+    if flight_recorder is not None and flight_recorder.last_dump is not None:
+        _write_flightdumps(args, [flight_recorder.last_dump])
     rows = [(k, v) for k, v in metrics.summary().items()]
     print(format_table(("Metric", "Value"), rows, float_fmt="{:.4f}"))
     if metrics.durability is not None:
@@ -260,7 +393,9 @@ def _cmd_replay_inner(args: argparse.Namespace) -> int:
         _print_profile(metrics.phase_profile)
     if tracer is not None:
         print(f"wrote {tracer.n_events} events to {args.trace_out}")
+        _ledger_artifact(args, "trace_events", args.trace_out)
     if registry is not None:
+        _ledger_artifact(args, "metrics_out", args.metrics_out)
         if args.metrics_format == "prom":
             from pathlib import Path
 
@@ -342,6 +477,17 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             )
             for policy in args.policies
         ]
+    _ledger_attach(
+        args,
+        config={
+            "workload": args.workload,
+            "policies": list(args.policies),
+            "engine": args.engine,
+            "cache_mb": args.cache_mb,
+            "scale": args.scale,
+            "jobs": args.jobs,
+        },
+    )
     # A salvaged-away policy leaves None in its slot: keep the table
     # aligned with an explicit hole rather than dropping the row.
     salvaged_policies = [
@@ -414,17 +560,177 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             return 1
     rows = []
     for key in keys:
-        values = [float(s[key]) for s in series if key in s]
+        values = []
+        for s in series:
+            if key not in s:
+                continue
+            try:
+                values.append(float(s[key]))
+            except (TypeError, ValueError):
+                # Snapshots may carry non-numeric annotations (trace
+                # name, policy); they have no trend to draw.
+                values = []
+                break
+        if not values:
+            continue
         final = values[-1]
         final_s = f"{final:.3f}".rstrip("0").rstrip(".") if final else "0"
         rows.append((key, final_s, sparkline(values, width=min(24, len(values)))))
+    if not rows:
+        print("no numeric metrics to report", file=sys.stderr)
+        return 1
     print(format_table(("Metric", "Last", "Trend"), rows))
+    return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    """``repro runs list|show|diff``: query the run ledger."""
+    from repro.sim.ledger import diff_runs, find_run, list_runs, resolve_runs_dir
+
+    runs_dir = resolve_runs_dir(args.runs_dir)
+    if args.action == "list":
+        runs = list_runs(runs_dir)
+        if not runs:
+            print(f"no runs under {runs_dir}", file=sys.stderr)
+            return 0
+        rows = []
+        for r in runs:
+            findings = r.get("findings", [])
+            rows.append(
+                (
+                    r.get("run_id", "?"),
+                    r.get("command", "?"),
+                    r.get("outcome", "?"),
+                    f"{r['duration_s']:.1f}s" if "duration_s" in r else "-",
+                    str(len(findings)) if findings else "-",
+                )
+            )
+        print(
+            format_table(
+                ("Run", "Command", "Outcome", "Duration", "Findings"), rows
+            )
+        )
+        return 0
+    try:
+        if args.action == "show":
+            if len(args.run) != 1:
+                print("runs show takes exactly one RUN", file=sys.stderr)
+                return 2
+            manifest = find_run(args.run[0], runs_dir)
+            print(json.dumps(manifest, indent=2, sort_keys=True))
+            return 0
+        # diff
+        if len(args.run) != 2:
+            print("runs diff takes exactly two RUNs", file=sys.stderr)
+            return 2
+        a = find_run(args.run[0], runs_dir)
+        b = find_run(args.run[1], runs_dir)
+    except (FileNotFoundError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    deltas = diff_runs(a, b)
+    if not deltas:
+        print(f"runs {a['run_id']} and {b['run_id']} are identical "
+              "(modulo timestamps)")
+        return 0
+    print(f"--- {a['run_id']}\n+++ {b['run_id']}")
+    rows = [
+        (path, _fmt_manifest_value(va), _fmt_manifest_value(vb))
+        for path, va, vb in deltas
+    ]
+    print(format_table(("Key", a["run_id"][:19], b["run_id"][:19]), rows))
+    return 0
+
+
+def _fmt_manifest_value(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+_SEVERITY_MARKS = {"critical": "!!", "warning": " !", "info": "  "}
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """``repro report <run>``: anomaly-timeline view of one ledger run."""
+    from repro.obs.anomaly import finding_from_dict
+    from repro.sim.ledger import find_run, resolve_runs_dir
+
+    try:
+        manifest = find_run(args.run, resolve_runs_dir(args.runs_dir))
+    except (FileNotFoundError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(f"run       {manifest.get('run_id', '?')}")
+    print(f"command   {manifest.get('command', '?')} "
+          f"({' '.join(manifest.get('argv', []))})")
+    print(f"outcome   {manifest.get('outcome', '?')} "
+          f"(exit {manifest.get('exit_code', '?')}, "
+          f"{manifest.get('duration_s', 0.0)}s)")
+    env = manifest.get("env", {})
+    if env:
+        rev = env.get("git_rev") or "-"
+        print(f"env       v{env.get('version', '?')} @ {rev}, "
+              f"python {env.get('python', '?')}, "
+              f"{env.get('hostname', '?')} "
+              f"({env.get('cpu_count', '?')} cores)")
+    config = manifest.get("config", {})
+    if config:
+        pairs = ", ".join(f"{k}={v}" for k, v in sorted(config.items()))
+        print(f"config    {pairs}")
+    summary = manifest.get("summary", {})
+    if summary:
+        print()
+        rows = [(k, v) for k, v in summary.items()]
+        print(format_table(("Metric", "Value"), rows, float_fmt="{:.4f}"))
+    findings = [finding_from_dict(d) for d in manifest.get("findings", [])]
+    print()
+    if not findings:
+        print("findings: none")
+    else:
+        print(f"findings: {len(findings)}")
+        # Timeline order: anchored findings by request index, whole-run
+        # findings (index -1) last.
+        timeline = sorted(
+            findings, key=lambda f: (f.index < 0, f.index, f.kind)
+        )
+        rows = []
+        for f in timeline:
+            where = f"@{f.index}" if f.index >= 0 else "run"
+            when = f"{f.time_ms:.1f}ms" if f.time_ms >= 0 else "-"
+            rows.append(
+                (
+                    _SEVERITY_MARKS.get(f.severity, "  "),
+                    where,
+                    when,
+                    f.kind,
+                    f.message,
+                )
+            )
+        print(format_table(("", "Where", "SimTime", "Kind", "Message"), rows))
+    artifacts = manifest.get("artifacts", {})
+    if artifacts:
+        print()
+        print("artifacts:")
+        for name in sorted(artifacts):
+            print(f"  {name}: {artifacts[name]}")
     return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     module = importlib.import_module(_EXPERIMENTS[args.name])
     settings = settings_from_args(args)
+    _ledger_attach(
+        args,
+        config={
+            "experiment": args.name,
+            "scale": args.scale,
+            "workloads": list(args.workloads),
+            "processes": args.processes,
+        },
+    )
     module.run(settings)
     return finish_experiment(settings)
 
@@ -502,11 +808,58 @@ def _add_metrics_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+class _VersionAction(argparse.Action):
+    """``--version``: build/environment one-liner (lazy — the git
+    subprocess in :mod:`repro.utils.buildinfo` only runs when asked)."""
+
+    def __call__(
+        self,
+        parser: argparse.ArgumentParser,
+        namespace: argparse.Namespace,
+        values: Any,
+        option_string: Optional[str] = None,
+    ) -> None:
+        from repro.utils.buildinfo import describe
+
+        print(describe())
+        parser.exit(0)
+
+
+def _add_ledger_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--runs-dir", default=None, metavar="DIR",
+        help="run-ledger directory (default: REPRO_RUNS_DIR env var, "
+             "then ./runs — see docs/flight_recorder.md)",
+    )
+    p.add_argument(
+        "--no-ledger", action="store_true",
+        help="do not record this run in the run ledger",
+    )
+
+
+def _add_flight_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--flight-recorder", action="store_true",
+        help="keep the last events in a bounded ring buffer and dump "
+             "them (flightdump.json) on abort, degraded-mode entry, or "
+             "shard-worker death (see docs/flight_recorder.md)",
+    )
+    p.add_argument(
+        "--live", action="store_true",
+        help="print live per-shard progress frames (req/s, hit rate, "
+             "GC count) to stderr while the replay runs",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the reqblock-sim argument parser (all subcommands)."""
     parser = argparse.ArgumentParser(
         prog="reqblock-sim",
         description="Req-block SSD cache simulator (ICPP 2022 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action=_VersionAction, nargs=0,
+        help="print version, git revision and environment, then exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -570,6 +923,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_metrics_args(p)
     add_resilience_args(p)
+    _add_flight_args(p)
+    _add_ledger_args(p)
     p.set_defaults(func=_cmd_replay)
 
     p = sub.add_parser("compare", help="compare several policies on one workload")
@@ -598,6 +953,7 @@ def build_parser() -> argparse.ArgumentParser:
              "--profile; default: serial)",
     )
     add_resilience_args(p)
+    _add_ledger_args(p)
     p.set_defaults(func=_cmd_compare)
 
     p = sub.add_parser(
@@ -629,6 +985,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="pool start method (default: fork where available, else spawn)",
     )
     add_resilience_args(p)
+    _add_ledger_args(p)
     p.set_defaults(func=_cmd_experiment)
 
     p = sub.add_parser(
@@ -637,6 +994,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workload", help="paper workload name or MSR CSV path")
     p.add_argument("--scale", type=float, default=DEFAULT_SCALE)
     p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser(
+        "runs", help="list, show, or diff recorded runs (the run ledger)"
+    )
+    p.add_argument("action", choices=("list", "show", "diff"))
+    p.add_argument(
+        "run", nargs="*",
+        help="run id, unique prefix, or 'latest' (show: one; diff: two)",
+    )
+    p.add_argument(
+        "--runs-dir", default=None, metavar="DIR",
+        help="run-ledger directory (default: REPRO_RUNS_DIR, then ./runs)",
+    )
+    p.set_defaults(func=_cmd_runs)
+
+    p = sub.add_parser(
+        "report", help="anomaly-timeline report for one recorded run"
+    )
+    p.add_argument(
+        "run",
+        help="run id, unique prefix, or 'latest'",
+    )
+    p.add_argument(
+        "--runs-dir", default=None, metavar="DIR",
+        help="run-ledger directory (default: REPRO_RUNS_DIR, then ./runs)",
+    )
+    p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("policies", help="list registered cache policies")
     p.set_defaults(func=_cmd_policies)
@@ -649,9 +1033,38 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Parse ``argv`` (default: sys.argv) and dispatch; returns exit code."""
+    """Parse ``argv`` (default: sys.argv) and dispatch; returns exit code.
+
+    Simulation commands get a :class:`~repro.sim.ledger.RunLedger`
+    opened before dispatch and finished with the handler's exit code
+    (``--no-ledger`` opts out; query commands never mint one), so even
+    a run that dies on an exception leaves a ``run.json`` behind.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    ledger = None
+    if args.command not in _LEDGER_EXEMPT and not getattr(
+        args, "no_ledger", False
+    ):
+        from repro.sim.ledger import RunLedger, resolve_runs_dir
+
+        ledger = RunLedger(
+            command=args.command,
+            argv=list(argv) if argv is not None else sys.argv[1:],
+            runs_dir=resolve_runs_dir(getattr(args, "runs_dir", None)),
+        )
+    args.ledger = ledger
+    try:
+        rc = args.func(args)
+    except BaseException as exc:
+        if ledger is not None:
+            import traceback
+
+            code = 130 if isinstance(exc, KeyboardInterrupt) else 1
+            ledger.finish(code, error=traceback.format_exc())
+        raise
+    if ledger is not None:
+        ledger.finish(rc)
+    return rc
 
 
 if __name__ == "__main__":

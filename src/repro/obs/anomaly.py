@@ -1,0 +1,397 @@
+"""Anomaly detection over replay telemetry.
+
+The paper's stories are time-series stories — response time tracking
+transient GC pressure (Fig. 8), hit ratio accruing unevenly (Fig. 9) —
+and the failure modes this repo simulates (GC storms, degraded mode,
+dropped shards) show up as *shapes* in ``ReplayMetrics.metrics_series``
+long before a human eyeballs a sparkline.  This module turns those
+shapes into typed :class:`Finding`\\ s:
+
+* **GC storm** — a snapshot window whose block-erase delta bursts far
+  above the run's mean erase rate (the episodes time-efficient-GC work
+  optimises away; ROADMAP item 4's visibility ask).
+* **Hit-rate cliff** — the windowed page hit rate drops sharply against
+  the preceding window (working-set shift, cache thrash, or a policy
+  bug).
+* **Throughput stall** — a window services far fewer requests per
+  simulated millisecond than the run's median (backlogged planes, GC
+  pressure, a degraded device).
+* **Degraded-mode entry / replay abort** — the device went read-only or
+  the replay died early (from the durability report; these exist even
+  without a sampled series).
+* **Shard instability** — supervised shards retried, timed out, or were
+  salvaged away.
+
+Every detector is a pure function: series/metrics in, findings out, no
+I/O, no state — safe to run on merged shard metrics, on a ledger
+manifest's recorded series, or inside tests with synthetic snapshots.
+Empty and singleton series yield no windowed findings (one snapshot has
+no delta), never an exception.
+
+Findings attach to the run ledger (:mod:`repro.sim.ledger`) and render
+in the ``repro report`` timeline view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+__all__ = [
+    "Finding",
+    "finding_to_dict",
+    "finding_from_dict",
+    "detect_gc_storm",
+    "detect_hit_rate_cliff",
+    "detect_throughput_stall",
+    "detect_degraded",
+    "detect_shard_instability",
+    "analyze_series",
+    "analyze_metrics",
+]
+
+SEVERITIES = ("info", "warning", "critical")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One detected anomaly, anchored to a request index when possible."""
+
+    #: Detector identity: ``gc_storm`` / ``hit_rate_cliff`` /
+    #: ``throughput_stall`` / ``degraded_mode`` / ``replay_aborted`` /
+    #: ``shard_instability``.
+    kind: str
+    #: ``info`` / ``warning`` / ``critical``.
+    severity: str
+    #: Request index of the offending snapshot (-1 = whole run).
+    index: int
+    #: Simulation time of the snapshot in ms (-1.0 = unknown).
+    time_ms: float
+    #: Human-readable one-liner.
+    message: str
+    #: Detector-specific numbers backing the message.
+    data: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+
+def finding_to_dict(finding: Finding) -> Dict[str, Any]:
+    """JSON-friendly form (ledger manifests, flight dumps)."""
+    return asdict(finding)
+
+
+def finding_from_dict(doc: Mapping[str, Any]) -> Finding:
+    """Inverse of :func:`finding_to_dict`."""
+    return Finding(
+        kind=str(doc["kind"]),
+        severity=str(doc["severity"]),
+        index=int(doc.get("index", -1)),
+        time_ms=float(doc.get("time_ms", -1.0)),
+        message=str(doc.get("message", "")),
+        data={k: float(v) for k, v in dict(doc.get("data", {})).items()},
+    )
+
+
+Series = Sequence[Mapping[str, float]]
+
+
+def _deltas(series: Series, key: str) -> List[Dict[str, float]]:
+    """Per-window deltas of a (possibly absent) monotonic counter.
+
+    Returns one row per consecutive snapshot pair carrying the key:
+    ``{"index", "time_ms", "delta", "requests"}``.  Negative deltas are
+    clamped to 0 — merged shard series restart their counters at segment
+    boundaries, which is a merge artifact, not a burst.
+    """
+    rows: List[Dict[str, float]] = []
+    prev: Optional[Mapping[str, float]] = None
+    for snap in series:
+        if key not in snap:
+            continue
+        if prev is not None:
+            rows.append(
+                {
+                    "index": float(snap.get("index", -1.0)),
+                    "time_ms": float(snap.get("sim_ms", -1.0)),
+                    "delta": max(0.0, float(snap[key]) - float(prev[key])),
+                    "requests": max(
+                        0.0,
+                        float(snap.get("index", 0.0))
+                        - float(prev.get("index", 0.0)),
+                    ),
+                }
+            )
+        prev = snap
+    return rows
+
+
+def detect_gc_storm(
+    series: Series,
+    burst_factor: float = 4.0,
+    min_erases: int = 8,
+) -> List[Finding]:
+    """Windows whose GC erase delta bursts above the run's mean rate.
+
+    A window is a storm when it erased at least ``min_erases`` blocks
+    *and* more than ``burst_factor`` times the mean per-window erase
+    count.  The floor keeps quiet runs (mean near zero) from flagging
+    their single active window.
+    """
+    rows = _deltas(series, "ssd.gc.blocks_erased_total")
+    if len(rows) < 2:
+        return []
+    mean = sum(r["delta"] for r in rows) / len(rows)
+    threshold = max(float(min_erases), burst_factor * mean)
+    out = []
+    for r in rows:
+        if r["delta"] >= threshold and r["delta"] > 0:
+            out.append(
+                Finding(
+                    kind="gc_storm",
+                    severity="warning",
+                    index=int(r["index"]),
+                    time_ms=r["time_ms"],
+                    message=(
+                        f"GC storm: {int(r['delta'])} block erases in one "
+                        f"window (run mean {mean:.1f}/window)"
+                    ),
+                    data={
+                        "erases": r["delta"],
+                        "mean_erases_per_window": mean,
+                        "burst_factor": burst_factor,
+                    },
+                )
+            )
+    return out
+
+
+def detect_hit_rate_cliff(
+    series: Series,
+    drop: float = 0.25,
+    min_pages: int = 64,
+) -> List[Finding]:
+    """Windows whose hit rate fell ≥ ``drop`` below the previous window.
+
+    Windowed rates come from the hit/miss counter deltas; windows
+    touching fewer than ``min_pages`` pages are skipped (tiny windows
+    make noisy ratios).
+    """
+    hits = _deltas(series, "cache.page_hits_total")
+    misses = _deltas(series, "cache.page_misses_total")
+    if len(hits) != len(misses) or len(hits) < 2:
+        return []
+    rates: List[Dict[str, float]] = []
+    for h, m in zip(hits, misses):
+        pages = h["delta"] + m["delta"]
+        if pages < min_pages:
+            continue
+        rates.append(
+            {
+                "index": h["index"],
+                "time_ms": h["time_ms"],
+                "rate": h["delta"] / pages,
+                "pages": pages,
+            }
+        )
+    out = []
+    for prev, cur in zip(rates, rates[1:]):
+        fall = prev["rate"] - cur["rate"]
+        if fall >= drop:
+            out.append(
+                Finding(
+                    kind="hit_rate_cliff",
+                    severity="warning",
+                    index=int(cur["index"]),
+                    time_ms=cur["time_ms"],
+                    message=(
+                        f"hit-rate cliff: windowed hit rate fell "
+                        f"{fall:.2f} ({prev['rate']:.2f} -> "
+                        f"{cur['rate']:.2f})"
+                    ),
+                    data={
+                        "previous_rate": prev["rate"],
+                        "rate": cur["rate"],
+                        "drop": fall,
+                        "pages": cur["pages"],
+                    },
+                )
+            )
+    return out
+
+
+def detect_throughput_stall(
+    series: Series,
+    floor_ratio: float = 0.25,
+) -> List[Finding]:
+    """Windows servicing < ``floor_ratio`` × the median requests/ms.
+
+    Throughput here is *simulated* time based (requests per sim-ms), so
+    a stall means the modeled device fell behind — plane backlog, GC
+    busy time, retry ladders — not that the host machine was slow.
+    """
+    rows: List[Dict[str, float]] = []
+    prev: Optional[Mapping[str, float]] = None
+    for snap in series:
+        if "index" not in snap or "sim_ms" not in snap:
+            continue
+        if prev is not None:
+            d_req = float(snap["index"]) - float(prev["index"])
+            d_ms = float(snap["sim_ms"]) - float(prev["sim_ms"])
+            if d_req > 0 and d_ms > 0:
+                rows.append(
+                    {
+                        "index": float(snap["index"]),
+                        "time_ms": float(snap["sim_ms"]),
+                        "rate": d_req / d_ms,
+                    }
+                )
+        prev = snap
+    if len(rows) < 3:
+        return []
+    ordered = sorted(r["rate"] for r in rows)
+    median = ordered[len(ordered) // 2]
+    if median <= 0:
+        return []
+    out = []
+    for r in rows:
+        if r["rate"] < floor_ratio * median:
+            out.append(
+                Finding(
+                    kind="throughput_stall",
+                    severity="warning",
+                    index=int(r["index"]),
+                    time_ms=r["time_ms"],
+                    message=(
+                        f"throughput stall: {r['rate']:.3f} req/ms vs "
+                        f"median {median:.3f} req/ms"
+                    ),
+                    data={
+                        "rate_req_per_ms": r["rate"],
+                        "median_req_per_ms": median,
+                        "floor_ratio": floor_ratio,
+                    },
+                )
+            )
+    return out
+
+
+def detect_degraded(metrics: Any) -> List[Finding]:
+    """Degraded-mode entry and early abort, from the replay aggregates."""
+    out: List[Finding] = []
+    durability = getattr(metrics, "durability", None)
+    if durability is not None and getattr(durability, "degraded", False):
+        out.append(
+            Finding(
+                kind="degraded_mode",
+                severity="critical",
+                index=-1,
+                time_ms=float(getattr(durability, "degraded_at_ms", -1.0)),
+                message=(
+                    f"device entered degraded (read-only) mode: "
+                    f"{durability.degraded_reason or 'unknown reason'}"
+                ),
+                data={
+                    "writes_rejected_pages": float(
+                        getattr(durability, "writes_rejected_pages", 0)
+                    ),
+                    "flush_pages_dropped": float(
+                        getattr(durability, "flush_pages_dropped", 0)
+                    ),
+                },
+            )
+        )
+    if getattr(metrics, "aborted", False):
+        out.append(
+            Finding(
+                kind="replay_aborted",
+                severity="critical",
+                index=int(getattr(metrics, "aborted_at_request", -1)),
+                time_ms=-1.0,
+                message=f"replay aborted: {metrics.aborted_reason}",
+                data={},
+            )
+        )
+    return out
+
+
+def detect_shard_instability(
+    metrics: Any, retry_warn: int = 3
+) -> List[Finding]:
+    """Supervised-run damage: salvaged shards and retry/timeout spikes."""
+    durability = getattr(metrics, "durability", None)
+    if durability is None or not getattr(durability, "shards_planned", 0):
+        return []
+    out: List[Finding] = []
+    failed = tuple(getattr(durability, "shards_failed", ()))
+    retries = int(getattr(durability, "shard_retries", 0))
+    timeouts = int(getattr(durability, "shard_timeouts", 0))
+    if failed:
+        out.append(
+            Finding(
+                kind="shard_instability",
+                severity="critical",
+                index=-1,
+                time_ms=-1.0,
+                message=(
+                    f"salvaged run: shards {sorted(failed)} of "
+                    f"{durability.shards_planned} failed "
+                    f"(coverage {durability.shard_coverage:.2f})"
+                ),
+                data={
+                    "shards_planned": float(durability.shards_planned),
+                    "shards_failed": float(len(failed)),
+                    "coverage": float(durability.shard_coverage),
+                },
+            )
+        )
+    elif retries + timeouts >= retry_warn:
+        out.append(
+            Finding(
+                kind="shard_instability",
+                severity="warning",
+                index=-1,
+                time_ms=-1.0,
+                message=(
+                    f"shard retry spike: {retries} retries, "
+                    f"{timeouts} timeouts across "
+                    f"{durability.shards_planned} shards"
+                ),
+                data={
+                    "retries": float(retries),
+                    "timeouts": float(timeouts),
+                    "shards_planned": float(durability.shards_planned),
+                },
+            )
+        )
+    return out
+
+
+def analyze_series(series: Series) -> List[Finding]:
+    """All windowed detectors over one metrics time series."""
+    out: List[Finding] = []
+    out.extend(detect_gc_storm(series))
+    out.extend(detect_hit_rate_cliff(series))
+    out.extend(detect_throughput_stall(series))
+    return out
+
+
+def analyze_metrics(metrics: Any) -> List[Finding]:
+    """Every detector over one :class:`~repro.sim.metrics.ReplayMetrics`.
+
+    Accepts any object with the relevant attributes (duck-typed so
+    tests can feed stubs); missing pieces — no sampled series, no
+    durability report — simply contribute no findings.  Results are
+    ordered by severity (critical first), then by request index.
+    """
+    findings: List[Finding] = []
+    series = getattr(metrics, "metrics_series", None) or []
+    findings.extend(analyze_series(series))
+    findings.extend(detect_degraded(metrics))
+    findings.extend(detect_shard_instability(metrics))
+    rank = {sev: i for i, sev in enumerate(reversed(SEVERITIES))}
+    findings.sort(key=lambda f: (rank.get(f.severity, 99), f.index, f.kind))
+    return findings

@@ -331,37 +331,47 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._instruments: Dict[str, object] = {}
         self._collectors: List[Callable[[float], None]] = []
+        self._help: Dict[str, str] = {}
 
     # -- instrument accessors ------------------------------------------
-    def _get(self, name: str, cls: type, **kwargs) -> object:
+    def _get(
+        self, name: str, cls: type, help: Optional[str] = None, **kwargs
+    ) -> object:
         inst = self._instruments.get(name)
         if inst is None:
             _validate_name(name)
             inst = cls(**kwargs)
             self._instruments[name] = inst
-            return inst
-        if not isinstance(inst, cls):
+        elif not isinstance(inst, cls):
             raise TypeError(
                 f"metric {name!r} already registered as "
                 f"{type(inst).__name__}, requested {cls.__name__}"
             )
+        if help and name not in self._help:
+            # First helper wins: re-accessing an instrument without a
+            # help string must not erase the registered one.
+            self._help[name] = help
         return inst
 
-    def counter(self, name: str) -> Counter:
+    def counter(self, name: str, help: Optional[str] = None) -> Counter:
         """The counter named ``name`` (created on first use)."""
-        return self._get(name, Counter)  # type: ignore[return-value]
+        return self._get(name, Counter, help=help)  # type: ignore[return-value]
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(self, name: str, help: Optional[str] = None) -> Gauge:
         """The gauge named ``name`` (created on first use)."""
-        return self._get(name, Gauge)  # type: ignore[return-value]
+        return self._get(name, Gauge, help=help)  # type: ignore[return-value]
 
-    def histogram(self, name: str, growth: float = 2.0) -> Histogram:
+    def histogram(
+        self, name: str, growth: float = 2.0, help: Optional[str] = None
+    ) -> Histogram:
         """The histogram named ``name`` (created on first use)."""
-        return self._get(name, Histogram, growth=growth)  # type: ignore[return-value]
+        return self._get(name, Histogram, help=help, growth=growth)  # type: ignore[return-value]
 
-    def rate(self, name: str, window: float = 1000.0) -> Rate:
+    def rate(
+        self, name: str, window: float = 1000.0, help: Optional[str] = None
+    ) -> Rate:
         """The rate named ``name`` (created on first use)."""
-        return self._get(name, Rate, window=window)  # type: ignore[return-value]
+        return self._get(name, Rate, help=help, window=window)  # type: ignore[return-value]
 
     def names(self) -> List[str]:
         """Registered instrument names, sorted."""
@@ -407,13 +417,18 @@ class MetricsRegistry:
 
         Dots become underscores and every family gets a ``repro_``
         prefix; histograms export as summaries (quantile labels), rates
-        as a gauge plus a ``_total`` counter.
+        as a gauge plus a ``_total`` counter.  Instruments registered
+        with a ``help`` string get a ``# HELP`` line (backslashes and
+        newlines escaped per the exposition format).
         """
         self.collect(now)
         lines: List[str] = []
         for name in sorted(self._instruments):
             inst = self._instruments[name]
             pname = prometheus_name(name)
+            help_text = self._help.get(name)
+            if help_text:
+                lines.append(f"# HELP {pname} {_escape_help(help_text)}")
             if isinstance(inst, Counter):
                 lines.append(f"# TYPE {pname} counter")
                 lines.append(f"{pname} {inst.value}")
@@ -446,6 +461,12 @@ class MetricsRegistry:
 def prometheus_name(name: str, prefix: str = "repro_") -> str:
     """``subsystem.noun_unit`` -> ``repro_subsystem_noun_unit``."""
     return prefix + name.replace(".", "_")
+
+
+def _escape_help(text: str) -> str:
+    """HELP-line escaping per the Prometheus exposition format:
+    backslash first, then newlines."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _fmt(v: float) -> str:
@@ -496,8 +517,8 @@ class NullMetricsRegistry:
 
     enabled = False
 
-    def counter(self, name: str) -> _NullInstrument:
-        """No-op instrument."""
+    def counter(self, name: str, **kwargs) -> _NullInstrument:
+        """No-op instrument (absorbs help=/growth=/window= kwargs)."""
         return _NULL_INSTRUMENT
 
     gauge = counter

@@ -1,0 +1,296 @@
+"""Run ledger: a durable, queryable record of every CLI run.
+
+Completed experiments used to leave only whatever stdout the caller
+captured — no seeds, no engine, no git revision, no artifact paths.
+The ledger fixes that: every ``replay`` / ``compare`` / ``experiment``
+invocation writes a ``run.json`` manifest into a ``runs/`` directory
+(``REPRO_RUNS_DIR`` or ``--runs-dir`` override; ``--no-ledger`` opts
+out), recording the argv, configuration, environment
+(:mod:`repro.utils.buildinfo`), wall-clock duration, outcome, artifact
+paths, and any anomaly findings (:mod:`repro.obs.anomaly`).
+
+Each run gets its own directory ``runs/<run_id>/`` so artifacts that
+belong to the run — a ``flightdump.json``, exported metrics — have a
+natural home next to the manifest.  Manifests are written via the
+tmp-file + ``os.replace`` discipline (checkpoint-journal style), so a
+killed run never leaves a torn ``run.json``; an *unfinished* run is
+simply a run directory without one, which ``repro runs list`` reports
+as such.
+
+Ledger writes are best-effort by design: a full disk or read-only
+``runs/`` must never turn a successful replay into a failure, so
+:meth:`RunLedger.finish` swallows write errors (and remembers them on
+``write_error`` for tests).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.utils.buildinfo import buildinfo
+
+__all__ = [
+    "MANIFEST_NAME",
+    "MANIFEST_VERSION",
+    "RUNS_DIR_ENV",
+    "DEFAULT_RUNS_DIR",
+    "RunLedger",
+    "resolve_runs_dir",
+    "new_run_id",
+    "write_manifest",
+    "list_runs",
+    "load_run",
+    "find_run",
+    "diff_runs",
+]
+
+MANIFEST_NAME = "run.json"
+MANIFEST_VERSION = 1
+RUNS_DIR_ENV = "REPRO_RUNS_DIR"
+DEFAULT_RUNS_DIR = "runs"
+
+#: Exit code -> manifest outcome label.  Codes come from the CLI
+#: (0 / EXIT_ABORTED=3 / EXIT_SALVAGED=4); anything else is a failure.
+_OUTCOMES = {0: "ok", 3: "aborted", 4: "salvaged"}
+
+
+def resolve_runs_dir(explicit: Optional[str] = None) -> str:
+    """The runs directory: explicit > ``REPRO_RUNS_DIR`` > ``runs/``."""
+    if explicit:
+        return explicit
+    return os.environ.get(RUNS_DIR_ENV) or DEFAULT_RUNS_DIR
+
+
+_run_seq = 0
+
+
+def new_run_id(command: str = "run") -> str:
+    """A sortable, human-scannable run id: UTC timestamp + command +
+    pid.  The pid keeps concurrent processes distinct; a per-process
+    sequence suffix keeps repeated in-process runs (library drivers,
+    tests calling ``main()`` in a loop) distinct within one second —
+    and still lexicographically after their unsuffixed predecessor."""
+    global _run_seq
+    stamp = datetime.now(timezone.utc).strftime("%Y%m%dT%H%M%S")
+    base = f"{stamp}-{command}-{os.getpid()}"
+    seq, _run_seq = _run_seq, _run_seq + 1
+    return base if seq == 0 else f"{base}-{seq:03d}"
+
+
+def outcome_label(exit_code: int) -> str:
+    """Manifest outcome string for a CLI exit code."""
+    return _OUTCOMES.get(exit_code, "failed")
+
+
+def write_manifest(manifest: Dict[str, Any], run_dir: str) -> str:
+    """Atomically write ``run.json`` into ``run_dir``; returns its path."""
+    os.makedirs(run_dir, exist_ok=True)
+    path = os.path.join(run_dir, MANIFEST_NAME)
+    fd, tmp = tempfile.mkstemp(prefix=".run-", dir=run_dir)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True, default=str)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+@dataclass
+class RunLedger:
+    """One run's open ledger entry: start it, decorate it, finish it.
+
+    The CLI creates a ledger before dispatching a subcommand, hands it
+    to the handler (which may attach a summary, findings, or artifact
+    files under :attr:`run_dir`), and finishes it with the handler's
+    exit code.  ``finish`` is idempotent and never raises.
+    """
+
+    command: str
+    argv: List[str] = field(default_factory=list)
+    runs_dir: str = DEFAULT_RUNS_DIR
+    run_id: str = ""
+    #: Free-form run configuration (policy, scale, engine, seeds...).
+    config: Dict[str, Any] = field(default_factory=dict)
+    #: Headline numbers (e.g. ``ReplayMetrics.summary()``).
+    summary: Dict[str, Any] = field(default_factory=dict)
+    #: Anomaly findings as dicts (:func:`repro.obs.anomaly.finding_to_dict`).
+    findings: List[Dict[str, Any]] = field(default_factory=list)
+    #: name -> path of files that belong to this run.
+    artifacts: Dict[str, str] = field(default_factory=dict)
+    #: Extra durability facts (e.g. ``DurabilityReport.to_dict()``).
+    durability: Optional[Dict[str, Any]] = None
+    write_error: Optional[str] = None
+    manifest_path: Optional[str] = None
+    _t0: float = field(default_factory=time.monotonic)
+    _started_at: str = field(
+        default_factory=lambda: datetime.now(timezone.utc).isoformat()
+    )
+
+    def __post_init__(self) -> None:
+        if not self.run_id:
+            self.run_id = new_run_id(self.command)
+
+    @property
+    def run_dir(self) -> str:
+        """This run's directory (``runs/<run_id>``), created on demand."""
+        path = os.path.join(self.runs_dir, self.run_id)
+        try:
+            os.makedirs(path, exist_ok=True)
+        except OSError:
+            pass
+        return path
+
+    def add_artifact(self, name: str, path: str) -> None:
+        """Record a file produced by this run."""
+        self.artifacts[name] = os.path.abspath(path)
+
+    def finish(self, exit_code: int, error: Optional[str] = None) -> Optional[str]:
+        """Write the manifest; returns its path (None when writing failed
+        or the ledger already finished)."""
+        if self.manifest_path is not None:
+            return self.manifest_path
+        manifest: Dict[str, Any] = {
+            "version": MANIFEST_VERSION,
+            "run_id": self.run_id,
+            "command": self.command,
+            "argv": list(self.argv),
+            "started_at": self._started_at,
+            "finished_at": datetime.now(timezone.utc).isoformat(),
+            "duration_s": round(time.monotonic() - self._t0, 3),
+            "exit_code": int(exit_code),
+            "outcome": outcome_label(exit_code),
+            "config": dict(self.config),
+            "env": buildinfo(),
+        }
+        if self.summary:
+            manifest["summary"] = dict(self.summary)
+        if self.findings:
+            manifest["findings"] = list(self.findings)
+        if self.artifacts:
+            manifest["artifacts"] = dict(self.artifacts)
+        if self.durability is not None:
+            manifest["durability"] = dict(self.durability)
+        if error:
+            manifest["error"] = error
+        try:
+            self.manifest_path = write_manifest(
+                manifest, os.path.join(self.runs_dir, self.run_id)
+            )
+        except OSError as exc:
+            self.write_error = str(exc)
+            print(
+                f"warning: run ledger write failed: {exc}", file=sys.stderr
+            )
+            return None
+        return self.manifest_path
+
+
+# ----------------------------------------------------------------------
+# Querying
+# ----------------------------------------------------------------------
+
+
+def list_runs(runs_dir: Optional[str] = None) -> List[Dict[str, Any]]:
+    """All manifests under ``runs_dir``, oldest first.
+
+    A run directory without a readable ``run.json`` (crashed before
+    finishing, or torn by hand) is reported as an ``unfinished`` stub
+    rather than silently skipped — those are exactly the runs a
+    postmortem wants to see.
+    """
+    root = resolve_runs_dir(runs_dir)
+    if not os.path.isdir(root):
+        return []
+    out: List[Dict[str, Any]] = []
+    for name in sorted(os.listdir(root)):
+        run_dir = os.path.join(root, name)
+        if not os.path.isdir(run_dir):
+            continue
+        path = os.path.join(run_dir, MANIFEST_NAME)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                manifest = json.load(fh)
+        except (OSError, ValueError):
+            out.append(
+                {"run_id": name, "outcome": "unfinished", "command": "?"}
+            )
+            continue
+        out.append(manifest)
+    return out
+
+
+def load_run(run_id: str, runs_dir: Optional[str] = None) -> Dict[str, Any]:
+    """The manifest of one run by exact id."""
+    root = resolve_runs_dir(runs_dir)
+    path = os.path.join(root, run_id, MANIFEST_NAME)
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def find_run(prefix: str, runs_dir: Optional[str] = None) -> Dict[str, Any]:
+    """The manifest whose run id equals or uniquely starts with
+    ``prefix`` (``latest`` selects the most recent finished run)."""
+    root = resolve_runs_dir(runs_dir)
+    runs = [r for r in list_runs(root) if r.get("outcome") != "unfinished"]
+    if not runs:
+        raise FileNotFoundError(f"no finished runs under {root!r}")
+    if prefix == "latest":
+        return runs[-1]
+    exact = [r for r in runs if r.get("run_id") == prefix]
+    if exact:
+        return exact[0]
+    matches = [r for r in runs if str(r.get("run_id", "")).startswith(prefix)]
+    if not matches:
+        raise FileNotFoundError(f"no run matches {prefix!r} under {root!r}")
+    if len(matches) > 1:
+        ids = ", ".join(str(r["run_id"]) for r in matches[:5])
+        raise ValueError(f"run prefix {prefix!r} is ambiguous ({ids}...)")
+    return matches[0]
+
+
+#: Manifest keys diffing skips: they differ between any two runs by
+#: construction and would drown the interesting deltas.
+_DIFF_NOISE = ("run_id", "started_at", "finished_at", "duration_s")
+
+
+def diff_runs(
+    a: Dict[str, Any], b: Dict[str, Any]
+) -> List[Tuple[str, Any, Any]]:
+    """Flat key-path diff of two manifests: ``(path, a_value, b_value)``.
+
+    Nested dicts are flattened with dotted paths; lists compare
+    wholesale.  Timestamps/ids are excluded (see ``_DIFF_NOISE``).
+    """
+
+    def flatten(doc: Dict[str, Any], prefix: str = "") -> Dict[str, Any]:
+        flat: Dict[str, Any] = {}
+        for key, value in doc.items():
+            path = f"{prefix}{key}"
+            if path in _DIFF_NOISE:
+                continue
+            if isinstance(value, dict):
+                flat.update(flatten(value, f"{path}."))
+            else:
+                flat[path] = value
+        return flat
+
+    fa, fb = flatten(a), flatten(b)
+    out: List[Tuple[str, Any, Any]] = []
+    for path in sorted(set(fa) | set(fb)):
+        va, vb = fa.get(path), fb.get(path)
+        if va != vb:
+            out.append((path, va, vb))
+    return out

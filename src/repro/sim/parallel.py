@@ -393,6 +393,9 @@ def replay_sharded(
     progress: Optional[ProgressCallback] = None,
     metrics: Optional[Any] = None,
     tracer: Optional[Any] = None,
+    flight: bool = False,
+    telemetry: Optional[Callable[[Any], None]] = None,
+    flightdumps: Optional[List[Any]] = None,
 ) -> ReplayMetrics:
     """Replay one trace as independent segments and merge the metrics.
 
@@ -419,6 +422,13 @@ def replay_sharded(
     .DurabilityReport` (``shards_failed``, ``shard_coverage``); a clean
     supervised run — including one resumed from a journal — merges
     byte-identically to an unsupervised one.
+
+    ``flight`` activates a per-worker flight recorder and ``telemetry``
+    a live progress-frame callback; both require the per-process
+    supervisor pipes, so setting either routes the fan-out through the
+    supervised engine even without an explicit ``supervision`` policy.
+    Dumps shipped back by dying/aborted shards are appended (in shard
+    order) to the caller-supplied ``flightdumps`` list.
     """
     _check_shardable(config)
     if n_shards is None:
@@ -435,7 +445,11 @@ def replay_sharded(
         for s in plan.shards
     ]
     supervised = (
-        supervision is not None or checkpoint_path is not None or resume
+        supervision is not None
+        or checkpoint_path is not None
+        or resume
+        or flight
+        or telemetry is not None
     )
     outcome = None
     if supervised:
@@ -452,8 +466,14 @@ def replay_sharded(
             progress=progress,
             metrics=metrics,
             tracer=tracer,
+            flight=flight,
+            telemetry=telemetry,
         )
         parts = [part for part in outcome.results if part is not None]
+        if flightdumps is not None:
+            flightdumps.extend(
+                dump for _, dump in sorted(outcome.flightdumps.items())
+            )
     else:
         parts = run_shards(
             _replay_segment,

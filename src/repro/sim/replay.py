@@ -23,11 +23,13 @@ from repro.core.policy import ReqBlockCache
 from repro.faults.injector import FaultInjector
 from repro.faults.powerloss import inject_power_loss
 from repro.faults.profile import FaultProfile, get_profile
+from repro.obs.flight import FlightRecorder, active_recorder
 from repro.obs.invariants import InvariantChecker
 from repro.obs.metrics import DEFAULT_SAMPLE_INTERVAL, MetricsRegistry, Sampler
 from repro.obs.profile import NULL_PROFILER, PhaseProfiler
 from repro.obs.tracer import TeeTracer, Tracer
 from repro.sim.metrics import MetricsRecorder, ReplayMetrics, fold_eviction_digest
+from repro.sim.telemetry import make_emitter
 from repro.ssd.config import SSDConfig
 from repro.ssd.controller import RequestRecord, SSDController
 from repro.ssd.flash import FlashOutOfSpace
@@ -128,6 +130,12 @@ class ReplayConfig:
     #: Profile wall-clock time by phase (replay / cache_access / flush /
     #: ftl / gc / read) into ``ReplayMetrics.phase_profile``.
     profile: bool = False
+    #: Flight recorder (see :mod:`repro.obs.flight`): a bounded ring of
+    #: the last-N events, teed next to ``tracer`` and dumped on abort,
+    #: invariant violation, or degraded-mode entry.  None additionally
+    #: consults the process-ambient recorder that supervised shard
+    #: workers activate; with neither, the replay is unchanged.
+    flight: Optional[FlightRecorder] = None
     #: Hash the eviction sequence (every non-empty flush batch, in
     #: order) into ``ReplayMetrics.eviction_digest`` — the same sha256
     #: encoding the optimisation-equivalence goldens use.  The
@@ -175,7 +183,16 @@ def resolve_tracer(
     if config.check_invariants:
         checker = InvariantChecker(check_interval=config.invariant_check_interval)
         tracer = checker if tracer is None else TeeTracer(tracer, checker)
+    recorder = _resolve_flight(config)
+    if recorder is not None:
+        tracer = recorder if tracer is None else TeeTracer(tracer, recorder)
     return tracer, checker
+
+
+def _resolve_flight(config: ReplayConfig) -> Optional[FlightRecorder]:
+    """The effective flight recorder: the configured one, else the
+    process-ambient one a supervised worker activated, else None."""
+    return config.flight if config.flight is not None else active_recorder()
 
 
 def replay_trace(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
@@ -234,6 +251,10 @@ def replay_trace(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
     record_metrics = metrics.record
     metadata_add = metrics.metadata_bytes.add
     policy_metadata_bytes = policy.metadata_bytes
+    recorder_flight = _resolve_flight(config)
+    telemetry = make_emitter(len(trace))
+    gc_stats = controller.gc.stats
+    pages_ratio = metrics.pages
 
     if profiler.enabled:
         profiler.start("replay")
@@ -260,6 +281,10 @@ def replay_trace(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
             except FlashOutOfSpace as exc:
                 metrics.aborted_reason = str(exc)
                 metrics.aborted_at_request = i
+                if recorder_flight is not None:
+                    recorder_flight.record_dump(
+                        f"replay_aborted: {exc}", metrics
+                    )
                 break
             if i < warmup:
                 continue
@@ -271,11 +296,25 @@ def replay_trace(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
                 sampler.maybe_sample(i, request.time)
             if not i % METADATA_SAMPLE_INTERVAL:
                 metadata_add(policy_metadata_bytes())
+                if telemetry is not None:
+                    telemetry.maybe_emit(
+                        i, pages_ratio.ratio, gc_stats.blocks_erased
+                    )
             if track_lists and not i % sample_interval and i > 0:
                 metrics.list_log.append((i, policy.list_page_counts()))
 
         if config.drain_at_end and len(trace) and not metrics.aborted:
             controller.drain(trace[len(trace) - 1].time)
+    except BaseException as exc:
+        # A dying replay (invariant violation, injected chaos, ^C) takes
+        # its last-N events with it: snapshot them at the failure site,
+        # where the partial metrics are still live, and let the caller
+        # (CLI or supervised worker) decide where the dump goes.
+        if recorder_flight is not None:
+            recorder_flight.record_dump(
+                f"exception: {type(exc).__name__}: {exc}", metrics
+            )
+        raise
     finally:
         if profiler.enabled:
             profiler.stop()
@@ -313,6 +352,17 @@ def replay_trace(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
         durability = controller.durability_report()
         durability.power_loss = power_report
         metrics.durability = durability
+    if (
+        recorder_flight is not None
+        and recorder_flight.degraded_reason is not None
+    ):
+        # DegradedMode entry is dump-worthy even when the replay ran to
+        # completion (the device limped home read-only); first recorded
+        # dump wins, so an earlier abort snapshot is never overwritten.
+        recorder_flight.record_dump(
+            f"degraded_mode_entered: {recorder_flight.degraded_reason}",
+            metrics,
+        )
     if checker is not None:
         checker.close()
     return metrics
@@ -355,6 +405,9 @@ def replay_cache_only(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
     metadata_add = metrics.metadata_bytes.add
     policy_metadata_bytes = policy.metadata_bytes
     profiled = profiler.enabled
+    recorder_flight = _resolve_flight(config)
+    telemetry = make_emitter(len(trace), phase="cache_only")
+    pages_ratio = metrics.pages
 
     if profiled:
         profiler.start("replay")
@@ -382,8 +435,17 @@ def replay_cache_only(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
             flushed += outcome.flushed_pages
             if not i % METADATA_SAMPLE_INTERVAL:
                 metadata_add(policy_metadata_bytes())
+                if telemetry is not None:
+                    # Cache-only replays have no GC, hence erases=0.
+                    telemetry.maybe_emit(i, pages_ratio.ratio, 0)
             if track_lists and not i % sample_interval and i > 0:
                 metrics.list_log.append((i, policy.list_page_counts()))
+    except BaseException as exc:
+        if recorder_flight is not None:
+            recorder_flight.record_dump(
+                f"exception: {type(exc).__name__}: {exc}", metrics
+            )
+        raise
     finally:
         if profiler.enabled:
             profiler.stop()

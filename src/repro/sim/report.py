@@ -98,6 +98,10 @@ def sparkline(values: Sequence[float], width: int = 40) -> str:
     vals = list(values)
     if not vals:
         return ""
+    # A non-positive width would divide by zero in the stride below;
+    # clamp rather than crash (callers sometimes derive width from a
+    # series length they have not checked).
+    width = max(1, width)
     if len(vals) > width:
         stride = len(vals) / width
         vals = [vals[int(i * stride)] for i in range(width)]

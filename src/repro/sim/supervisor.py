@@ -50,7 +50,14 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.obs.events import ShardRetry, ShardSalvage, ShardTimeout
+from repro.obs.flight import FlightRecorder, activate, deactivate
 from repro.sim.checkpoint import CheckpointJournal, payload_digest, run_key
+from repro.sim.telemetry import (
+    DEFAULT_FRAME_INTERVAL_S,
+    TelemetryFrame,
+    clear_frame_sink,
+    set_frame_sink,
+)
 from repro.sim.parallel import (
     ShardError,
     _sigterm_as_interrupt,
@@ -142,6 +149,9 @@ class SupervisedOutcome:
     timeouts: int = 0
     #: Shards skipped because the checkpoint journal already held them.
     resumed: int = 0
+    #: shard index -> flight dump shipped back by a flight-enabled
+    #: worker (first dump per shard wins, like the recorder itself).
+    flightdumps: Dict[int, Any] = field(default_factory=dict)
 
     @property
     def n_shards(self) -> int:
@@ -202,6 +212,15 @@ class SupervisorReport:
     def resumed(self) -> int:
         return sum(o.resumed for o in self.outcomes)
 
+    @property
+    def flightdumps(self) -> List[Any]:
+        """Every flight dump shipped back, across all fan-outs."""
+        return [
+            dump
+            for o in self.outcomes
+            for _, dump in sorted(o.flightdumps.items())
+        ]
+
     def describe(self) -> str:
         """One-line summary for the CLI's stderr report."""
         total = sum(o.n_shards for o in self.outcomes)
@@ -226,30 +245,89 @@ def _send_quiet(conn: Connection, message: Any) -> None:
         pass
 
 
-def _child_entry(conn: Connection, worker: Callable[[Any], Any], payload: Any) -> None:
+class _ShardTerminated(BaseException):
+    """Raised inside a flight-enabled worker by its SIGTERM handler.
+
+    Deliberately a ``BaseException`` (and *not* ``KeyboardInterrupt``):
+    it must unwind through any worker-level ``except Exception`` cleanup
+    so the flight dump ships, and the parent must see the attempt as
+    *failed* (retryable/salvageable), not as a user interrupt.
+    """
+
+
+def _child_entry(
+    conn: Connection,
+    worker: Callable[[Any], Any],
+    payload: Any,
+    index: int = 0,
+    flight: bool = False,
+    telemetry_interval: Optional[float] = None,
+) -> None:
     """Supervised worker body: one attempt, result over the pipe.
 
-    The SIGTERM disposition is reset to the default so the watchdog's
+    By default the SIGTERM disposition is reset so the watchdog's
     ``terminate()`` kills a stuck attempt promptly even when the parent
-    installed its own handler before forking.  Results that fail to
-    pickle are reported as failures rather than dying silently.
+    installed its own handler before forking.  With ``flight`` set the
+    worker instead activates an ambient :class:`FlightRecorder` and
+    turns SIGTERM into :class:`_ShardTerminated`, so a reaped attempt
+    unwinds through the replay's dump path and ships its last events
+    back as a ``("flightdump", dump)`` message before dying.  With
+    ``telemetry_interval`` set the worker installs a frame sink that
+    forwards :class:`TelemetryFrame` progress readings as
+    ``("frame", frame)`` messages.  Results that fail to pickle are
+    reported as failures rather than dying silently.
     """
-    try:
-        signal.signal(signal.SIGTERM, signal.SIG_DFL)
-    except (ValueError, OSError):  # pragma: no cover - exotic platforms
-        pass
+    recorder: Optional[FlightRecorder] = None
+    if flight:
+        recorder = FlightRecorder()
+        activate(recorder)
+
+        def _on_term(signum: int, _frame: Any) -> None:
+            raise _ShardTerminated(f"terminated by signal {signum}")
+
+        try:
+            signal.signal(signal.SIGTERM, _on_term)
+        except (ValueError, OSError):  # pragma: no cover - exotic platforms
+            pass
+    else:
+        try:
+            signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        except (ValueError, OSError):  # pragma: no cover - exotic platforms
+            pass
+    if telemetry_interval is not None:
+        set_frame_sink(
+            lambda frame: _send_quiet(conn, ("frame", frame)),
+            shard=index,
+            interval_s=telemetry_interval,
+        )
     try:
         result = worker(payload)
     except KeyboardInterrupt:
         _send_quiet(conn, ("interrupted", None))
-    except BaseException:
+    except BaseException as exc:
+        if recorder is not None:
+            # First recorded dump wins: if the replay loop already
+            # snapshot the abort, this is a no-op that returns it.
+            dump = recorder.record_dump(
+                f"worker_death: {type(exc).__name__}: {exc}",
+                context={"shard": index},
+            )
+            _send_quiet(conn, ("flightdump", dump))
         _send_quiet(conn, ("failed", traceback.format_exc()))
     else:
+        if recorder is not None and recorder.last_dump is not None:
+            # The replay recorded a dump but returned normally (an
+            # aborted/degraded device run); ship it ahead of the result.
+            _send_quiet(conn, ("flightdump", recorder.last_dump))
         try:
             conn.send(("ok", result))
         except Exception:
             _send_quiet(conn, ("failed", traceback.format_exc()))
     finally:
+        if telemetry_interval is not None:
+            clear_frame_sink()
+        if recorder is not None:
+            deactivate()
         conn.close()
 
 
@@ -295,6 +373,8 @@ def run_shards_supervised(
     progress: Optional[ProgressCallback] = None,
     metrics: Optional[Any] = None,
     tracer: Optional[Any] = None,
+    flight: bool = False,
+    telemetry: Optional[Callable[[TelemetryFrame], None]] = None,
 ) -> SupervisedOutcome:
     """Run ``worker`` over ``payloads`` under supervision.
 
@@ -312,6 +392,13 @@ def run_shards_supervised(
     :class:`~repro.obs.events.ShardRetry` /
     :class:`~repro.obs.events.ShardTimeout` /
     :class:`~repro.obs.events.ShardSalvage` events.
+
+    ``flight`` activates a :class:`~repro.obs.flight.FlightRecorder`
+    inside every worker; a dying, timed-out, or aborted attempt ships
+    its dump back, collected in ``outcome.flightdumps`` keyed by shard
+    index.  ``telemetry`` (a callable taking
+    :class:`~repro.sim.telemetry.TelemetryFrame`) turns on live
+    progress frames from the replay loops inside workers.
 
     Raises :class:`~repro.sim.parallel.ShardError` when a shard
     exhausts its retries and ``salvage`` is off; with ``salvage`` on it
@@ -429,7 +516,16 @@ def run_shards_supervised(
                     parent_conn, child_conn = ctx.Pipe(duplex=False)
                     proc = ctx.Process(
                         target=_child_entry,
-                        args=(child_conn, worker, payloads[att.index]),
+                        args=(
+                            child_conn,
+                            worker,
+                            payloads[att.index],
+                            att.index,
+                            flight,
+                            DEFAULT_FRAME_INTERVAL_S
+                            if telemetry is not None
+                            else None,
+                        ),
                         daemon=True,
                     )
                     proc.start()
@@ -462,10 +558,11 @@ def run_shards_supervised(
                     else None
                 )
                 for conn in connection_wait(list(running), timeout=timeout):
-                    run = running.pop(conn)
+                    run = running[conn]
                     try:
                         status, value = conn.recv()
                     except (EOFError, OSError):
+                        running.pop(conn)
                         conn.close()
                         run.proc.join()
                         _fail_or_retry(
@@ -474,6 +571,20 @@ def run_shards_supervised(
                             f"(exit code {run.proc.exitcode})",
                         )
                         continue
+                    # Streaming messages leave the attempt running; any
+                    # further buffered message keeps the FD readable so
+                    # ``connection_wait`` returns this conn again.
+                    if status == "frame":
+                        if telemetry is not None:
+                            try:
+                                telemetry(value)
+                            except Exception:
+                                pass
+                        continue
+                    if status == "flightdump":
+                        outcome.flightdumps.setdefault(run.index, value)
+                        continue
+                    running.pop(conn)
                     conn.close()
                     run.proc.join()
                     if status == "ok":
@@ -490,8 +601,22 @@ def run_shards_supervised(
                     if r.deadline is not None and now >= r.deadline
                 ]:
                     run = running.pop(conn)
-                    conn.close()
                     _reap(run.proc)
+                    # A flight-enabled worker's SIGTERM handler ships a
+                    # dump on its way down; collect whatever the dead
+                    # attempt left buffered before closing the pipe.
+                    try:
+                        while conn.poll(0):
+                            status, value = conn.recv()
+                            if status == "flightdump":
+                                outcome.flightdumps.setdefault(
+                                    run.index, value
+                                )
+                            elif status == "frame" and telemetry is not None:
+                                telemetry(value)
+                    except (EOFError, OSError):
+                        pass
+                    conn.close()
                     outcome.timeouts += 1
                     timeouts_by_index[run.index] = (
                         timeouts_by_index.get(run.index, 0) + 1

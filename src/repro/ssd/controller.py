@@ -474,8 +474,13 @@ class SSDController:
     # ------------------------------------------------------------------
     def enter_degraded(self, reason: str, now: float, plane: int = -1) -> None:
         """Latch read-only mode; emits the event on the first entry only."""
-        if self.degraded.enter(reason, now, plane) and self.tracer.enabled:
-            self.tracer.emit(DegradedModeEntered(now, plane, reason))
+        if self.degraded.enter(reason, now, plane):
+            # Counter (not just the degraded_mode gauge): a monotonic
+            # series signal the anomaly detectors can difference.
+            if self.metrics.enabled:
+                self.metrics.counter("faults.degraded_entries_total").inc()
+            if self.tracer.enabled:
+                self.tracer.emit(DegradedModeEntered(now, plane, reason))
 
     def durability_report(self) -> DurabilityReport:
         """Fault + degradation accounting for this replay (power-loss

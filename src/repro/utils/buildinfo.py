@@ -1,0 +1,76 @@
+"""Build/environment capture for reports and the run ledger.
+
+Speedup numbers, ledger manifests and ``--version`` output are only
+interpretable when they say *what* ran *where*: package version, python
+version, git revision, core count.  This module gathers those facts
+once (the git subprocess is the only non-trivial cost) and hands every
+consumer the same dict, so nightly artifacts from different runners can
+be compared without guessing.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import socket
+import subprocess
+import sys
+from typing import Any, Dict, Optional
+
+__all__ = ["buildinfo", "git_revision", "describe"]
+
+_CACHE: Optional[Dict[str, Any]] = None
+
+
+def git_revision(cwd: Optional[str] = None) -> Optional[str]:
+    """Short git revision of ``cwd`` (or the CWD), or None.
+
+    None covers every way this can fail — no git binary, not a
+    repository, a timeout — because callers only ever annotate reports
+    with it; a missing revision must never fail a run.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    rev = out.stdout.strip()
+    return rev or None
+
+
+def buildinfo(refresh: bool = False) -> Dict[str, Any]:
+    """Environment facts as a JSON-friendly dict (cached per process)."""
+    global _CACHE
+    if _CACHE is not None and not refresh:
+        return dict(_CACHE)
+    from repro import __version__
+
+    _CACHE = {
+        "version": __version__,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "hostname": socket.gethostname(),
+        "cpu_count": os.cpu_count(),
+        "git_rev": git_revision(os.path.dirname(os.path.dirname(__file__))),
+        "executable": sys.executable,
+    }
+    return dict(_CACHE)
+
+
+def describe() -> str:
+    """One-line version string for ``reqblock-sim --version``."""
+    info = buildinfo()
+    rev = f" ({info['git_rev']})" if info["git_rev"] else ""
+    return (
+        f"reqblock-sim {info['version']}{rev} "
+        f"[{info['implementation']} {info['python']}, {info['platform']}]"
+    )

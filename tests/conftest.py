@@ -8,6 +8,16 @@ from repro.traces.model import IORequest, OpType, Trace
 from repro.traces.synthetic import SyntheticConfig, generate_trace
 
 
+@pytest.fixture(autouse=True)
+def _runs_dir_tmp(tmp_path, monkeypatch):
+    """Point the run ledger at a per-test directory.
+
+    CLI invocations inside tests would otherwise litter the repository
+    working directory with ``runs/<run_id>/`` entries.
+    """
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))
+
+
 def pytest_addoption(parser: pytest.Parser) -> None:
     parser.addoption(
         "--update-golden",

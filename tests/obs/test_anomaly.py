@@ -1,0 +1,239 @@
+"""Anomaly detectors: synthetic series in, typed findings out."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.anomaly import (
+    Finding,
+    analyze_metrics,
+    analyze_series,
+    detect_degraded,
+    detect_gc_storm,
+    detect_hit_rate_cliff,
+    detect_shard_instability,
+    detect_throughput_stall,
+    finding_from_dict,
+    finding_to_dict,
+)
+
+
+def _series(key, values, interval=1000, ms_per_window=10.0):
+    """Snapshots carrying one cumulative counter."""
+    return [
+        {"index": float(i * interval), "sim_ms": i * ms_per_window, key: float(v)}
+        for i, v in enumerate(values)
+    ]
+
+
+class TestFinding:
+    def test_round_trip(self):
+        f = Finding(
+            kind="gc_storm",
+            severity="warning",
+            index=1000,
+            time_ms=5.0,
+            message="storm",
+            data={"erases": 50.0},
+        )
+        assert finding_from_dict(finding_to_dict(f)) == f
+
+    def test_defaults_survive_sparse_dict(self):
+        f = finding_from_dict({"kind": "x", "severity": "info"})
+        assert f.index == -1
+        assert f.time_ms == -1.0
+        assert f.data == {}
+
+    def test_invalid_severity_rejected(self):
+        with pytest.raises(ValueError):
+            Finding("x", "fatal", -1, -1.0, "")
+
+
+class TestGcStorm:
+    def test_burst_window_flagged(self):
+        # Cumulative erases: steady +1 per window, one +60 burst.
+        counts = [0, 1, 2, 3, 63, 64, 65, 66, 67, 68]
+        series = _series("ssd.gc.blocks_erased_total", counts)
+        findings = detect_gc_storm(series)
+        assert [f.index for f in findings] == [4000]
+        assert findings[0].kind == "gc_storm"
+        assert findings[0].severity == "warning"
+        assert findings[0].data["erases"] == 60.0
+
+    def test_quiet_run_not_flagged(self):
+        series = _series(
+            "ssd.gc.blocks_erased_total", [0, 1, 2, 3, 4, 5, 6]
+        )
+        assert detect_gc_storm(series) == []
+
+    @pytest.mark.parametrize("n", [0, 1, 2])
+    def test_short_series_yield_nothing(self, n):
+        series = _series("ssd.gc.blocks_erased_total", list(range(n)))
+        assert detect_gc_storm(series) == []
+
+    def test_missing_key_yields_nothing(self):
+        series = _series("other.counter_total", [0, 10, 200])
+        assert detect_gc_storm(series) == []
+
+    def test_counter_restart_is_not_a_burst(self):
+        # Merged shard series restart their counters; the negative delta
+        # must clamp to zero, not flag (or poison the mean).
+        counts = [0, 4, 8, 0, 4, 8, 12, 16]
+        series = _series("ssd.gc.blocks_erased_total", counts)
+        assert detect_gc_storm(series) == []
+
+
+class TestHitRateCliff:
+    @staticmethod
+    def _hm_series(rates, pages=200):
+        hits = [0.0]
+        misses = [0.0]
+        for r in rates:
+            hits.append(hits[-1] + r * pages)
+            misses.append(misses[-1] + (1 - r) * pages)
+        return [
+            {
+                "index": float(i * 1000),
+                "sim_ms": i * 10.0,
+                "cache.page_hits_total": h,
+                "cache.page_misses_total": m,
+            }
+            for i, (h, m) in enumerate(zip(hits, misses))
+        ]
+
+    def test_cliff_flagged(self):
+        series = self._hm_series([0.9, 0.9, 0.4, 0.4])
+        findings = detect_hit_rate_cliff(series)
+        assert len(findings) == 1
+        assert findings[0].kind == "hit_rate_cliff"
+        assert findings[0].data["drop"] == pytest.approx(0.5)
+
+    def test_gentle_drift_not_flagged(self):
+        series = self._hm_series([0.9, 0.85, 0.8, 0.75])
+        assert detect_hit_rate_cliff(series) == []
+
+    def test_tiny_windows_skipped(self):
+        series = self._hm_series([0.9, 0.9, 0.0], pages=10)
+        assert detect_hit_rate_cliff(series) == []
+
+    def test_empty_series(self):
+        assert detect_hit_rate_cliff([]) == []
+
+
+class TestThroughputStall:
+    def test_stall_flagged(self):
+        # 1000 requests per window; one window takes 100x the sim time.
+        sim_ms = [0.0, 10.0, 20.0, 30.0, 1030.0, 1040.0]
+        series = [
+            {"index": float(i * 1000), "sim_ms": ms}
+            for i, ms in enumerate(sim_ms)
+        ]
+        findings = detect_throughput_stall(series)
+        assert [f.index for f in findings] == [4000]
+        assert findings[0].kind == "throughput_stall"
+
+    def test_uniform_rate_not_flagged(self):
+        series = [
+            {"index": float(i * 1000), "sim_ms": i * 10.0} for i in range(6)
+        ]
+        assert detect_throughput_stall(series) == []
+
+    @pytest.mark.parametrize("n", [0, 1, 2, 3])
+    def test_short_series_yield_nothing(self, n):
+        series = [
+            {"index": float(i * 1000), "sim_ms": i * 10.0} for i in range(n)
+        ]
+        assert detect_throughput_stall(series) == []
+
+
+class _Durability:
+    degraded = False
+    degraded_reason = None
+    degraded_at_ms = -1.0
+    writes_rejected_pages = 0
+    flush_pages_dropped = 0
+    shards_planned = 0
+    shards_failed = ()
+    shard_retries = 0
+    shard_timeouts = 0
+    shard_coverage = 1.0
+
+
+class _Metrics:
+    aborted = False
+    aborted_reason = None
+    aborted_at_request = -1
+    metrics_series = []
+    durability = None
+
+
+class TestDegradedAndShards:
+    def test_degraded_entry_is_critical(self):
+        m = _Metrics()
+        m.durability = _Durability()
+        m.durability.degraded = True
+        m.durability.degraded_reason = "spares exhausted"
+        m.durability.degraded_at_ms = 123.0
+        (finding,) = detect_degraded(m)
+        assert finding.kind == "degraded_mode"
+        assert finding.severity == "critical"
+        assert finding.time_ms == 123.0
+
+    def test_abort_is_critical(self):
+        m = _Metrics()
+        m.aborted = True
+        m.aborted_reason = "flash out of space"
+        m.aborted_at_request = 99
+        (finding,) = detect_degraded(m)
+        assert finding.kind == "replay_aborted"
+        assert finding.index == 99
+
+    def test_clean_metrics_yield_nothing(self):
+        assert detect_degraded(_Metrics()) == []
+        assert detect_shard_instability(_Metrics()) == []
+
+    def test_salvage_is_critical(self):
+        m = _Metrics()
+        m.durability = _Durability()
+        m.durability.shards_planned = 4
+        m.durability.shards_failed = (2,)
+        m.durability.shard_coverage = 0.75
+        (finding,) = detect_shard_instability(m)
+        assert finding.kind == "shard_instability"
+        assert finding.severity == "critical"
+        assert finding.data["coverage"] == 0.75
+
+    def test_retry_spike_is_warning(self):
+        m = _Metrics()
+        m.durability = _Durability()
+        m.durability.shards_planned = 4
+        m.durability.shard_retries = 2
+        m.durability.shard_timeouts = 1
+        (finding,) = detect_shard_instability(m)
+        assert finding.severity == "warning"
+
+    def test_few_retries_not_flagged(self):
+        m = _Metrics()
+        m.durability = _Durability()
+        m.durability.shards_planned = 4
+        m.durability.shard_retries = 1
+        assert detect_shard_instability(m) == []
+
+
+class TestAnalyze:
+    def test_empty_everything(self):
+        assert analyze_series([]) == []
+        assert analyze_metrics(_Metrics()) == []
+
+    def test_critical_sorts_first(self):
+        m = _Metrics()
+        m.aborted = True
+        m.aborted_reason = "dead"
+        m.aborted_at_request = 500
+        m.metrics_series = _series(
+            "ssd.gc.blocks_erased_total",
+            [0, 1, 2, 3, 63, 64, 65, 66, 67, 68],
+        )
+        findings = analyze_metrics(m)
+        assert [f.kind for f in findings] == ["replay_aborted", "gc_storm"]
+        assert findings[0].severity == "critical"

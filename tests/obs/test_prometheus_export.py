@@ -1,0 +1,173 @@
+"""Prometheus text-export edge cases: names, HELP escaping, buckets."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    NullMetricsRegistry,
+    prometheus_name,
+)
+
+
+class TestNameValidation:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "ssd.gc.blocks_erased_total",
+            "cache.page_hits_total",
+            "a.b",
+            "x9.y_z0",
+        ],
+    )
+    def test_valid_names_accepted(self, name):
+        MetricsRegistry().counter(name)
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "nodots",            # at least two segments required
+            "Upper.case",        # lowercase only
+            "9leading.digit",    # segments start with a letter
+            "trailing.dot.",     # empty segment
+            ".leading.dot",
+            "has.da-sh",         # dashes are not Prometheus-safe here
+            "has.spa ce",
+            "",
+        ],
+    )
+    def test_invalid_names_rejected(self, name):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            MetricsRegistry().counter(name)
+
+    def test_type_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b_total")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("a.b_total")
+
+    def test_prometheus_name_mapping(self):
+        assert (
+            prometheus_name("ssd.gc.blocks_erased_total")
+            == "repro_ssd_gc_blocks_erased_total"
+        )
+
+
+class TestHelpStrings:
+    def test_help_line_emitted_before_type(self):
+        reg = MetricsRegistry()
+        reg.counter("cache.page_hits_total", help="Pages served from DRAM")
+        lines = reg.prometheus_text().splitlines()
+        help_idx = lines.index(
+            "# HELP repro_cache_page_hits_total Pages served from DRAM"
+        )
+        type_idx = lines.index("# TYPE repro_cache_page_hits_total counter")
+        assert help_idx == type_idx - 1
+
+    def test_no_help_no_line(self):
+        reg = MetricsRegistry()
+        reg.counter("cache.page_hits_total")
+        assert "# HELP" not in reg.prometheus_text()
+
+    def test_backslash_and_newline_escaped(self):
+        reg = MetricsRegistry()
+        reg.gauge("a.b", help="path C:\\tmp\nsecond line")
+        text = reg.prometheus_text()
+        assert "# HELP repro_a_b path C:\\\\tmp\\nsecond line" in text
+        # The physical line structure must survive the embedded newline.
+        help_lines = [l for l in text.splitlines() if l.startswith("# HELP")]
+        assert len(help_lines) == 1
+
+    def test_first_help_wins_and_reaccess_keeps_it(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b_total", help="first")
+        reg.counter("a.b_total")  # hot-path re-access, no help
+        reg.counter("a.b_total", help="second")
+        text = reg.prometheus_text()
+        assert "# HELP repro_a_b_total first" in text
+        assert "second" not in text
+
+    def test_help_on_every_instrument_type(self):
+        reg = MetricsRegistry()
+        reg.counter("c.v_total", help="c")
+        reg.gauge("g.v", help="g")
+        reg.histogram("h.v_ms", help="h")
+        reg.rate("r.v_rate", help="r")
+        text = reg.prometheus_text()
+        assert text.count("# HELP") == 4
+
+    def test_null_registry_absorbs_help_kwargs(self):
+        reg = NullMetricsRegistry()
+        reg.counter("any.name_total", help="x")
+        reg.gauge("any.gauge", help="x")
+        reg.histogram("any.hist_ms", growth=3.0, help="x")
+        reg.rate("any.rate", window=10.0, help="x")
+
+
+class TestHistogramExport:
+    def test_quantile_lines_ordered_and_monotonic(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("host.response_ms")
+        for v in [0.1, 0.5, 1.0, 2.0, 4.0, 8.0, 100.0, 1000.0]:
+            h.observe(v)
+        lines = reg.prometheus_text().splitlines()
+        qlines = [l for l in lines if "quantile=" in l]
+        assert [l.split('"')[1] for l in qlines] == ["0.5", "0.9", "0.99"]
+        values = [float(l.split()[-1]) for l in qlines]
+        assert values == sorted(values)
+        # sum/count close the family, after the quantile samples.
+        assert lines.index("repro_host_response_ms_sum 1115.6") > lines.index(
+            qlines[-1]
+        )
+        assert "repro_host_response_ms_count 8" in lines
+
+    def test_bucket_indices_iterate_in_value_order(self):
+        # Quantiles walk sorted(buckets); out-of-order observation must
+        # not reorder the estimates.
+        h = MetricsRegistry().histogram("h.v_ms")
+        for v in [1000.0, 0.25, 32.0, 2.0]:
+            h.observe(v)
+        assert h.quantile(0.0) <= h.quantile(0.5) <= h.quantile(1.0)
+        assert h.quantile(1.0) == 1000.0
+
+    def test_empty_histogram_exports_zero_family(self):
+        reg = MetricsRegistry()
+        reg.histogram("h.v_ms")
+        text = reg.prometheus_text()
+        assert "quantile" not in text
+        assert "repro_h_v_ms_sum 0" in text
+        assert "repro_h_v_ms_count 0" in text
+
+    def test_zero_only_histogram_quantiles(self):
+        h = MetricsRegistry().histogram("h.v_ms")
+        h.observe(0.0)
+        h.observe(0.0)
+        assert h.quantile(0.5) == 0.0
+        assert h.quantile(0.99) == 0.0
+
+
+class TestValueFormatting:
+    def test_integral_floats_render_without_decimal(self):
+        reg = MetricsRegistry()
+        reg.gauge("g.v").set(3.0)
+        assert "repro_g_v 3\n" in reg.prometheus_text()
+
+    def test_infinities_render_prometheus_style(self):
+        reg = MetricsRegistry()
+        reg.gauge("g.v").set(math.inf)
+        assert "repro_g_v +Inf" in reg.prometheus_text()
+        reg.gauge("g.v").set(-math.inf)
+        assert "repro_g_v -Inf" in reg.prometheus_text()
+
+    def test_rate_exports_gauge_plus_total(self):
+        reg = MetricsRegistry()
+        r = reg.rate("host.request_rate", window=10.0)
+        for t in (1.0, 5.0, 12.0):
+            r.mark(t)
+        text = reg.prometheus_text(now=25.0)
+        assert "# TYPE repro_host_request_rate gauge" in text
+        assert "# TYPE repro_host_request_rate_total counter" in text
+        assert "repro_host_request_rate_total 3" in text

@@ -300,3 +300,87 @@ class TestParallelCli:
             build_parser().parse_args(
                 ["experiment", "fig10", "--start-method", "thread"]
             )
+
+
+class TestMetricsHardening:
+    """The ``metrics`` subcommand must never crash on odd series."""
+
+    @staticmethod
+    def _write(tmp_path, snapshots):
+        import json
+
+        path = tmp_path / "m.jsonl"
+        path.write_text(
+            "".join(json.dumps(s) + "\n" for s in snapshots)
+        )
+        return str(path)
+
+    def test_non_numeric_values_skipped(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path,
+            [
+                {"index": 0, "sim_ms": 0.0, "trace": "ts_0",
+                 "cache.page_hits_total": 1},
+                {"index": 256, "sim_ms": 9.0, "trace": "ts_0",
+                 "cache.page_hits_total": 5},
+            ],
+        )
+        assert main(["metrics", path]) == 0
+        out = capsys.readouterr().out
+        assert "cache.page_hits_total" in out
+        assert "ts_0" not in out.splitlines()[-2]  # annotation row dropped
+
+    def test_only_annotations_reports_cleanly(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path, [{"index": 0, "sim_ms": 0.0, "trace": "ts_0"}]
+        )
+        assert main(["metrics", path]) == 1
+        captured = capsys.readouterr()
+        assert "no numeric metrics to report" in captured.err
+
+    def test_singleton_series(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path, [{"index": 0, "sim_ms": 0.0, "a.b_total": 7}]
+        )
+        assert main(["metrics", path]) == 0
+        out = capsys.readouterr().out
+        assert "a.b_total" in out
+
+    def test_all_zero_series(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path,
+            [
+                {"index": i * 256, "sim_ms": float(i), "a.b_total": 0}
+                for i in range(4)
+            ],
+        )
+        assert main(["metrics", path]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        row = next(l for l in lines if "a.b_total" in l)
+        assert row.split()[1] == "0"
+
+
+class TestVersionFlag:
+    def test_version_exits_zero_with_environment(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "reqblock-sim" in out
+        assert "CPython" in out or "PyPy" in out
+
+
+class TestFlightRecorderCli:
+    def test_clean_replay_output_identical_with_recorder(self, capsys):
+        base_rc = main(
+            ["replay", "ts_0", "--scale", SCALE, "--policy", "lru",
+             "--no-ledger"]
+        )
+        base = capsys.readouterr()
+        rec_rc = main(
+            ["replay", "ts_0", "--scale", SCALE, "--policy", "lru",
+             "--no-ledger", "--flight-recorder"]
+        )
+        rec = capsys.readouterr()
+        assert base_rc == rec_rc == 0
+        assert rec.out == base.out  # byte-identical summary

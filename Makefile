@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test coverage bench bench-full bench-check examples figures lint typecheck clean
+.PHONY: install test coverage bench bench-full bench-check examples figures lint lint-ci typecheck clean
 
 install:
 	pip install -e .[dev]
@@ -25,6 +25,17 @@ lint:
 
 typecheck:
 	mypy src/repro
+
+# Workflow hygiene: the structural linter always runs (PyYAML only);
+# actionlint runs too when it is on PATH (CI installs it, so a local
+# pass of this target mirrors the CI lint job).
+lint-ci:
+	$(PYTHON) tools/lint_workflows.py
+	@if command -v actionlint >/dev/null 2>&1; then \
+		actionlint -color; \
+	else \
+		echo "actionlint not installed; structural lint only"; \
+	fi
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -16,6 +16,7 @@ from repro.cache.registry import (
     policy_class,
     register_policy,
 )
+from repro.cache.tenant import PARTITION_MODES, TenantPartitioner, split_capacity
 from repro.cache.vbbms import VBBMSCache
 
 __all__ = [
@@ -33,6 +34,9 @@ __all__ = [
     "LRUCache",
     "PUDLRUCache",
     "VBBMSCache",
+    "PARTITION_MODES",
+    "TenantPartitioner",
+    "split_capacity",
     "PAPER_COMPARISON",
     "available_policies",
     "create_policy",

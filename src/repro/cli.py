@@ -24,7 +24,7 @@ import importlib
 import json
 import os
 import sys
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.cache.registry import ENGINES, PAPER_COMPARISON, available_policies
 from repro.experiments.common import (
@@ -68,6 +68,7 @@ _EXPERIMENTS: Dict[str, str] = {
     "cache-scaling": "repro.experiments.cache_scaling",
     "mdts-sensitivity": "repro.experiments.mdts_sensitivity",
     "reliability-study": "repro.experiments.reliability_study",
+    "tenant-qos": "repro.experiments.tenant_qos",
 }
 
 #: Exit code for a replay cut short by a device-fatal error (distinct
@@ -166,6 +167,101 @@ def _load_trace(args: argparse.Namespace) -> Trace:
     return load_msr_trace(args.workload)
 
 
+class _UsageError(Exception):
+    """Flag combination the parser can't catch; maps to exit code 2."""
+
+
+def _resolve_tenants(
+    args: argparse.Namespace,
+) -> "Tuple[Trace, Optional[Any], Optional[Tuple[float, ...]]]":
+    """The workload for replay — possibly a multi-tenant population.
+
+    Returns ``(trace, tenant_map, weights)``; ``(trace, None, None)``
+    is the legacy single-tenant path, taken whenever no tenant flag is
+    used.  A comma-separated ``workload`` interleaves the named traces
+    (paper workloads and/or MSR CSV paths) as one tenant each;
+    ``--tenants N`` synthesizes an N-clone population of one paper
+    workload (see docs/tenancy.md).
+    """
+    parts = [w.strip() for w in args.workload.split(",") if w.strip()]
+    if len(parts) > 1:
+        if args.tenants is not None and args.tenants != len(parts):
+            raise _UsageError(
+                f"--tenants {args.tenants} conflicts with "
+                f"{len(parts)} comma-separated workloads"
+            )
+        from repro.traces.tenants import interleave_msr_tenants
+
+        streams = [
+            get_workload(w, args.scale)
+            if w in WORKLOAD_ORDER
+            else load_msr_trace(w)
+            for w in parts
+        ]
+        trace, tenant_map = interleave_msr_tenants(
+            streams, name="+".join(parts)
+        )
+        return trace, tenant_map, tuple(1.0 / len(parts) for _ in parts)
+    if args.tenants is None:
+        if args.tenancy != "shared":
+            raise _UsageError(
+                "--tenancy static/proportional requires --tenants N "
+                "(or a comma-separated workload list)"
+            )
+        return _load_trace(args), None, None
+    if args.workload not in WORKLOAD_ORDER:
+        raise _UsageError(
+            "--tenants N synthesizes a population of a paper workload; "
+            "to treat trace files as tenants, pass them comma-separated"
+        )
+    from repro.traces.tenants import build_population
+
+    return build_population(
+        args.workload,
+        args.tenants,
+        scale=args.scale,
+        skew=args.tenant_skew,
+        seed=args.tenant_seed,
+    )
+
+
+def _print_tenant_table(metrics: Any) -> None:
+    rows = [
+        (
+            f"t{i}",
+            int(s["requests"]),
+            s["hit_ratio"],
+            s["mean_response_ms"],
+            s["p95_response_ms"],
+            int(s["evicted_pages"]),
+        )
+        for i, s in sorted(metrics.tenant_summary().items())
+    ]
+    print()
+    print(
+        format_table(
+            (
+                "Tenant",
+                "Requests",
+                "HitRatio",
+                "MeanResp(ms)",
+                "p95(ms)",
+                "EvictedPages",
+            ),
+            rows,
+            float_fmt="{:.4f}",
+        )
+    )
+
+
+def _show_tenants(args: argparse.Namespace, tenant_map: Optional[Any]) -> bool:
+    """Whether per-tenant output should print.  Gated so the default
+    single-tenant shared-mode replay stays byte-identical on stdout."""
+    return tenant_map is not None and (
+        tenant_map.n_tenants > 1 or args.tenancy != "shared"
+    )
+
+
 def _print_profile(phase_profile: Dict[str, Dict[str, float]]) -> None:
     from repro.obs.profile import format_profile_rows
 
@@ -180,7 +276,13 @@ def _print_profile(phase_profile: Dict[str, Dict[str, float]]) -> None:
     )
 
 
-def _replay_sharded_cmd(args: argparse.Namespace, trace: Trace, cache_bytes: int) -> int:
+def _replay_sharded_cmd(
+    args: argparse.Namespace,
+    trace: Trace,
+    cache_bytes: int,
+    tenant_map: Optional[Any] = None,
+    tenant_weights: Optional[Tuple[float, ...]] = None,
+) -> int:
     """``replay --jobs N``: segment-shard one trace across workers.
 
     Trace-segment sharding replays independent slices on cold caches
@@ -219,6 +321,9 @@ def _replay_sharded_cmd(args: argparse.Namespace, trace: Trace, cache_bytes: int
         fault_profile=args.fault_profile,
         fault_seed=args.fault_seed,
         capacitor_pages=args.capacitor_pages,
+        tenancy=args.tenancy,
+        tenants=tenant_map,
+        tenant_weights=tenant_weights,
     )
     jobs = resolve_jobs(args.jobs, len(trace))
     n_shards = args.shards if args.shards is not None else jobs
@@ -254,12 +359,16 @@ def _replay_sharded_cmd(args: argparse.Namespace, trace: Trace, cache_bytes: int
             "fault_seed": args.fault_seed,
             "jobs": jobs,
             "shards": n_shards,
+            "tenants": tenant_map.n_tenants if tenant_map else None,
+            "tenancy": args.tenancy,
         },
     )
     if dumps:
         _write_flightdumps(args, dumps)
     rows = [(k, v) for k, v in metrics.summary().items()]
     print(format_table(("Metric", "Value"), rows, float_fmt="{:.4f}"))
+    if _show_tenants(args, tenant_map):
+        _print_tenant_table(metrics)
     if metrics.durability is not None:
         print()
         print(
@@ -306,10 +415,16 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
 
 def _cmd_replay_inner(args: argparse.Namespace) -> int:
-    trace = _load_trace(args)
+    try:
+        trace, tenant_map, tenant_weights = _resolve_tenants(args)
+    except _UsageError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     cache_bytes = scaled_cache_bytes(args.cache_mb, args.scale)
     if args.jobs is not None and (args.jobs != 1 or _wants_supervision(args)):
-        return _replay_sharded_cmd(args, trace, cache_bytes)
+        return _replay_sharded_cmd(
+            args, trace, cache_bytes, tenant_map, tenant_weights
+        )
     tracer = None
     if args.trace_out is not None:
         from repro.obs.tracer import JsonlTracer
@@ -345,6 +460,9 @@ def _cmd_replay_inner(args: argparse.Namespace) -> int:
         sample_interval=args.sample_interval,
         profile=args.profile,
         flight=flight_recorder,
+        tenancy=args.tenancy,
+        tenants=tenant_map,
+        tenant_weights=tenant_weights,
     )
     try:
         if args.queue_depth is not None:
@@ -373,12 +491,16 @@ def _cmd_replay_inner(args: argparse.Namespace) -> int:
             "fault_seed": args.fault_seed,
             "queue_depth": args.queue_depth,
             "power_loss_at": args.power_loss_at,
+            "tenants": tenant_map.n_tenants if tenant_map else None,
+            "tenancy": args.tenancy,
         },
     )
     if flight_recorder is not None and flight_recorder.last_dump is not None:
         _write_flightdumps(args, [flight_recorder.last_dump])
     rows = [(k, v) for k, v in metrics.summary().items()]
     print(format_table(("Metric", "Value"), rows, float_fmt="{:.4f}"))
+    if _show_tenants(args, tenant_map):
+        _print_tenant_table(metrics)
     if metrics.durability is not None:
         print()
         print(
@@ -433,14 +555,36 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    trace = _load_trace(args)
+    tenant_map = tenant_weights = None
+    if args.tenants is not None or args.tenancy != "shared":
+        # compare's tenant path rebuilds populations by value in the
+        # workers (SweepJob), which only paper workloads support.
+        if args.tenants is None or args.workload not in WORKLOAD_ORDER:
+            print(
+                "compare needs --tenants N with a paper workload "
+                "to run a tenant population (see docs/tenancy.md)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.traces.tenants import build_population
+
+        trace, tenant_map, tenant_weights = build_population(
+            args.workload,
+            args.tenants,
+            scale=args.scale,
+            skew=args.tenant_skew,
+            seed=args.tenant_seed,
+        )
+    else:
+        trace = _load_trace(args)
     cache_bytes = scaled_cache_bytes(args.cache_mb, args.scale)
     rows = []
     report = SupervisorReport()
     if args.jobs is not None and (args.jobs != 1 or supervised):
         # One sweep cell per policy; each worker's replay is
         # bit-identical to the serial loop below (workers reload the
-        # workload by name / MSR path, so jobs ship as plain values).
+        # workload by name / MSR path — and rebuild tenant populations
+        # by value — so jobs ship as plain values).
         from repro.sim.progress import make_progress_printer
         from repro.sim.sweep import SweepJob, run_jobs
 
@@ -454,6 +598,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                     replay_kwargs=(
                         (("engine", args.engine),) if args.engine else ()
                     ),
+                    tenants=args.tenants,
+                    tenancy=args.tenancy,
+                    tenant_skew=args.tenant_skew,
+                    tenant_seed=args.tenant_seed,
                 )
                 for policy in args.policies
             ],
@@ -473,6 +621,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                     cache_bytes=cache_bytes,
                     profile=args.profile,
                     engine=args.engine,
+                    tenancy=args.tenancy,
+                    tenants=tenant_map,
+                    tenant_weights=tenant_weights,
                 ),
             )
             for policy in args.policies
@@ -486,6 +637,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             "cache_mb": args.cache_mb,
             "scale": args.scale,
             "jobs": args.jobs,
+            "tenants": args.tenants,
+            "tenancy": args.tenancy,
         },
     )
     # A salvaged-away policy leaves None in its slot: keep the table
@@ -513,6 +666,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             rows,
         )
     )
+    if _show_tenants(args, tenant_map):
+        for m in all_metrics:
+            print(f"\nper-tenant ({m.policy_name}):", end="")
+            _print_tenant_table(m)
     if args.csv:
         from repro.sim.export import write_csv
 
@@ -808,6 +965,34 @@ def _add_metrics_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_tenant_args(p: argparse.ArgumentParser) -> None:
+    from repro.sim.tenant import TENANCY_MODES
+
+    p.add_argument(
+        "--tenants", type=int, default=None, metavar="N",
+        help="run an N-tenant population of the workload (per-tenant "
+             "LBA zones, Zipf activity skew; a comma-separated workload "
+             "interleaves the named traces as one tenant each — see "
+             "docs/tenancy.md; default: legacy single-tenant replay)",
+    )
+    p.add_argument(
+        "--tenancy", default="shared", choices=TENANCY_MODES,
+        help="cache-sharing discipline across tenants: one shared cache "
+             "(default), or a static / activity-proportional per-tenant "
+             "partition",
+    )
+    p.add_argument(
+        "--tenant-skew", type=float, default=1.0, metavar="THETA",
+        help="Zipf skew of tenant activity (0 = uniform; default: 1.0 — "
+             "tenant 0 is the heavy hitter)",
+    )
+    p.add_argument(
+        "--tenant-seed", type=int, default=0, metavar="SEED",
+        help="population seed; per-tenant generator seeds derive from "
+             "it (default: 0)",
+    )
+
+
 class _VersionAction(argparse.Action):
     """``--version``: build/environment one-liner (lazy — the git
     subprocess in :mod:`repro.utils.buildinfo` only runs when asked)."""
@@ -921,6 +1106,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="power-loss-protection budget: dirty pages the hold-up "
              "capacitors can still flush (default: 0)",
     )
+    _add_tenant_args(p)
     _add_metrics_args(p)
     add_resilience_args(p)
     _add_flight_args(p)
@@ -952,6 +1138,7 @@ def build_parser() -> argparse.ArgumentParser:
              "byte-identical to the serial path; incompatible with "
              "--profile; default: serial)",
     )
+    _add_tenant_args(p)
     add_resilience_args(p)
     _add_ledger_args(p)
     p.set_defaults(func=_cmd_compare)

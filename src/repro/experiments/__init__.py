@@ -21,6 +21,7 @@ ablation_device    beyond-paper: DFTL/GC-policy/stream-separation substrate
 wear_study         beyond-paper: erases, write amplification, lifetime
 cache_scaling      beyond-paper: dense hit-ratio curves + Mattson check
 mdts_sensitivity   beyond-paper: host request splitting vs the mechanism
+tenant_qos         beyond-paper: multi-tenant noisy-neighbour QoS study
 =================  ==============================================
 
 Every module exposes ``run(settings) -> dict`` and a CLI ``main()``.

@@ -1,0 +1,173 @@
+"""Tenant QoS — noisy-neighbour study over the tenancy disciplines.
+
+Replays an N-tenant population (one heavy writer plus lighter tenants,
+activity skewed by a Zipf law — see :mod:`repro.traces.tenants`) under
+each tenancy discipline (``shared`` / ``static`` / ``proportional``)
+and each paper cache policy, then reports the heavy tenant's service
+next to the light tenants' mean:
+
+* page hit ratio (heavy vs light-mean),
+* p95 response time in ms (heavy vs light-mean),
+* pages evicted *belonging to* each side — in ``shared`` mode the heavy
+  tenant evicts the light tenants' pages (the noisy-neighbour effect);
+  partitioned modes confine the damage.
+
+The grid is (workload x policy x tenancy) at the smallest paper cache
+size (most pressure, clearest interference); the full-timing replay is
+used because the study is about tail latency, not just hits.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Tuple
+
+from repro.cache.registry import PAPER_COMPARISON
+from repro.experiments.common import (
+    ExperimentSettings,
+    add_standard_args,
+    finish_experiment,
+    settings_from_args,
+)
+from repro.sim.metrics import ReplayMetrics
+from repro.sim.report import banner, format_table
+from repro.sim.sweep import SweepJob
+from repro.sim.tenant import TENANCY_MODES
+
+__all__ = ["run", "main", "qos_rows", "DEFAULT_TENANTS", "DEFAULT_SKEW"]
+
+#: Population size: one heavy writer plus three light tenants.
+DEFAULT_TENANTS = 4
+#: Zipf skew steep enough that tenant 0 dominates the traffic.
+DEFAULT_SKEW = 1.2
+#: Population seed (tenant streams derive per-tenant seeds from it).
+DEFAULT_SEED = 0
+
+
+def _light_mean(values: List[float]) -> float:
+    """Mean over the light tenants (empty-safe)."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def qos_rows(
+    grid: Dict[Tuple[str, str, str], ReplayMetrics],
+    workload: str,
+) -> List[tuple]:
+    """Per-(policy, tenancy) heavy-vs-light rows for one workload.
+
+    Columns: policy, tenancy, heavy hit ratio, light mean hit ratio,
+    heavy p95 ms, light mean p95 ms, heavy evicted pages, light
+    evicted pages (summed).
+    """
+    rows: List[tuple] = []
+    for policy in PAPER_COMPARISON:
+        for mode in TENANCY_MODES:
+            m = grid.get((workload, policy, mode))
+            if m is None:
+                continue
+            per_tenant = m.tenant_summary()
+            heavy = per_tenant.get(0, {})
+            light = [s for t, s in sorted(per_tenant.items()) if t != 0]
+            rows.append(
+                (
+                    policy,
+                    mode,
+                    float(heavy.get("hit_ratio", 0.0)),
+                    _light_mean([s["hit_ratio"] for s in light]),
+                    float(heavy.get("p95_response_ms", 0.0)),
+                    _light_mean([s["p95_response_ms"] for s in light]),
+                    int(heavy.get("evicted_pages", 0)),
+                    sum(int(s["evicted_pages"]) for s in light),
+                )
+            )
+    return rows
+
+
+def run(
+    settings: ExperimentSettings | None = None,
+    n_tenants: int = DEFAULT_TENANTS,
+    skew: float = DEFAULT_SKEW,
+    seed: int = DEFAULT_SEED,
+) -> Dict[Tuple[str, str, str], ReplayMetrics]:
+    """Run the study; prints per-workload tables via ``settings.out``
+    and returns ``{(workload, policy, tenancy): metrics}``."""
+    settings = settings or ExperimentSettings()
+    cache_mb = min(settings.cache_sizes_mb)
+    jobs: List[SweepJob] = []
+    keys: List[Tuple[str, str, str]] = []
+    for w in settings.workloads:
+        for policy in PAPER_COMPARISON:
+            for mode in TENANCY_MODES:
+                jobs.append(
+                    SweepJob(
+                        workload=w,
+                        policy=policy,
+                        cache_bytes=settings.cache_bytes(cache_mb),
+                        scale=settings.scale,
+                        tenants=n_tenants,
+                        tenancy=mode,
+                        tenant_skew=skew,
+                        tenant_seed=seed,
+                    )
+                )
+                keys.append((w, policy, mode))
+    grid = dict(zip(keys, settings.run_jobs(jobs)))
+    settings.out(
+        banner(
+            f"Tenant QoS: {n_tenants} tenants, skew={skew:g}, "
+            f"{cache_mb}MB cache (scale={settings.scale:g})"
+        )
+    )
+    headers = (
+        "Policy",
+        "Tenancy",
+        "HeavyHit",
+        "LightHit",
+        "Heavy p95",
+        "Light p95",
+        "HeavyEvict",
+        "LightEvict",
+    )
+    for w in settings.workloads:
+        settings.out("")
+        settings.out(
+            format_table(headers, qos_rows(grid, w), title=f"workload {w}")
+        )
+    return grid
+
+
+def main() -> int:
+    """CLI entry point (argparse wrapper around :func:`run`)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_standard_args(parser)
+    parser.add_argument(
+        "--tenants",
+        type=int,
+        default=DEFAULT_TENANTS,
+        help="population size (tenant 0 is the heavy writer)",
+    )
+    parser.add_argument(
+        "--tenant-skew",
+        type=float,
+        default=DEFAULT_SKEW,
+        help="Zipf skew of tenant activity (higher = heavier tenant 0)",
+    )
+    parser.add_argument(
+        "--tenant-seed",
+        type=int,
+        default=DEFAULT_SEED,
+        help="population seed (per-tenant stream seeds derive from it)",
+    )
+    args = parser.parse_args()
+    settings = settings_from_args(args)
+    run(
+        settings,
+        n_tenants=args.tenants,
+        skew=args.tenant_skew,
+        seed=args.tenant_seed,
+    )
+    return finish_experiment(settings)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

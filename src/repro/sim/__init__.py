@@ -26,6 +26,12 @@ from repro.sim.replay import (
 from repro.sim.report import banner, format_series, format_table, normalize, sparkline
 from repro.sim.runner import CachedSweepRunner, job_key
 from repro.sim.sweep import SweepJob, grid_jobs, run_jobs
+from repro.sim.tenant import (
+    TENANCY_MODES,
+    TenantAccountant,
+    TenantStats,
+    tenant_rows,
+)
 
 __all__ = [
     "BootstrapResult",
@@ -61,4 +67,8 @@ __all__ = [
     "SweepJob",
     "grid_jobs",
     "run_jobs",
+    "TENANCY_MODES",
+    "TenantAccountant",
+    "TenantStats",
+    "tenant_rows",
 ]

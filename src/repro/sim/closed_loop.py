@@ -32,6 +32,7 @@ from repro.sim.replay import (
     METADATA_SAMPLE_INTERVAL,
     ReplayConfig,
     _build_policy,
+    _resolve_accountant,
     _resolve_recorder,
     resolve_tracer,
     sized_ssd_for,
@@ -85,6 +86,7 @@ def replay_closed_loop(
         cache_pages=config.cache_pages,
     )
     recorder, sampler = _resolve_recorder(config)
+    accountant = _resolve_accountant(config)
     track_lists = config.log_lists and isinstance(policy, ReqBlockCache)
     last_index, last_time = -1, 0.0
 
@@ -127,6 +129,8 @@ def replay_closed_loop(
             response_ms=completion - request.time, outcome=record.outcome
         )
         metrics.record(request, queued_record)
+        if accountant is not None:
+            accountant.record(request, queued_record)
         last_index, last_time = i, submit
         if recorder is not None:
             recorder.record(request, queued_record)
@@ -139,6 +143,8 @@ def replay_closed_loop(
     if sampler is not None and last_index >= 0:
         sampler.finalize(last_index, last_time)
         metrics.metrics_series = sampler.series
+    if accountant is not None:
+        metrics.tenants = accountant.stats
     metrics.host_flush_pages = controller.flushed_pages
     metrics.gc_migrated_pages = controller.gc.stats.pages_migrated
     metrics.gc_erases = controller.gc.stats.blocks_erased

@@ -21,6 +21,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.cache.base import AccessOutcome, FlushBatch
 from repro.faults.report import DurabilityReport
 from repro.obs.metrics import DEFAULT_SAMPLE_INTERVAL, MetricsRegistry
+from repro.sim.tenant import TenantStats
 from repro.ssd.controller import RequestRecord
 from repro.traces.model import IORequest, OpType
 from repro.utils.stats import Histogram, RatioCounter, ReservoirQuantiles, RunningStats
@@ -213,6 +214,13 @@ class ReplayMetrics:
     #: shard boundaries.
     eviction_digest: str = ""
 
+    #: Per-tenant rollups (tenant index -> :class:`TenantStats`),
+    #: populated when the replay ran with a tenant map configured.
+    #: Empty for legacy single-tenant runs, and absent from
+    #: :meth:`summary`, so enabling tenancy never perturbs the headline
+    #: numbers.  Merges per-key like every other field.
+    tenants: Dict[int, TenantStats] = field(default_factory=dict)
+
     n_requests: int = 0
 
     # Robustness (see repro.faults).  ``aborted_reason`` is set when a
@@ -393,6 +401,13 @@ class ReplayMetrics:
             for key, value in cells.items():
                 mine[key] = mine.get(key, 0.0) + value
 
+        for tenant, stats in other.tenants.items():
+            mine = self.tenants.get(tenant)
+            if mine is None:
+                self.tenants[tenant] = TenantStats().merge(stats)
+            else:
+                mine.merge(stats)
+
         if other.eviction_digest:
             if self.eviction_digest:
                 h = hashlib.sha256()
@@ -478,6 +493,14 @@ class ReplayMetrics:
             "mean_metadata_kb": self.mean_metadata_kb,
             "mean_plane_utilisation": self.mean_plane_utilisation,
         }
+
+    def tenant_summary(self) -> Dict[int, Dict[str, float]]:
+        """Per-tenant headline numbers, keyed by tenant index.
+
+        Empty for legacy (tenant-less) replays; see
+        :class:`repro.sim.tenant.TenantStats`.
+        """
+        return {i: self.tenants[i].summary() for i in sorted(self.tenants)}
 
 
 def merge_metrics(parts: Sequence[ReplayMetrics]) -> ReplayMetrics:

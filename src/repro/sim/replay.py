@@ -19,6 +19,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.cache.base import CachePolicy
 from repro.cache.registry import create_policy
+from repro.cache.tenant import TenantPartitioner
 from repro.core.policy import ReqBlockCache
 from repro.faults.injector import FaultInjector
 from repro.faults.powerloss import inject_power_loss
@@ -30,10 +31,12 @@ from repro.obs.profile import NULL_PROFILER, PhaseProfiler
 from repro.obs.tracer import TeeTracer, Tracer
 from repro.sim.metrics import MetricsRecorder, ReplayMetrics, fold_eviction_digest
 from repro.sim.telemetry import make_emitter
+from repro.sim.tenant import TENANCY_MODES, TenantAccountant
 from repro.ssd.config import SSDConfig
 from repro.ssd.controller import RequestRecord, SSDController
 from repro.ssd.flash import FlashOutOfSpace
 from repro.traces.model import PAGE_SIZE_BYTES, Trace
+from repro.traces.tenants import TenantMap
 from repro.utils.validation import require_positive
 
 __all__ = [
@@ -136,6 +139,22 @@ class ReplayConfig:
     #: consults the process-ambient recorder that supervised shard
     #: workers activate; with neither, the replay is unchanged.
     flight: Optional[FlightRecorder] = None
+    #: Cache-sharing discipline across tenants (see
+    #: :data:`repro.sim.tenant.TENANCY_MODES` and ``docs/tenancy.md``):
+    #: ``"shared"`` runs the plain policy — with ``tenants`` unset this
+    #: is exactly the legacy single-tenant data path, byte for byte —
+    #: while ``"static"`` / ``"proportional"`` wrap it in a
+    #: :class:`repro.cache.tenant.TenantPartitioner` (which requires
+    #: ``tenants``).
+    tenancy: str = "shared"
+    #: Zone layout attributing LPNs to tenants (see
+    #: :class:`repro.traces.tenants.TenantMap`).  When set, the replay
+    #: runs a :class:`repro.sim.tenant.TenantAccountant` and fills
+    #: ``ReplayMetrics.tenants``; None keeps accounting off entirely.
+    tenants: Optional[TenantMap] = None
+    #: Per-tenant activity weights for ``proportional`` partitioning
+    #: (ignored otherwise; defaults to equal weights when needed).
+    tenant_weights: Optional[Tuple[float, ...]] = None
     #: Hash the eviction sequence (every non-empty flush batch, in
     #: order) into ``ReplayMetrics.eviction_digest`` — the same sha256
     #: encoding the optimisation-equivalence goldens use.  The
@@ -153,12 +172,45 @@ class ReplayConfig:
 
 
 def _build_policy(config: ReplayConfig) -> CachePolicy:
+    if config.tenancy not in TENANCY_MODES:
+        raise ValueError(
+            f"unknown tenancy {config.tenancy!r}; "
+            f"choose one of {', '.join(TENANCY_MODES)}"
+        )
+    if config.tenancy != "shared":
+        if config.tenants is None:
+            raise ValueError(
+                f"tenancy={config.tenancy!r} needs a TenantMap "
+                "(ReplayConfig.tenants)"
+            )
+        weights = config.tenant_weights
+        if config.tenancy == "proportional" and weights is None:
+            weights = (1.0,) * config.tenants.n_tenants
+        return TenantPartitioner.build(
+            config.policy,
+            config.cache_pages,
+            config.tenants,
+            mode=config.tenancy,
+            weights=weights,
+            engine=config.engine,
+            **config.policy_kwargs,
+        )
     return create_policy(
         config.policy,
         config.cache_pages,
         engine=config.engine,
         **config.policy_kwargs,
     )
+
+
+def _resolve_accountant(config: ReplayConfig) -> Optional[TenantAccountant]:
+    """Per-tenant accountant when a tenant map is configured, else None
+    (the legacy path: one untaken branch per request)."""
+    if config.tenants is None:
+        return None
+    accountant = TenantAccountant(config.tenants)
+    accountant.register_metrics(config.metrics)
+    return accountant
 
 
 def _resolve_recorder(
@@ -235,6 +287,7 @@ def replay_trace(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
         cache_pages=config.cache_pages,
     )
     recorder, sampler = _resolve_recorder(config)
+    accountant = _resolve_accountant(config)
     digest = hashlib.sha256() if config.digest_evictions else None
     track_lists = config.log_lists and isinstance(policy, ReqBlockCache)
     base_flush = base_migrated = base_erases = base_programs = 0
@@ -289,6 +342,8 @@ def replay_trace(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
             if i < warmup:
                 continue
             record_metrics(request, record)
+            if accountant is not None:
+                accountant.record(request, record)
             if digest is not None:
                 fold_eviction_digest(digest, record.outcome.flushes)
             if recorder is not None:
@@ -326,6 +381,8 @@ def replay_trace(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
         metrics.phase_profile = profiler.as_dict()
     if digest is not None:
         metrics.eviction_digest = digest.hexdigest()
+    if accountant is not None:
+        metrics.tenants = accountant.stats
 
     metrics.host_flush_pages = controller.flushed_pages - base_flush
     metrics.gc_migrated_pages = controller.gc.stats.pages_migrated - base_migrated
@@ -392,6 +449,7 @@ def replay_cache_only(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
         cache_pages=config.cache_pages,
     )
     recorder, sampler = _resolve_recorder(config)
+    accountant = _resolve_accountant(config)
     digest = hashlib.sha256() if config.digest_evictions else None
     track_lists = config.log_lists and isinstance(policy, ReqBlockCache)
     flushed = 0
@@ -427,6 +485,8 @@ def replay_cache_only(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
                 continue
             record = RequestRecord(response_ms=0.0, outcome=outcome)
             record_metrics(request, record)
+            if accountant is not None:
+                accountant.record(request, record)
             if digest is not None:
                 fold_eviction_digest(digest, outcome.flushes)
             if recorder is not None:
@@ -457,6 +517,8 @@ def replay_cache_only(trace: Trace, config: ReplayConfig) -> ReplayMetrics:
         metrics.phase_profile = profiler.as_dict()
     if digest is not None:
         metrics.eviction_digest = digest.hexdigest()
+    if accountant is not None:
+        metrics.tenants = accountant.stats
     metrics.host_flush_pages = flushed
     metrics.flash_total_writes = flushed
     if checker is not None:

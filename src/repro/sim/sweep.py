@@ -54,6 +54,15 @@ class SweepJob:
     #: Regenerate the workload under this seed instead of its default
     #: (seed-sensitivity studies); ``None`` uses the memoised trace.
     workload_seed: Optional[int] = None
+    #: Multi-tenant population (see :mod:`repro.traces.tenants`):
+    #: ``tenants`` > 1 replays an N-tenant population of ``workload``
+    #: under the ``tenancy`` discipline; workers rebuild the population
+    #: by value, so these jobs pickle as cheaply as single-tenant ones.
+    #: ``tenants=None`` (default) is the legacy single-tenant job.
+    tenants: Optional[int] = None
+    tenancy: str = "shared"
+    tenant_skew: float = 1.0
+    tenant_seed: int = 0
 
     def key(self) -> Tuple[str, str, int]:
         """(workload, policy, cache bytes) — the figure-grid cell key."""
@@ -78,12 +87,30 @@ def _job_trace(job: SweepJob) -> Trace:
 
 
 def _run_one(job: SweepJob) -> ReplayMetrics:
-    trace = _job_trace(job)
+    tenancy_kwargs: Dict[str, Any] = {}
+    if job.tenants is not None:
+        from repro.traces.tenants import build_population
+
+        trace, tenant_map, weights = build_population(
+            job.workload,
+            job.tenants,
+            scale=job.scale,
+            skew=job.tenant_skew,
+            seed=job.tenant_seed,
+        )
+        tenancy_kwargs = {
+            "tenancy": job.tenancy,
+            "tenants": tenant_map,
+            "tenant_weights": weights,
+        }
+    else:
+        trace = _job_trace(job)
     config = ReplayConfig(
         policy=job.policy,
         cache_bytes=job.cache_bytes,
         policy_kwargs=dict(job.policy_kwargs),
         drain_at_end=job.drain_at_end,
+        **tenancy_kwargs,
         **dict(job.replay_kwargs),
     )
     runner = replay_cache_only if job.cache_only else replay_trace

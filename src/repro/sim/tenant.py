@@ -1,0 +1,192 @@
+"""Per-tenant replay accounting: who hit, who missed, who got evicted.
+
+The cache layer partitions (or deliberately doesn't — ``shared`` mode);
+this module *measures*.  A :class:`TenantAccountant` rides the replay
+loop, attributing every serviced request to the tenant owning its LBA
+zone and every evicted page to the tenant that owned *that* page.  The
+two attributions differ on purpose: in a shared cache, tenant 0's
+insert can evict tenant 7's pages, and that cross-tenant eviction
+pressure is exactly the noisy-neighbor signal the QoS experiments
+report.
+
+Per-tenant rollups live in :class:`TenantStats`, built from the same
+mergeable primitives as :class:`repro.sim.metrics.ReplayMetrics`
+(``RatioCounter`` / ``RunningStats`` / ``ReservoirQuantiles``), so
+shard results reduce with the identical left-fold-in-shard-order
+discipline — serial and ``--jobs N`` replays agree on every per-tenant
+number (pinned by ``tests/sim/test_tenant_replay.py``).
+
+Tenancy modes (``TENANCY_MODES``): ``shared`` replays the plain policy
+(zero accounting overhead unless tenants are configured); ``static``
+and ``proportional`` wrap it in a
+:class:`repro.cache.tenant.TenantPartitioner`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.ssd.controller import RequestRecord
+from repro.traces.model import IORequest
+from repro.traces.tenants import TenantMap
+from repro.utils.stats import RatioCounter, ReservoirQuantiles, RunningStats
+
+__all__ = [
+    "TENANCY_MODES",
+    "TenantStats",
+    "TenantAccountant",
+    "tenant_rows",
+]
+
+#: Cache-sharing disciplines selectable via ``--tenancy`` /
+#: ``ReplayConfig.tenancy``.  ``shared`` = one cache, no partitioner
+#: (the legacy data path); the other two build a ``TenantPartitioner``.
+TENANCY_MODES = ("shared", "static", "proportional")
+
+#: Reservoir size for per-tenant response quantiles.  Smaller than the
+#: global reservoir (4096): with up to dozens of tenants the memory
+#: multiplies, and per-tenant p95 needs far less resolution than the
+#: headline p99.
+TENANT_RESERVOIR = 512
+
+#: Per-tenant gauges are only exported for populations up to this size;
+#: beyond it the registry would drown in series (the accountant itself
+#: has no such limit — stats are kept for every tenant).
+MAX_TENANT_GAUGES = 64
+
+
+def _tenant_reservoir() -> ReservoirQuantiles:
+    return ReservoirQuantiles(capacity=TENANT_RESERVOIR)
+
+
+@dataclass(slots=True)
+class TenantStats:
+    """One tenant's replay rollup; merges like every other shard metric."""
+
+    requests: int = 0
+    pages: RatioCounter = field(default_factory=RatioCounter)
+    response_ms: RunningStats = field(default_factory=RunningStats)
+    response_quantiles: ReservoirQuantiles = field(
+        default_factory=_tenant_reservoir
+    )
+    #: Pages of *this tenant's data* evicted from DRAM — regardless of
+    #: whose request triggered the eviction (see module docstring).
+    evicted_pages: int = 0
+    #: Eviction batches that contained at least one of this tenant's
+    #: pages.
+    evictions: int = 0
+
+    def merge(self, other: "TenantStats") -> "TenantStats":
+        """Fold another shard's rollup in (``other`` is not modified)."""
+        self.requests += other.requests
+        self.pages.merge(other.pages)
+        self.response_ms.merge(other.response_ms)
+        self.response_quantiles.merge(other.response_quantiles)
+        self.evicted_pages += other.evicted_pages
+        self.evictions += other.evictions
+        return self
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.pages.ratio
+
+    def p95_ms(self) -> float:
+        return self.response_quantiles.quantile(0.95)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of this tenant's headline numbers."""
+        return {
+            "requests": self.requests,
+            "hit_ratio": self.hit_ratio,
+            "mean_response_ms": self.response_ms.mean,
+            "p95_response_ms": self.p95_ms(),
+            "evicted_pages": self.evicted_pages,
+            "evictions": self.evictions,
+        }
+
+
+class TenantAccountant:
+    """Folds serviced requests into per-tenant :class:`TenantStats`.
+
+    Stats are pre-created for every tenant so idle tenants still show
+    up (with zeros) in reports, and so the per-request path is a dict
+    lookup, not a ``setdefault``.
+    """
+
+    __slots__ = ("tenant_map", "stats", "_tenant_of", "_zone_pages")
+
+    def __init__(self, tenant_map: TenantMap) -> None:
+        self.tenant_map = tenant_map
+        self.stats: Dict[int, TenantStats] = {
+            i: TenantStats() for i in range(tenant_map.n_tenants)
+        }
+        self._tenant_of = tenant_map.tenant_of
+        self._zone_pages = tenant_map.zone_pages
+
+    # ------------------------------------------------------------------
+    def record(self, request: IORequest, record: RequestRecord) -> None:
+        """Attribute one serviced request (and its evictions) to tenants."""
+        outcome = record.outcome
+        stats = self.stats
+        s = stats[self._tenant_of(request.lpn)]
+        s.requests += 1
+        pages = s.pages
+        pages.hits += outcome.page_hits
+        pages.total += outcome.page_hits + outcome.page_misses
+        x = record.response_ms
+        s.response_ms.add(x)
+        s.response_quantiles.add(x)
+        flushes = outcome.flushes
+        if flushes:
+            tenant_of = self._tenant_of
+            for batch in flushes:
+                touched: Dict[int, int] = {}
+                for lpn in batch.lpns:
+                    t = tenant_of(lpn)
+                    touched[t] = touched.get(t, 0) + 1
+                for t, n in touched.items():
+                    victim = stats[t]
+                    victim.evicted_pages += n
+                    victim.evictions += 1
+
+    # ------------------------------------------------------------------
+    def register_metrics(self, registry: Optional[MetricsRegistry]) -> None:
+        """Export ``tenants.*`` gauges into a metrics registry.
+
+        Follows the lazy-collector discipline (values are refreshed
+        right before each snapshot).  Per-tenant series are capped at
+        ``MAX_TENANT_GAUGES`` tenants; ``tenants.active_total`` is
+        always exported.
+        """
+        if registry is None or not registry.enabled:
+            return
+        active = registry.gauge("tenants.active_total")
+        per_tenant = []
+        if self.tenant_map.n_tenants <= MAX_TENANT_GAUGES:
+            for i in range(self.tenant_map.n_tenants):
+                per_tenant.append(
+                    (
+                        self.stats[i],
+                        registry.gauge(f"tenants.t{i}.requests_total"),
+                        registry.gauge(f"tenants.t{i}.hit_ratio"),
+                        registry.gauge(f"tenants.t{i}.evicted_pages_total"),
+                    )
+                )
+
+        def collect(_now: float) -> None:
+            active.set(sum(1 for s in self.stats.values() if s.requests))
+            for s, req_g, hit_g, ev_g in per_tenant:
+                req_g.set(s.requests)
+                hit_g.set(s.hit_ratio)
+                ev_g.set(s.evicted_pages)
+
+        registry.register_collector(collect)
+
+
+def tenant_rows(
+    tenants: Dict[int, TenantStats],
+) -> Tuple[Tuple[int, Dict[str, float]], ...]:
+    """(tenant, summary) rows in tenant order — report/CSV friendly."""
+    return tuple((i, tenants[i].summary()) for i in sorted(tenants))

@@ -15,8 +15,17 @@ from repro.traces.synthetic import (
     SyntheticTraceGenerator,
     generate_trace,
 )
+from repro.traces.tenants import (
+    TenantMap,
+    TenantPopulation,
+    build_population,
+    derive_tenant_seed,
+    interleave_msr_tenants,
+    tenant_weights,
+)
 from repro.traces.transform import (
     filter_ops,
+    interleave_traces,
     merge_traces,
     remap_addresses,
     slice_time,
@@ -46,7 +55,14 @@ __all__ = [
     "random_writes",
     "sequential_writes",
     "zipf_writes",
+    "TenantMap",
+    "TenantPopulation",
+    "build_population",
+    "derive_tenant_seed",
+    "interleave_msr_tenants",
+    "tenant_weights",
     "filter_ops",
+    "interleave_traces",
     "merge_traces",
     "remap_addresses",
     "slice_time",

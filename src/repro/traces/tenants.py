@@ -1,0 +1,215 @@
+"""Multi-tenant workload populations: N streams, one device.
+
+The ROADMAP's "millions of users" north star starts here: instead of
+one trace against one cache, a *population* of N tenants shares the
+device.  Each tenant is a scaled-down copy of a paper workload driving
+its own private LBA zone; tenant activity follows a Zipf(``skew``)
+distribution, so tenant 0 is the heavy hitter and the tail tenants are
+light — the classic noisy-neighbor shape.  The per-tenant streams are
+interleaved deterministically by arrival time
+(:func:`repro.traces.transform.interleave_traces`), and the zone layout
+is captured in a :class:`TenantMap` so the cache and accounting layers
+can attribute any LPN back to its tenant without touching the request
+model.
+
+Determinism: per-tenant generator seeds derive from the population seed
+via ``numpy.random.SeedSequence`` spawn keys (the repo convention also
+used by ``repro.sim.parallel.derive_shard_seed``; a distinct salt keeps
+tenant streams from ever aliasing shard streams), and the interleave is
+a stable sort — no step consults global RNG state, so a population is
+bit-identical across runs, platforms, and multiprocessing start
+methods.
+
+The single-tenant population is special-cased to return the memoised
+base workload *unchanged* (same object, same seed, no remap), which is
+what makes ``--tenancy shared --tenants 1`` byte-identical to a legacy
+replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import lru_cache
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.traces.model import Trace
+from repro.traces.synthetic import _zipf_probabilities, generate_trace
+from repro.traces.transform import interleave_traces
+from repro.traces.workloads import DEFAULT_SCALE, get_config, get_workload
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = [
+    "TenantMap",
+    "TenantPopulation",
+    "tenant_weights",
+    "derive_tenant_seed",
+    "build_population",
+    "interleave_msr_tenants",
+]
+
+#: Spawn-key salt separating tenant seed streams from shard seed
+#: streams (``derive_shard_seed`` uses a bare ``(index,)`` key).
+_TENANT_SALT = 0x7E7A
+
+
+@dataclass(frozen=True)
+class TenantMap:
+    """The zone layout of a multi-tenant device: who owns which LPNs.
+
+    Tenant ``i`` owns ``[i * zone_pages, (i + 1) * zone_pages)``; any
+    address at or beyond the last zone boundary is attributed to the
+    last tenant (addresses never land there for populations built by
+    this module, but attribution must total).  Frozen and trivially
+    picklable, so it ships inside :class:`ReplayConfig` to shard
+    workers unchanged.
+    """
+
+    n_tenants: int
+    zone_pages: int
+
+    def __post_init__(self) -> None:
+        require_positive(self.n_tenants, "n_tenants")
+        require_positive(self.zone_pages, "zone_pages")
+
+    def tenant_of(self, lpn: int) -> int:
+        """The tenant owning ``lpn`` (total: every LPN maps somewhere)."""
+        t = lpn // self.zone_pages
+        n = self.n_tenants
+        return t if t < n else n - 1
+
+    @property
+    def device_pages(self) -> int:
+        """Total pages spanned by all zones."""
+        return self.n_tenants * self.zone_pages
+
+
+@dataclass(frozen=True)
+class TenantPopulation:
+    """Value-type spec of a synthetic tenant population.
+
+    Carries everything needed to rebuild the population from scratch —
+    shard and sweep workers regenerate traces from this spec rather
+    than pickling megabytes of requests.
+    """
+
+    base: str  # paper workload the tenants are cloned from
+    n_tenants: int
+    scale: float = DEFAULT_SCALE
+    skew: float = 1.0  # Zipf theta over tenant activity; 0 = uniform
+    seed: int = 0  # population seed (tenant seeds derive from it)
+
+    def __post_init__(self) -> None:
+        require_positive(self.n_tenants, "n_tenants")
+        require_positive(self.scale, "scale")
+        require_non_negative(self.skew, "skew")
+
+    def build(self) -> Tuple[Trace, TenantMap, Tuple[float, ...]]:
+        """Materialise ``(trace, tenant_map, weights)`` for this spec."""
+        return build_population(
+            self.base,
+            self.n_tenants,
+            scale=self.scale,
+            skew=self.skew,
+            seed=self.seed,
+        )
+
+
+def tenant_weights(n_tenants: int, skew: float = 1.0) -> Tuple[float, ...]:
+    """Normalised activity weights for ``n_tenants`` under Zipf(``skew``).
+
+    Weight ``i`` is the fraction of the base workload's activity tenant
+    ``i`` generates; ``skew=0`` splits evenly, larger values concentrate
+    activity on tenant 0 (the noisy neighbor).
+    """
+    require_positive(n_tenants, "n_tenants")
+    require_non_negative(skew, "skew")
+    return tuple(float(w) for w in _zipf_probabilities(n_tenants, skew))
+
+
+def derive_tenant_seed(seed: int, index: int) -> int:
+    """Deterministic per-tenant generator seed from the population seed.
+
+    Same ``SeedSequence`` spawn-key mechanism as
+    :func:`repro.sim.parallel.derive_shard_seed` (implemented locally —
+    traces must not import the sim layer) with a salt in the key, so
+    tenant streams never alias shard streams derived from the same
+    base seed.
+    """
+    ss = np.random.SeedSequence(
+        entropy=int(seed), spawn_key=(_TENANT_SALT, int(index))
+    )
+    return int(ss.generate_state(1, dtype=np.uint64)[0])
+
+
+@lru_cache(maxsize=8)
+def _cached_population(
+    base: str, n_tenants: int, scale: float, skew: float, seed: int
+) -> Tuple[Trace, TenantMap, Tuple[float, ...]]:
+    weights = tenant_weights(n_tenants, skew)
+    if n_tenants == 1:
+        # The degenerate population IS the base workload: same memoised
+        # trace object, same seed, no remap — the byte-identity anchor
+        # for `--tenancy shared --tenants 1`.
+        trace = get_workload(base, scale)
+        return trace, TenantMap(1, trace.max_lpn() + 1), weights
+
+    streams: List[Trace] = []
+    for i, w in enumerate(weights):
+        cfg = replace(
+            get_config(base, scale).scaled(w),
+            name=f"{base}#t{i}",
+            seed=derive_tenant_seed(seed, i),
+        )
+        streams.append(generate_trace(cfg))
+    # Every zone is sized to the heaviest tenant's *generated* footprint
+    # (a config-derived bound would undershoot: large writes may start
+    # near the end of the large span and run past it), so zones are
+    # uniform (O(1) tenant_of) and can never collide.
+    zone_pages = max(
+        (t.max_lpn() + 1 if len(t) else 1) for t in streams
+    )
+    trace = interleave_traces(
+        streams, zone_pages=zone_pages, name=f"{base}x{n_tenants}"
+    )
+    return trace, TenantMap(n_tenants, zone_pages), weights
+
+
+def build_population(
+    base: str,
+    n_tenants: int,
+    scale: float = DEFAULT_SCALE,
+    skew: float = 1.0,
+    seed: int = 0,
+) -> Tuple[Trace, TenantMap, Tuple[float, ...]]:
+    """Build (and memoise) an N-tenant population of a paper workload.
+
+    Tenant ``i`` runs the base workload scaled by its activity weight
+    (``SyntheticConfig.scaled`` shrinks request count and footprint
+    together, so light tenants are genuinely smaller, not just
+    shorter), seeded independently, and remapped into its own LBA
+    zone.  The combined trace's total request count approximates the
+    base workload's, so a population replay costs about the same as a
+    single-tenant one.
+    """
+    return _cached_population(base, n_tenants, float(scale), float(skew), int(seed))
+
+
+def interleave_msr_tenants(
+    streams: Sequence[Trace], name: str = "msr-tenants"
+) -> Tuple[Trace, TenantMap]:
+    """Treat real (e.g. MSR) traces as tenants sharing one device.
+
+    Zones are sized to the largest input footprint; each trace is
+    shifted into its own zone and the streams are interleaved by
+    arrival time.  Returns the combined trace plus the
+    :class:`TenantMap` to replay it under.
+    """
+    if not streams:
+        raise ValueError("interleave_msr_tenants needs at least one trace")
+    zone_pages = max(
+        (t.max_lpn() + 1 if len(t) else 1) for t in streams
+    )
+    trace = interleave_traces(streams, zone_pages=zone_pages, name=name)
+    return trace, TenantMap(len(streams), zone_pages)

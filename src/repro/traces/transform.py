@@ -20,6 +20,7 @@ __all__ = [
     "filter_ops",
     "remap_addresses",
     "merge_traces",
+    "interleave_traces",
     "truncate_requests",
     "split_large_requests",
 ]
@@ -110,6 +111,52 @@ def merge_traces(
             shifted.append(remap_addresses(t, i * region) if i else t)
     else:
         shifted = list(traces)
+    merged = sorted(
+        (r for t in shifted for r in t), key=lambda r: r.time
+    )
+    return Trace(name, merged)
+
+
+def interleave_traces(
+    streams: Sequence[Trace],
+    zone_pages: int | None = None,
+    name: str = "interleaved",
+) -> Trace:
+    """Deterministically interleave per-tenant streams onto one device.
+
+    The multi-tenant variant of :func:`merge_traces`: stream ``i`` is a
+    tenant's private request sequence, and with ``zone_pages`` set the
+    stream is shifted into the disjoint LBA zone
+    ``[i * zone_pages, (i + 1) * zone_pages)`` — the namespace layout
+    :class:`repro.traces.tenants.TenantMap` resolves tenants from.
+    Unlike :func:`merge_traces` (which *derives* a region size), the
+    zone size is a caller-declared contract: a stream whose footprint
+    does not fit its zone raises instead of silently colliding with its
+    neighbour's addresses.
+
+    Requests are ordered by arrival time; ties are broken by stream
+    index and then by position within the stream (the sort is stable
+    over the stream-major concatenation), so the interleaving is fully
+    deterministic — no RNG, no dependence on dict/set ordering, and
+    therefore identical under any multiprocessing start method.  Empty
+    streams are legal (an idle tenant contributes nothing); an empty
+    *list* of streams is not.
+    """
+    if not streams:
+        raise ValueError("interleave_traces needs at least one stream")
+    shifted: List[Trace] = []
+    if zone_pages is not None:
+        require_positive(zone_pages, "zone_pages")
+        for i, t in enumerate(streams):
+            end = t.max_lpn() + 1 if len(t) else 0
+            if end > zone_pages:
+                raise ValueError(
+                    f"stream {i} ({t.name!r}) spans {end} pages, "
+                    f"overflowing its {zone_pages}-page tenant zone"
+                )
+            shifted.append(remap_addresses(t, i * zone_pages) if i else t)
+    else:
+        shifted = list(streams)
     merged = sorted(
         (r for t in shifted for r in t), key=lambda r: r.time
     )

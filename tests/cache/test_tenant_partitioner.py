@@ -1,0 +1,131 @@
+"""Tests for tenant-aware cache partitioning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.lru import LRUCache
+from repro.cache.tenant import (
+    PARTITION_MODES,
+    TenantPartitioner,
+    split_capacity,
+)
+from repro.traces.tenants import TenantMap
+from tests.conftest import W
+
+
+def make_partitioner(quotas=(4, 4), zone_pages=100):
+    inners = [LRUCache(q) for q in quotas]
+    return TenantPartitioner(inners, TenantMap(len(quotas), zone_pages))
+
+
+class TestSplitCapacity:
+    def test_static_even(self):
+        assert split_capacity(8, 4) == (2, 2, 2, 2)
+
+    def test_static_remainder_to_low_indices(self):
+        assert split_capacity(10, 4) == (3, 3, 2, 2)
+
+    def test_proportional_follows_weights(self):
+        q = split_capacity(100, 4, "proportional", (0.4, 0.3, 0.2, 0.1))
+        assert sum(q) == 100
+        assert q == tuple(sorted(q, reverse=True))
+        assert q[0] > q[3]
+
+    def test_proportional_one_page_floor(self):
+        q = split_capacity(10, 3, "proportional", (1.0, 0.0, 0.0))
+        assert q == (8, 1, 1)
+
+    def test_sums_exactly(self):
+        for cap in (7, 64, 101):
+            for mode, w in (
+                ("static", None),
+                ("proportional", (0.5, 0.25, 0.25)),
+            ):
+                assert sum(split_capacity(cap, 3, mode, w)) == cap
+
+    def test_errors(self):
+        with pytest.raises(ValueError, match="at least one page"):
+            split_capacity(2, 4)
+        with pytest.raises(ValueError, match="unknown partition mode"):
+            split_capacity(8, 2, "fair-share")
+        with pytest.raises(ValueError, match="one weight per tenant"):
+            split_capacity(8, 2, "proportional", (1.0,))
+        with pytest.raises(ValueError, match="non-negative"):
+            split_capacity(8, 2, "proportional", (1.0, -1.0))
+        with pytest.raises(ValueError, match="sum to zero"):
+            split_capacity(8, 2, "proportional", (0.0, 0.0))
+        assert "static" in PARTITION_MODES
+
+
+class TestTenantPartitioner:
+    def test_routes_by_zone(self):
+        p = make_partitioner()
+        p.access(W(5))  # tenant 0's zone
+        p.access(W(105))  # tenant 1's zone
+        assert p.inners[0].contains(5)
+        assert p.inners[1].contains(105)
+        assert p.contains(5) and p.contains(105)
+        assert p.occupancy() == 2
+
+    def test_isolation_under_pressure(self):
+        # Tenant 0 floods its quota; tenant 1's resident page survives.
+        p = make_partitioner(quotas=(2, 2))
+        p.access(W(100))
+        for lpn in range(10):
+            p.access(W(lpn))
+        assert p.contains(100)
+        assert p.inners[0].occupancy() <= 2
+
+    def test_capacity_is_sum_of_quotas(self):
+        assert make_partitioner(quotas=(3, 5)).capacity_pages == 8
+
+    def test_cached_lpns_union(self):
+        p = make_partitioner()
+        p.access(W(1))
+        p.access(W(101))
+        assert sorted(p.cached_lpns()) == [1, 101]
+
+    def test_flush_all_drains_everyone(self):
+        p = make_partitioner()
+        p.access(W(1, 2))
+        p.access(W(101))
+        batch = p.flush_all()
+        assert sorted(batch.lpns) == [1, 2, 101]
+        assert batch.reason == "drain"
+        assert p.occupancy() == 0
+
+    def test_metadata_aggregates(self):
+        p = make_partitioner()
+        p.access(W(1))
+        p.access(W(101))
+        assert p.metadata_nodes() == sum(
+            q.metadata_nodes() for q in p.inners
+        )
+        assert p.metadata_bytes() == sum(
+            q.metadata_bytes() for q in p.inners
+        )
+
+    def test_validate_recurses(self):
+        p = make_partitioner()
+        for lpn in (0, 1, 100, 101):
+            p.access(W(lpn))
+        p.validate()  # must not raise
+
+    def test_build_by_policy_name(self):
+        tm = TenantMap(4, 1000)
+        p = TenantPartitioner.build(
+            "lru", 100, tm, mode="proportional", weights=(0.4, 0.3, 0.2, 0.1)
+        )
+        assert p.capacity_pages == 100
+        assert len(p.inners) == 4
+        assert p.quotas() == tuple(q.capacity_pages for q in p.inners)
+
+    def test_tenant_occupancies(self):
+        p = make_partitioner()
+        p.access(W(0, 2))
+        assert p.tenant_occupancies() == (2, 0)
+
+    def test_inner_count_must_match_map(self):
+        with pytest.raises(ValueError, match="inner policies"):
+            TenantPartitioner([LRUCache(4)], TenantMap(2, 100))

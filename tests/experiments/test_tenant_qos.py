@@ -1,0 +1,58 @@
+"""Smoke + shape tests for the tenant QoS experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.registry import PAPER_COMPARISON
+from repro.experiments import ExperimentSettings, tenant_qos
+from repro.sim.tenant import TENANCY_MODES
+
+TINY = 1 / 512
+
+
+@pytest.fixture
+def settings():
+    lines: list[str] = []
+    s = ExperimentSettings(
+        scale=TINY,
+        workloads=["ts_0"],
+        cache_sizes_mb=[16],
+        processes=1,
+        out=lines.append,
+    )
+    s.captured = lines  # type: ignore[attr-defined]
+    return s
+
+
+class TestTenantQos:
+    def test_grid_shape_and_rows(self, settings):
+        grid = tenant_qos.run(settings, n_tenants=3)
+        assert set(grid) == {
+            ("ts_0", p, mode)
+            for p in PAPER_COMPARISON
+            for mode in TENANCY_MODES
+        }
+        for m in grid.values():
+            assert sorted(m.tenants) == [0, 1, 2]
+        rows = tenant_qos.qos_rows(grid, "ts_0")
+        assert len(rows) == len(PAPER_COMPARISON) * len(TENANCY_MODES)
+        # Each row: policy, mode, 2x hit, 2x p95, 2x evicted.
+        assert all(len(r) == 8 for r in rows)
+        out = "\n".join(settings.captured)
+        assert "Tenant QoS" in out and "HeavyHit" in out
+
+    def test_heavy_tenant_dominates_traffic(self, settings):
+        grid = tenant_qos.run(settings.quiet(), n_tenants=3)
+        m = grid[("ts_0", "reqblock", "shared")]
+        per = m.tenant_summary()
+        assert per[0]["requests"] > per[1]["requests"] > per[2]["requests"]
+
+    def test_deterministic(self, settings):
+        # 3 tenants: at this tiny scale a 4-way proportional split would
+        # hand a light tenant a 1-page quota, below VBBMS's 2-page
+        # minimum (real runs use paper-sized caches, see run()).
+        a = tenant_qos.run(settings.quiet(), n_tenants=3)
+        b = tenant_qos.run(settings.quiet(), n_tenants=3)
+        for key in a:
+            assert a[key].summary() == b[key].summary()

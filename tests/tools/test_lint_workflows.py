@@ -1,0 +1,128 @@
+"""Tests for the workflow structural linter (tools/lint_workflows.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import textwrap
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+spec = importlib.util.spec_from_file_location(
+    "lint_workflows", REPO / "tools" / "lint_workflows.py"
+)
+lint_workflows = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(lint_workflows)
+
+
+def write(tmp_path, body: str) -> str:
+    p = tmp_path / "wf.yml"
+    p.write_text(textwrap.dedent(body))
+    return str(p)
+
+
+GOOD = """
+    name: Good
+    on:
+      push:
+    jobs:
+      build:
+        runs-on: ubuntu-latest
+        strategy:
+          matrix:
+            python-version: ["3.12"]
+        steps:
+          - uses: actions/checkout@v4
+          - name: Test
+            id: tests
+            run: pytest -q
+          - name: Report
+            if: steps.tests.outcome == 'failure'
+            run: echo "python ${{ matrix.python-version }} failed"
+      notify:
+        needs: build
+        runs-on: ubuntu-latest
+        steps:
+          - run: echo done
+"""
+
+
+class TestLinter:
+    def test_repo_workflows_are_clean(self):
+        paths = sorted(
+            str(p) for p in (REPO / ".github" / "workflows").glob("*.yml")
+        )
+        assert paths, "repo should have workflow files"
+        for path in paths:
+            assert lint_workflows.lint_file(path) == []
+
+    def test_clean_workflow_passes(self, tmp_path):
+        assert lint_workflows.lint_file(write(tmp_path, GOOD)) == []
+
+    def test_yaml_on_key_parsed_as_true_is_accepted(self, tmp_path):
+        # PyYAML reads `on:` as boolean True; the linter must not flag
+        # a trigger block actionlint accepts.
+        findings = lint_workflows.lint_file(write(tmp_path, GOOD))
+        assert not any("'on'" in f for f in findings)
+
+    @pytest.mark.parametrize(
+        "mutation, needle",
+        [
+            ("name: Good\n", "missing 'name'"),
+            ("on:\n  push:\n", "missing 'on'"),
+            ("    runs-on: ubuntu-latest\n", "missing 'runs-on'"),
+        ],
+    )
+    def test_missing_required_keys_flagged(self, tmp_path, mutation, needle):
+        body = textwrap.dedent(GOOD).replace(mutation, "", 1)
+        findings = lint_workflows.lint_file(write(tmp_path, body))
+        assert any(needle in f for f in findings), findings
+
+    def test_unknown_needs_flagged(self, tmp_path):
+        body = textwrap.dedent(GOOD).replace(
+            "needs: build", "needs: deploy"
+        )
+        findings = lint_workflows.lint_file(write(tmp_path, body))
+        assert any("unknown job 'deploy'" in f for f in findings)
+
+    def test_step_with_uses_and_run_flagged(self, tmp_path):
+        body = textwrap.dedent(GOOD).replace(
+            "- uses: actions/checkout@v4",
+            "- uses: actions/checkout@v4\n        run: echo no",
+        )
+        findings = lint_workflows.lint_file(write(tmp_path, body))
+        assert any("both 'uses' and 'run'" in f for f in findings)
+
+    def test_step_with_neither_flagged(self, tmp_path):
+        body = textwrap.dedent(GOOD).replace("- run: echo done", "- name: nop")
+        findings = lint_workflows.lint_file(write(tmp_path, body))
+        assert any("neither 'uses' nor 'run'" in f for f in findings)
+
+    def test_undefined_matrix_key_flagged(self, tmp_path):
+        body = textwrap.dedent(GOOD).replace(
+            "matrix.python-version", "matrix.os"
+        )
+        findings = lint_workflows.lint_file(write(tmp_path, body))
+        assert any("matrix.os" in f for f in findings)
+
+    def test_undefined_step_id_flagged(self, tmp_path):
+        body = textwrap.dedent(GOOD).replace("id: tests\n        ", "")
+        findings = lint_workflows.lint_file(write(tmp_path, body))
+        assert any("steps.tests" in f for f in findings)
+
+    def test_parse_error_reported(self, tmp_path):
+        findings = lint_workflows.lint_file(
+            write(tmp_path, "name: [unclosed\n")
+        )
+        assert any("YAML parse error" in f for f in findings)
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        good = write(tmp_path, GOOD)
+        assert lint_workflows.main([good]) == 0
+        bad = tmp_path / "bad.yml"
+        bad.write_text("jobs: {}\n")
+        assert lint_workflows.main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "missing" in out

@@ -1,0 +1,145 @@
+"""Tests for multi-tenant workload populations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces.tenants import (
+    TenantMap,
+    TenantPopulation,
+    build_population,
+    derive_tenant_seed,
+    interleave_msr_tenants,
+    tenant_weights,
+)
+from repro.traces.workloads import get_workload
+from tests.conftest import W, make_trace
+
+SCALE = 1 / 256
+
+
+class TestTenantMap:
+    def test_zone_ownership(self):
+        tm = TenantMap(n_tenants=4, zone_pages=100)
+        assert tm.tenant_of(0) == 0
+        assert tm.tenant_of(99) == 0
+        assert tm.tenant_of(100) == 1
+        assert tm.tenant_of(399) == 3
+
+    def test_overflow_clamps_to_last(self):
+        tm = TenantMap(n_tenants=4, zone_pages=100)
+        assert tm.tenant_of(400) == 3
+        assert tm.tenant_of(10_000) == 3
+
+    def test_device_pages(self):
+        assert TenantMap(3, 50).device_pages == 150
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            TenantMap(0, 10)
+        with pytest.raises(ValueError):
+            TenantMap(2, 0)
+
+
+class TestWeights:
+    def test_normalised_and_sorted(self):
+        w = tenant_weights(4, skew=1.0)
+        assert len(w) == 4
+        assert sum(w) == pytest.approx(1.0)
+        assert list(w) == sorted(w, reverse=True)  # tenant 0 heaviest
+
+    def test_uniform_at_zero_skew(self):
+        w = tenant_weights(4, skew=0.0)
+        assert all(x == pytest.approx(0.25) for x in w)
+
+    def test_higher_skew_concentrates(self):
+        assert tenant_weights(4, 1.5)[0] > tenant_weights(4, 0.5)[0]
+
+
+class TestSeeds:
+    def test_deterministic(self):
+        assert derive_tenant_seed(7, 3) == derive_tenant_seed(7, 3)
+
+    def test_distinct_per_tenant_and_population(self):
+        seeds = {derive_tenant_seed(s, i) for s in (0, 1) for i in range(8)}
+        assert len(seeds) == 16
+
+    def test_distinct_from_shard_seeds(self):
+        from repro.sim.parallel import derive_shard_seed
+
+        for i in range(8):
+            assert derive_tenant_seed(0, i) != derive_shard_seed(0, i)
+
+
+class TestBuildPopulation:
+    def test_deterministic_and_memoised(self):
+        a, map_a, w_a = build_population("ts_0", 4, scale=SCALE, seed=7)
+        b, map_b, w_b = build_population("ts_0", 4, scale=SCALE, seed=7)
+        assert a is b  # memoised
+        assert map_a == map_b and w_a == w_b
+
+    def test_single_tenant_is_base_workload(self):
+        trace, tenant_map, weights = build_population("ts_0", 1, scale=SCALE)
+        assert trace is get_workload("ts_0", SCALE)
+        assert tenant_map.n_tenants == 1
+        assert weights == (1.0,)
+        assert tenant_map.zone_pages == trace.max_lpn() + 1
+
+    def test_zones_disjoint_and_skewed(self):
+        trace, tenant_map, weights = build_population(
+            "ts_0", 4, scale=SCALE, skew=1.2, seed=7
+        )
+        counts = [0] * 4
+        for r in trace:
+            t = tenant_map.tenant_of(r.lpn)
+            # The request must fit entirely inside its owner's zone.
+            assert tenant_map.tenant_of(r.lpn + r.npages - 1) == t
+            counts[t] += 1
+        assert all(c > 0 for c in counts)
+        assert counts == sorted(counts, reverse=True)  # tenant 0 heaviest
+
+    def test_arrivals_sorted(self):
+        trace, _m, _w = build_population("ts_0", 3, scale=SCALE)
+        times = [r.time for r in trace]
+        assert times == sorted(times)
+
+    def test_total_size_near_base(self):
+        base = get_workload("ts_0", SCALE)
+        trace, _m, _w = build_population("ts_0", 4, scale=SCALE)
+        # Weights sum to 1, so the population costs about one base run.
+        assert 0.5 * len(base) <= len(trace) <= 2 * len(base)
+
+    def test_seed_changes_population(self):
+        a, _m, _w = build_population("ts_0", 4, scale=SCALE, seed=1)
+        b, _m2, _w2 = build_population("ts_0", 4, scale=SCALE, seed=2)
+        assert [r.lpn for r in a] != [r.lpn for r in b]
+
+    def test_spec_roundtrip(self):
+        spec = TenantPopulation("ts_0", 4, scale=SCALE, skew=1.2, seed=3)
+        trace, tenant_map, weights = spec.build()
+        again, map2, w2 = build_population(
+            "ts_0", 4, scale=SCALE, skew=1.2, seed=3
+        )
+        assert trace is again and tenant_map == map2 and weights == w2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            build_population("ts_0", 0, scale=SCALE)
+        with pytest.raises(KeyError):
+            build_population("not-a-workload", 2, scale=SCALE)
+
+
+class TestMsrInterleave:
+    def test_two_traces_as_tenants(self):
+        a = make_trace([W(0), W(5)], name="a")
+        b = make_trace([W(2), W(9)], name="b")
+        trace, tenant_map = interleave_msr_tenants([a, b])
+        assert tenant_map.n_tenants == 2
+        assert tenant_map.zone_pages == 10  # max footprint
+        owners = {tenant_map.tenant_of(r.lpn) for r in trace}
+        assert owners == {0, 1}
+        assert len(trace) == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            interleave_msr_tenants([])

@@ -6,6 +6,7 @@ import pytest
 
 from repro.traces.transform import (
     filter_ops,
+    interleave_traces,
     merge_traces,
     remap_addresses,
     slice_time,
@@ -92,6 +93,86 @@ class TestMerge:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             merge_traces([])
+
+
+class TestInterleave:
+    def test_zone_offsets_applied(self):
+        a = make_trace([W(0), W(3)], name="a")
+        b = make_trace([W(1), W(2)], name="b")
+        m = interleave_traces([a, b], zone_pages=10)
+        lpns = sorted(r.lpn for r in m)
+        assert lpns == [0, 3, 11, 12]
+
+    def test_time_sorted_with_stable_ties(self):
+        # Both streams issue at t=0: the tie breaks by stream order, so
+        # stream 0's request precedes stream 1's identical-time request.
+        a = make_trace([W(0, t=0.0)], name="a")
+        b = make_trace([W(1, t=0.0)], name="b")
+        m = interleave_traces([a, b], zone_pages=10)
+        assert [r.lpn for r in m] == [0, 11]
+
+    def test_empty_tenant_stream_ok(self):
+        a = make_trace([W(0), W(1)], name="a")
+        empty = make_trace([], name="idle")
+        m = interleave_traces([a, empty, a], zone_pages=10)
+        assert len(m) == 4
+        assert {r.lpn for r in m} == {0, 1, 20, 21}
+
+    def test_single_request_streams(self):
+        streams = [make_trace([W(0, t=float(i))], name=str(i)) for i in range(5)]
+        m = interleave_traces(streams, zone_pages=4)
+        assert [r.lpn for r in m] == [0, 4, 8, 12, 16]
+        assert [r.time for r in m] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_zone_collision_rejected(self):
+        a = make_trace([W(0)], name="a")
+        wide = make_trace([W(15)], name="wide")  # spans 16 > 10 pages
+        with pytest.raises(ValueError, match="overflowing"):
+            interleave_traces([a, wide], zone_pages=10)
+
+    def test_no_zone_is_plain_merge(self):
+        a = make_trace([W(0), W(1)], name="a")
+        b = make_trace([W(0), W(1)], name="b")
+        m = interleave_traces([a, b])
+        assert sorted(r.lpn for r in m) == [0, 0, 1, 1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            interleave_traces([])
+
+    def test_deterministic_across_start_methods(self):
+        # Populations are built inside pool workers (sweep jobs pickle
+        # by value), so the interleave must be bit-identical whether the
+        # worker inherited state via fork or re-imported under spawn.
+        import multiprocessing as mp
+
+        methods = [
+            m for m in ("fork", "spawn") if m in mp.get_all_start_methods()
+        ]
+        digests = []
+        for method in methods:
+            ctx = mp.get_context(method)
+            with ctx.Pool(1) as pool:
+                digests.append(pool.apply(_population_digest))
+        assert digests
+        assert all(d == digests[0] for d in digests)
+        assert digests[0] == _population_digest()  # matches in-process
+
+
+def _population_digest() -> str:
+    """Checksum of a small tenant population (runs in pool workers)."""
+    import hashlib
+
+    from repro.traces.tenants import build_population
+
+    trace, tenant_map, weights = build_population(
+        "ts_0", 3, scale=1 / 256, skew=1.2, seed=11
+    )
+    h = hashlib.sha256()
+    for r in trace:
+        h.update(f"{r.time:.9f},{r.op},{r.lpn},{r.npages};".encode())
+    h.update(repr((tenant_map, weights)).encode())
+    return h.hexdigest()
 
 
 class TestTruncate:

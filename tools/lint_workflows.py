@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""Sanity-lint GitHub Actions workflow files.
+
+CI runs `actionlint` for the full grammar; this linter is the
+dependency-free backstop that also runs locally via ``make lint-ci``
+(PyYAML only — no network, no binaries).  It catches the structural
+mistakes that bite this repo's workflows in practice:
+
+* missing ``name`` / ``on`` / ``jobs`` (NB: plain YAML parses the
+  ``on:`` key as boolean ``True`` — the linter accepts either spelling
+  so it lints the same files actionlint does),
+* jobs without ``runs-on`` or with empty ``steps``,
+* steps carrying both ``uses`` and ``run`` (or neither),
+* ``needs`` edges to jobs that don't exist,
+* ``${{ matrix.X }}`` references to keys the job's strategy matrix
+  never defines (include-only keys count),
+* ``steps.<id>`` references to step ids never declared in that job.
+
+Exit code: 0 when every file is clean, 1 otherwise; findings print one
+per line as ``path: job(.step): message``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import re
+import sys
+from typing import Any, Dict, Iterator, List
+
+try:
+    import yaml
+except ImportError:  # pragma: no cover - the repo toolchain ships PyYAML
+    print("lint_workflows: PyYAML not available; skipping", file=sys.stderr)
+    sys.exit(0)
+
+#: ``${{ matrix.key }}`` inside expressions.
+_MATRIX_REF = re.compile(r"\$\{\{[^}]*\bmatrix\.([A-Za-z0-9_-]+)")
+#: ``steps.<id>.`` — bare as well as inside ``${{ }}``, because ``if:``
+#: expressions omit the braces.
+_STEPS_REF = re.compile(r"\bsteps\.([A-Za-z0-9_-]+)\.")
+
+
+def _walk_strings(node: Any) -> Iterator[str]:
+    """Every string scalar under ``node`` (keys excluded)."""
+    if isinstance(node, str):
+        yield node
+    elif isinstance(node, dict):
+        for value in node.values():
+            yield from _walk_strings(value)
+    elif isinstance(node, list):
+        for value in node:
+            yield from _walk_strings(value)
+
+
+def _matrix_keys(job: Dict[str, Any]) -> set:
+    """Keys a job's strategy matrix defines (axes + include extras)."""
+    matrix = (job.get("strategy") or {}).get("matrix")
+    if not isinstance(matrix, dict):
+        return set()
+    keys = {k for k in matrix if k not in ("include", "exclude")}
+    for extra in matrix.get("include") or []:
+        if isinstance(extra, dict):
+            keys.update(extra)
+    return keys
+
+
+def lint_workflow(path: str, doc: Any) -> List[str]:
+    """All findings for one parsed workflow document."""
+    findings: List[str] = []
+
+    def flag(where: str, message: str) -> None:
+        """Record one finding."""
+        findings.append(f"{path}: {where}: {message}")
+
+    if not isinstance(doc, dict):
+        return [f"{path}: top-level: not a mapping"]
+    if "name" not in doc:
+        flag("top-level", "missing 'name'")
+    # YAML 1.1 reads the bare `on:` key as boolean True.
+    if "on" not in doc and True not in doc:
+        flag("top-level", "missing 'on' trigger block")
+    jobs = doc.get("jobs")
+    if not isinstance(jobs, dict) or not jobs:
+        flag("top-level", "missing or empty 'jobs'")
+        return findings
+
+    for job_name, job in jobs.items():
+        if not isinstance(job, dict):
+            flag(job_name, "job is not a mapping")
+            continue
+        if "uses" in job:  # reusable-workflow call: no runs-on/steps
+            continue
+        if "runs-on" not in job:
+            flag(job_name, "missing 'runs-on'")
+        steps = job.get("steps")
+        if not isinstance(steps, list) or not steps:
+            flag(job_name, "missing or empty 'steps'")
+            steps = []
+
+        needs = job.get("needs") or []
+        if isinstance(needs, str):
+            needs = [needs]
+        for dep in needs:
+            if dep not in jobs:
+                flag(job_name, f"'needs' references unknown job {dep!r}")
+
+        step_ids = {
+            s.get("id") for s in steps if isinstance(s, dict) and s.get("id")
+        }
+        for i, step in enumerate(steps):
+            where = f"{job_name}.steps[{i}]"
+            if not isinstance(step, dict):
+                flag(where, "step is not a mapping")
+                continue
+            has_uses, has_run = "uses" in step, "run" in step
+            if has_uses and has_run:
+                flag(where, "step has both 'uses' and 'run'")
+            elif not has_uses and not has_run:
+                flag(where, "step has neither 'uses' nor 'run'")
+
+        matrix_keys = _matrix_keys(job)
+        for text in _walk_strings(job):
+            for key in _MATRIX_REF.findall(text):
+                if key not in matrix_keys:
+                    flag(
+                        job_name,
+                        f"references matrix.{key} but the strategy "
+                        f"matrix defines {sorted(matrix_keys) or 'nothing'}",
+                    )
+            for sid in _STEPS_REF.findall(text):
+                if sid not in step_ids:
+                    flag(job_name, f"references steps.{sid} but no step has id {sid!r}")
+    return findings
+
+
+def lint_file(path: str) -> List[str]:
+    """Parse + lint one workflow file."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = yaml.safe_load(fh)
+    except yaml.YAMLError as exc:
+        return [f"{path}: top-level: YAML parse error: {exc}"]
+    return lint_workflow(path, doc)
+
+
+def main(argv: List[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="workflow files (default: .github/workflows/*.yml|yaml)",
+    )
+    args = parser.parse_args(argv)
+    paths = args.paths or sorted(
+        glob.glob(os.path.join(".github", "workflows", "*.yml"))
+        + glob.glob(os.path.join(".github", "workflows", "*.yaml"))
+    )
+    if not paths:
+        print("lint_workflows: no workflow files found", file=sys.stderr)
+        return 1
+    findings: List[str] = []
+    for path in paths:
+        findings.extend(lint_file(path))
+    for line in findings:
+        print(line)
+    if not findings:
+        print(f"lint_workflows: {len(paths)} file(s) clean")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
